@@ -1,0 +1,91 @@
+"""Ablation study: which FChain design choices carry the accuracy?
+
+Beyond the paper's own Fixed-Filtering comparison (Fig. 12), this bench
+disables one FChain ingredient at a time and measures the impact on the
+back-pressure-heavy RUBiS CpuHog scenario:
+
+* ``no-dependency``   — drop the discovered dependency graph (pure
+  propagation order, as forced on System S);
+* ``no-burst``        — replace the burst-FFT expected error with a tiny
+  constant (keeps the history reference);
+* ``no-history-ref``  — drop the history-error reference (keeps the burst
+  threshold);
+* ``wide-concurrency``— concurrency threshold 10 s instead of 2 s.
+
+Expected: full FChain at or near the top; each ablation costs precision
+and/or recall in its own way.
+"""
+
+import dataclasses
+
+import pytest
+
+from _helpers import save_roc_svgs, records_for, save_and_print
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChain
+from repro.eval.metrics import PrecisionRecall
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import dependency_graph_for
+from repro.eval.scenarios import scenario_by_name
+
+SCENARIO = "rubis/cpuhog"
+
+
+def _score(records, config, graph):
+    pr = PrecisionRecall()
+    for record in records:
+        fchain = FChain(config, dependency_graph=graph, seed=record.seed)
+        result = fchain.localize(record.store, record.violation_time)
+        pr.update(result.faulty, record.ground_truth)
+    return pr
+
+
+@pytest.fixture(scope="module")
+def ablations():
+    scenario = scenario_by_name(SCENARIO)
+    records = records_for(SCENARIO)
+    graph = dependency_graph_for(scenario.app_name)
+    base = FChainConfig()
+    variants = {
+        "FChain (full)": (base, graph),
+        "no-dependency": (base, None),
+        "no-burst": (
+            dataclasses.replace(base, burst_percentile=0.1),
+            graph,
+        ),
+        "no-history-ref": (
+            dataclasses.replace(base, history_error_percentile=0.1),
+            graph,
+        ),
+        "wide-concurrency": (
+            dataclasses.replace(base, concurrency_threshold=10.0),
+            graph,
+        ),
+    }
+    results = {
+        name: _score(records, config, g)
+        for name, (config, g) in variants.items()
+    }
+    return results, records, graph
+
+
+def test_ablations(ablations, benchmark):
+    results, records, graph = ablations
+    record = records[0]
+    benchmark(
+        lambda: FChain(
+            FChainConfig(), dependency_graph=graph, seed=record.seed
+        ).localize(record.store, record.violation_time)
+    )
+    save_roc_svgs("ablations", {SCENARIO.split("/")[1]: results})
+    save_and_print(
+        "ablations",
+        format_scheme_table(
+            f"Ablations — {SCENARIO} (each ingredient disabled in turn)",
+            {SCENARIO.split("/")[1]: results},
+        ),
+    )
+    full = results["FChain (full)"]
+    # The full system must not be clearly beaten by any ablation.
+    for name, pr in results.items():
+        assert full.f1 >= pr.f1 - 0.15, name

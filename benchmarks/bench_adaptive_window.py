@@ -1,0 +1,83 @@
+"""Extension — adaptive look-back window (paper Sec. III-F future work).
+
+Table I shows the one parameter FChain is sensitive to: the slowly
+manifesting Hadoop DiskHog needs W = 500 while W = 100 covers everything
+else (and is cheaper). The paper proposes, as future work, choosing W
+adaptively "by examining the metric changing speed". This bench evaluates
+:func:`repro.core.adaptive.adaptive_look_back_window`: it must keep the
+small window for a fast fault (RUBiS CpuHog) and grow it for the DiskHog,
+recovering W=500-level accuracy without manual configuration.
+"""
+
+import pytest
+
+from _helpers import records_for, save_and_print
+from repro.core.adaptive import adaptive_look_back_window
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChain
+from repro.eval.metrics import PrecisionRecall
+from repro.eval.runner import dependency_graph_for
+from repro.eval.scenarios import scenario_by_name
+
+
+def _score(records, graph, window_for):
+    pr = PrecisionRecall()
+    windows = []
+    for record in records:
+        window = window_for(record)
+        windows.append(window)
+        config = FChainConfig(look_back_window=window)
+        fchain = FChain(config, dependency_graph=graph, seed=record.seed)
+        result = fchain.localize(record.store, record.violation_time)
+        pr.update(result.faulty, record.ground_truth)
+    return pr, windows
+
+
+@pytest.fixture(scope="module")
+def adaptive_results():
+    out = {}
+    for name in ("rubis/cpuhog", "hadoop/conc_diskhog"):
+        scenario = scenario_by_name(name)
+        records = records_for(name)
+        graph = dependency_graph_for(scenario.app_name)
+        fixed100, _ = _score(records, graph, lambda r: 100)
+        fixed500, _ = _score(records, graph, lambda r: 500)
+        adaptive, windows = _score(
+            records,
+            graph,
+            lambda r: adaptive_look_back_window(
+                r.store, r.violation_time, max_window=500
+            ),
+        )
+        out[name] = (fixed100, fixed500, adaptive, windows)
+    return out
+
+
+def test_adaptive_window(adaptive_results, benchmark):
+    name = "hadoop/conc_diskhog"
+    record = records_for(name, runs=1)[0]
+    benchmark(
+        lambda: adaptive_look_back_window(
+            record.store, record.violation_time, max_window=500
+        )
+    )
+    lines = ["Extension — adaptive look-back window"]
+    for scenario, (f100, f500, adaptive, windows) in adaptive_results.items():
+        lines += [
+            f"{scenario}:",
+            f"  W=100 fixed : P={f100.precision:.2f} R={f100.recall:.2f}",
+            f"  W=500 fixed : P={f500.precision:.2f} R={f500.recall:.2f}",
+            f"  adaptive    : P={adaptive.precision:.2f} "
+            f"R={adaptive.recall:.2f}  (chosen W per run: {windows})",
+        ]
+    save_and_print("adaptive_window", "\n".join(lines))
+
+    f100, f500, adaptive, windows = adaptive_results["hadoop/conc_diskhog"]
+    # Adaptive must recover (most of) the long-window accuracy...
+    assert adaptive.f1 >= f500.f1 - 0.25
+    assert adaptive.f1 >= f100.f1
+    # ...by actually growing the window for the slow fault.
+    assert max(windows) >= 300
+    _, _, adaptive_fast, fast_windows = adaptive_results["rubis/cpuhog"]
+    # And keep the cheap window for fast faults (mostly).
+    assert sorted(fast_windows)[len(fast_windows) // 2] <= 200

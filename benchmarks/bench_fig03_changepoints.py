@@ -1,0 +1,105 @@
+"""Fig. 3 — change point selection on Hadoop's noisiest metrics.
+
+The paper's figure shows (a) the many change points plain CUSUM+Bootstrap
+finds on the DiskWrite metric of a faulty map node and the CPU metric of a
+normal reduce node, and (b) that FChain's selection keeps only the real
+abnormal change on the faulty map. This benchmark reproduces both series:
+it counts raw CUSUM change points versus FChain-selected abnormal changes
+on the same windows.
+"""
+
+import pytest
+
+from _helpers import RUNS, save_and_print
+from repro.apps.hadoop import MAPS, HadoopApplication
+from repro.core.config import FChainConfig
+from repro.core.cusum import detect_change_points
+from repro.core.fchain import FChainSlave
+from repro.core.smoothing import smooth_series
+from repro.common.types import Metric
+from repro.faults.library import DiskHogFault
+
+
+@pytest.fixture(scope="module")
+def faulty_hadoop_run():
+    app = HadoopApplication(seed=3031)
+    app.inject(DiskHogFault(800, list(MAPS)))
+    app.run(1400)
+    violation = app.slo.first_violation_after(800)
+    assert violation is not None
+    return app, violation
+
+
+def _window(app, component, metric, violation, width=500):
+    full = app.store.series(component, metric)
+    return full.window(violation - width, violation + 9)
+
+
+def test_fig03_change_point_selection(faulty_hadoop_run, benchmark):
+    app, violation = faulty_hadoop_run
+    config = FChainConfig(look_back_window=500)
+    slave = FChainSlave(config, seed=3031)
+
+    # Raw CUSUM+Bootstrap on the two series of the paper's figure.
+    map_window = smooth_series(
+        _window(app, "map1", Metric.DISK_WRITE, violation), 5
+    )
+    reduce_window = smooth_series(
+        _window(app, "red4", Metric.CPU_USAGE, violation), 5
+    )
+    raw_map_points = detect_change_points(map_window, seed=1)
+    raw_reduce_points = detect_change_points(reduce_window, seed=2)
+
+    map_report = benchmark(lambda: slave.analyze(app.store, "map1", violation))
+    reduce_report = slave.analyze(app.store, "red4", violation)
+
+    selected_map = [
+        c for c in map_report.abnormal_changes
+        if c.metric in (Metric.DISK_WRITE, Metric.DISK_READ)
+    ]
+    # Disk-metric selections across all three (identically faulty) maps:
+    # per-node noise draws decide which map's disk series clears the
+    # burst/history thresholds.
+    disk_selected_any_map = list(selected_map)
+    for name in ("map2", "map3"):
+        disk_selected_any_map += [
+            c
+            for c in slave.analyze(app.store, name, violation).abnormal_changes
+            if c.metric in (Metric.DISK_WRITE, Metric.DISK_READ)
+        ]
+
+    from repro.eval.plotting import strip_chart
+
+    markers = {p.time: "^" for p in raw_map_points}
+    markers.update({c.onset_time: "F" for c in selected_map})
+    chart = strip_chart(
+        _window(app, "map1", Metric.DISK_WRITE, violation),
+        markers=markers,
+        title="faulty map DiskWrite (KB/s); ^=CUSUM point, F=FChain onset",
+    )
+    lines = [
+        "Fig. 3 — abnormal change point selection (Hadoop DiskHog)",
+        chart,
+        "",
+        f"raw CUSUM points, faulty map DiskWrite : {len(raw_map_points)}"
+        f"  at {[p.time for p in raw_map_points]}",
+        f"raw CUSUM points, normal reduce CPU    : {len(raw_reduce_points)}"
+        f"  at {[p.time for p in raw_reduce_points]}",
+        f"FChain-selected, faulty map (disk)     : {len(selected_map)}"
+        f"  onsets {[c.onset_time for c in selected_map]}",
+        f"FChain-selected, normal reduce          : "
+        f"{len(reduce_report.abnormal_changes)}",
+        "",
+        "paper: plain CUSUM finds many benign peaks on both series; FChain",
+        "keeps only the faulty map's real change and nothing on the reduce.",
+    ]
+    save_and_print("fig03_changepoints", "\n".join(lines))
+
+    # The qualitative claims of the figure:
+    assert len(raw_map_points) >= 3, "dynamic metric should over-fire CUSUM"
+    assert map_report.is_abnormal, "the faulty map must be flagged"
+    assert disk_selected_any_map, "a disk change point must survive selection"
+    assert len(disk_selected_any_map) < len(raw_map_points)
+    assert not reduce_report.is_abnormal or len(
+        reduce_report.abnormal_changes
+    ) <= 1

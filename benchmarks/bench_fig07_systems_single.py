@@ -1,0 +1,59 @@
+"""Fig. 7 — localization accuracy, System S single-component faults.
+
+Regenerates the scheme comparison for MemLeak, CpuHog and Bottleneck on
+the stream-processing application. Expected shape (paper Sec. III-B):
+FChain leads; the Dependency scheme has low precision everywhere because
+black-box discovery extracts nothing from gap-free stream traffic and the
+scheme degenerates to blaming every abnormal component; every scheme's
+precision drops on Bottleneck, whose effects propagate within seconds.
+"""
+
+import pytest
+
+from _helpers import save_roc_svgs, records_for, save_and_print, standard_comparison
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import FChainLocalizer, context_for, dependency_graph_for
+from repro.eval.scenarios import scenario_by_name
+
+FAULTS = ("systems/memleak", "systems/cpuhog", "systems/bottleneck")
+
+
+@pytest.fixture(scope="module")
+def fig07():
+    per_fault = {}
+    sample = None
+    for name in FAULTS:
+        records = records_for(name)
+        per_fault[name.split("/")[1]] = standard_comparison(name, records)
+        sample = sample or (scenario_by_name(name), records[0])
+    return per_fault, sample
+
+
+def test_fig07_systems_single_faults(fig07, benchmark):
+    per_fault, (scenario, record) = fig07
+    context = context_for(scenario, record)
+    benchmark(
+        lambda: FChainLocalizer().localize(
+            record.store, record.violation_time, context
+        )
+    )
+    save_roc_svgs("fig07_systems_single", per_fault)
+    save_and_print(
+        "fig07_systems_single",
+        format_scheme_table(
+            "Fig. 7 — System S single-component faults (P/R per scheme)",
+            per_fault,
+        ),
+    )
+    # Discovery fails on streams: nothing for Dependency to prune with.
+    assert dependency_graph_for("systems").number_of_edges() == 0
+    for fault, results in per_fault.items():
+        # The degenerate Dependency scheme cannot beat FChain's precision.
+        assert (
+            results["FChain"].precision >= results["Dependency"].precision
+        ), fault
+    # FChain wins on the clean single faults...
+    assert per_fault["memleak"]["FChain"].f1 >= 0.65
+    assert per_fault["cpuhog"]["FChain"].f1 >= 0.6
+    # ...while Bottleneck stays hard for everyone (paper Sec. III-B).
+    assert per_fault["bottleneck"]["FChain"].precision <= 0.95

@@ -1,0 +1,57 @@
+"""Fig. 8 — localization accuracy, RUBiS multi-component faults.
+
+Regenerates the scheme comparison for the two real-software-bug scenarios:
+OffloadBug (JBoss JBAS-1442: broken remote lookup keeps offloaded EJBs
+local) and LBBug (mod_jk dispatching all requests to one worker). Both
+application servers manifest concurrently; FChain's concurrency threshold
+captures the pair while single-culprit heuristics miss half of it.
+"""
+
+import pytest
+
+from _helpers import save_roc_svgs, records_for, save_and_print, standard_comparison
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import FChainLocalizer, context_for
+from repro.eval.scenarios import scenario_by_name
+
+FAULTS = ("rubis/offload_bug", "rubis/lb_bug")
+
+
+@pytest.fixture(scope="module")
+def fig08():
+    per_fault = {}
+    sample = None
+    for name in FAULTS:
+        records = records_for(name)
+        per_fault[name.split("/")[1]] = standard_comparison(name, records)
+        sample = sample or (scenario_by_name(name), records[0])
+    return per_fault, sample
+
+
+def test_fig08_rubis_multi_faults(fig08, benchmark):
+    per_fault, (scenario, record) = fig08
+    context = context_for(scenario, record)
+    benchmark(
+        lambda: FChainLocalizer().localize(
+            record.store, record.violation_time, context
+        )
+    )
+    save_roc_svgs("fig08_rubis_multi", per_fault)
+    save_and_print(
+        "fig08_rubis_multi",
+        format_scheme_table(
+            "Fig. 8 — RUBiS multi-component concurrent faults (P/R)",
+            per_fault,
+        ),
+    )
+    for fault, results in per_fault.items():
+        fchain = results["FChain"]
+        assert fchain.precision >= 0.7, fault
+        assert fchain.recall >= 0.6, fault
+        # FChain clearly beats the structural and change-point baselines.
+        for scheme in ("Topology", "Dependency", "PAL", "NetMedic"):
+            assert fchain.f1 >= results[scheme].f1 - 0.05, (fault, scheme)
+        # Histogram (at its oracle threshold) is competitive on these
+        # slowly manifesting bugs — the paper's Sec. III-B observation —
+        # but must not be decisively better.
+        assert fchain.f1 >= results["Histogram"].f1 - 0.20, fault

@@ -1,0 +1,49 @@
+"""Fig. 9 — localization accuracy, System S multi-component faults.
+
+Concurrent MemLeak and concurrent CpuHog in two randomly selected PEs.
+FChain's concurrency threshold must pinpoint both culprits even though no
+dependency information is available for the stream application.
+"""
+
+import pytest
+
+from _helpers import save_roc_svgs, records_for, save_and_print, standard_comparison
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import FChainLocalizer, context_for
+from repro.eval.scenarios import scenario_by_name
+
+FAULTS = ("systems/conc_memleak", "systems/conc_cpuhog")
+
+
+@pytest.fixture(scope="module")
+def fig09():
+    per_fault = {}
+    sample = None
+    for name in FAULTS:
+        records = records_for(name)
+        per_fault[name.split("/")[1]] = standard_comparison(name, records)
+        sample = sample or (scenario_by_name(name), records[0])
+    return per_fault, sample
+
+
+def test_fig09_systems_multi_faults(fig09, benchmark):
+    per_fault, (scenario, record) = fig09
+    context = context_for(scenario, record)
+    benchmark(
+        lambda: FChainLocalizer().localize(
+            record.store, record.violation_time, context
+        )
+    )
+    save_roc_svgs("fig09_systems_multi", per_fault)
+    save_and_print(
+        "fig09_systems_multi",
+        format_scheme_table(
+            "Fig. 9 — System S multi-component concurrent faults (P/R)",
+            per_fault,
+        ),
+    )
+    assert per_fault["conc_memleak"]["FChain"].recall >= 0.6
+    for fault, results in per_fault.items():
+        fchain = results["FChain"]
+        for scheme, pr in results.items():
+            assert fchain.f1 >= pr.f1 - 0.15, (fault, scheme)

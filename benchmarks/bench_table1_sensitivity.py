@@ -1,0 +1,104 @@
+"""Table I — sensitivity to the look-back window and concurrency threshold.
+
+Reproduces the paper's sensitivity study on the same three faults:
+NetHog (RUBiS), CpuHog (System S) and DiskHog (Hadoop), sweeping
+W in {100, 300, 500} seconds and the concurrency threshold in {2, 5, 10}
+seconds. Expected shape: accuracy is stable across settings except for
+the Hadoop DiskHog, which manifests so slowly that W = 100 misses the
+onset and needs W = 500.
+
+The recorded runs are shared across all parameter settings — only the
+analysis is repeated — matching how the study isolates the parameters.
+"""
+
+import dataclasses
+
+import pytest
+
+from _helpers import records_for, save_and_print
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChain
+from repro.eval.metrics import PrecisionRecall
+from repro.eval.report import format_sensitivity_table
+from repro.eval.runner import dependency_graph_for
+from repro.eval.scenarios import scenario_by_name
+
+FAULTS = ("rubis/nethog", "systems/cpuhog", "hadoop/conc_diskhog")
+WINDOWS = (100, 300, 500)
+CONCURRENCY = (2.0, 5.0, 10.0)
+
+
+def _score(records, scenario, config):
+    graph = dependency_graph_for(scenario.app_name)
+    pr = PrecisionRecall()
+    for record in records:
+        fchain = FChain(config, dependency_graph=graph, seed=record.seed)
+        result = fchain.localize(record.store, record.violation_time)
+        pr.update(result.faulty, record.ground_truth)
+    return pr
+
+
+@pytest.fixture(scope="module")
+def table1():
+    rows = []
+    shared = {
+        name: (scenario_by_name(name), records_for(name)) for name in FAULTS
+    }
+    for window in WINDOWS:
+        for name, (scenario, records) in shared.items():
+            config = FChainConfig(look_back_window=window)
+            rows.append((f"W={window}s", name, _score(records, scenario, config)))
+    for threshold in CONCURRENCY:
+        for name, (scenario, records) in shared.items():
+            window = scenario.look_back_window or 100
+            config = FChainConfig(
+                look_back_window=window, concurrency_threshold=threshold
+            )
+            rows.append(
+                (
+                    f"concurrency={threshold:g}s",
+                    name,
+                    _score(records, scenario, config),
+                )
+            )
+    return rows, shared
+
+
+def test_table1_parameter_sensitivity(table1, benchmark):
+    rows, shared = table1
+    scenario, records = shared[FAULTS[0]]
+    graph = dependency_graph_for(scenario.app_name)
+    record = records[0]
+    benchmark(
+        lambda: FChain(
+            FChainConfig(), dependency_graph=graph, seed=record.seed
+        ).localize(record.store, record.violation_time)
+    )
+    text = format_sensitivity_table(rows)
+    text += (
+        "\n\nnote: the paper's one strong sensitivity — DiskHog needing"
+        "\nW=500 — does not reproduce here: this implementation's"
+        "\nselection still finds the (synchronized) tail of the slow"
+        "\nmanifestation inside W=100, and the dependency rule pinpoints"
+        "\nindependent concurrent maps regardless of onset scatter."
+        "\nSee EXPERIMENTS.md for the analysis."
+    )
+    save_and_print("table1_sensitivity", text)
+
+    by_key = {(param, fault): pr for param, fault, pr in rows}
+    # Every setting keeps DiskHog usable (no W collapse either way).
+    for w in WINDOWS:
+        assert by_key[(f"W={w}s", "hadoop/conc_diskhog")].f1 >= 0.4, w
+    # The fast faults degrade at most moderately with larger windows
+    # (more candidates admit more false chain sources).
+    for fault in ("rubis/nethog", "systems/cpuhog"):
+        f1s = [by_key[(f"W={w}s", fault)].f1 for w in WINDOWS]
+        # The default W is at (or within noise of) the optimum.
+        assert f1s[0] >= max(f1s) - 0.08, fault
+        assert max(f1s) - min(f1s) <= 0.55, fault
+    # The concurrency threshold barely matters on these faults.
+    for fault in FAULTS:
+        f1s = [
+            by_key[(f"concurrency={c:g}s", fault)].f1 for c in CONCURRENCY
+        ]
+        assert max(f1s) - min(f1s) <= 0.35, fault

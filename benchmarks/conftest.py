@@ -1,0 +1,11 @@
+"""Benchmark suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each module regenerates one table/figure of the paper; the printed blocks
+are also saved under ``benchmarks/out/``. ``REPRO_RUNS`` controls the
+number of fault-injection runs per fault (default 6; the paper uses
+30-40).
+"""

@@ -1,0 +1,49 @@
+"""A small fault-injection campaign on Hadoop, scored across schemes.
+
+Uses the evaluation harness end-to-end: repeated runs of the Hadoop sort
+benchmark with concurrent infinite-loop bugs in all map tasks (the paper's
+"Concurrent CpuHog"), scored by FChain, PAL and the Dependency baseline on
+the same recorded runs.
+
+Usage::
+
+    python examples/hadoop_campaign.py        # 3 runs (fast demo)
+    REPRO_RUNS=10 python examples/hadoop_campaign.py
+"""
+
+import os
+
+from repro.baselines import DependencyLocalizer, PALLocalizer
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import FChainLocalizer, evaluate_schemes
+from repro.eval.scenarios import scenario_by_name
+
+
+def main() -> None:
+    runs = int(os.environ.get("REPRO_RUNS", "3"))
+    scenario = scenario_by_name("hadoop/conc_cpuhog")
+    print(
+        f"Running {runs} fault-injection runs of {scenario.name} "
+        f"(3 map nodes get an infinite-loop bug at a random time)..."
+    )
+    results = evaluate_schemes(
+        scenario,
+        [FChainLocalizer(), PALLocalizer(), DependencyLocalizer()],
+        n_runs=runs,
+        base_seed="example",
+    )
+    print()
+    print(
+        format_scheme_table(
+            f"{scenario.name}: precision/recall over {runs} runs",
+            {"conc_cpuhog": results},
+        )
+    )
+    print(
+        "\nGround truth is the three map nodes; FChain's concurrency "
+        "threshold captures all three from their near-simultaneous onsets."
+    )
+
+
+if __name__ == "__main__":
+    main()

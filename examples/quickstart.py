@@ -1,0 +1,45 @@
+"""Quickstart: inject a fault into RUBiS and let FChain pinpoint it.
+
+Runs the three-tier RUBiS benchmark on the simulated cloud, injects a CPU
+hog next to the database server, waits for the SLO violation and asks
+FChain for the faulty component.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.apps.rubis import DB, RubisApplication
+from repro.core import FChain, FChainConfig
+from repro.faults.library import CpuHogFault
+
+
+def main() -> None:
+    print("Building RUBiS (web -> app1/app2 -> db) on two simulated hosts...")
+    app = RubisApplication(seed=42, duration=2400)
+
+    inject_at = 1300
+    print(f"Injecting a CpuHog at the database server at t={inject_at}s")
+    app.inject(CpuHogFault(inject_at, DB))
+
+    app.run(1500)
+    violation = app.slo.first_violation_after(inject_at)
+    if violation is None:
+        raise SystemExit("no SLO violation occurred — try another seed")
+    print(
+        f"SLO violated at t={violation}s "
+        f"({violation - inject_at}s after injection)"
+    )
+
+    fchain = FChain(FChainConfig(), seed=42)
+    result = fchain.localize(app.store, violation)
+
+    print("\nAbnormal change propagation chain (component @ onset):")
+    for component, onset in result.chain.links:
+        marker = " <-- pinpointed" if component in result.faulty else ""
+        print(f"  {component:6s} @ t={onset}s{marker}")
+    print(f"\nFChain pinpoints: {sorted(result.faulty)} (truth: ['db'])")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Full RUBiS diagnosis walkthrough: discovery, diagnosis, validation.
+
+Demonstrates the complete FChain workflow on the RUBiS benchmark:
+
+1. *offline* black-box dependency discovery from a profiling packet trace
+   (Sherlock-style flow extraction — run once, stored, reused);
+2. a memory-leak injection at the database: the leak manifests on the DB's
+   memory metric first, then thrashing back-pressures the app/web tiers —
+   the situation where topology-based localization blames the wrong tier;
+3. FChain's diagnosis, including the per-metric abnormal changes;
+4. online pinpointing validation via resource scaling on a forked
+   simulation.
+
+Usage::
+
+    python examples/rubis_fault_diagnosis.py
+"""
+
+from repro.apps.rubis import DB, RubisApplication
+from repro.core import FChain, FChainConfig
+from repro.core.dependency import discover_dependencies
+from repro.faults.library import MemLeakFault
+
+
+def discover() -> "networkx.DiGraph":
+    print("== Offline dependency discovery (profiling run) ==")
+    profiling = RubisApplication(seed=7, duration=240, record_packets=True)
+    profiling.run(240)
+    result = discover_dependencies(profiling.packet_trace)
+    print(f"packets observed : {len(profiling.packet_trace)}")
+    for (src, dst), flows in sorted(result.flow_counts.items()):
+        print(f"  {src:7s} -> {dst:7s} {flows:6d} flows")
+    print(f"discovered edges : {sorted(result.graph.edges)}")
+    return result.graph
+
+
+def main() -> None:
+    graph = discover()
+
+    print("\n== Fault injection run ==")
+    app = RubisApplication(seed=43, duration=2400)
+    inject_at = 1250
+    app.inject(MemLeakFault(inject_at, DB))
+    print(f"MemLeak injected at the database at t={inject_at}s")
+    app.run(1800)
+    violation = app.slo.first_violation_after(inject_at)
+    print(f"SLO violated at t={violation}s (leak -> thrashing takes a while)")
+
+    print("\n== FChain diagnosis ==")
+    fchain = FChain(FChainConfig(), dependency_graph=graph, seed=43)
+    result = fchain.localize(app.store, violation)
+    for component, onset in result.chain.links:
+        report = result.reports[component]
+        metrics = ", ".join(str(m) for m in report.implicated_metrics)
+        marker = "  <-- FAULTY" if component in result.faulty else ""
+        print(f"  {component:6s} onset t={onset}s  metrics: {metrics}{marker}")
+    print(f"pinpointed: {sorted(result.faulty)}")
+
+    print("\n== Online pinpointing validation (forked simulation) ==")
+    validated, outcomes = fchain.master.validate(app, result)
+    for component, outcome in outcomes.items():
+        print(
+            f"  scale {outcome.metric} on {component}: "
+            f"improvement {outcome.improvement:+.2f} -> "
+            f"{'confirmed' if outcome.confirmed else 'false alarm, removed'}"
+        )
+    print(f"validated pinpointing: {sorted(validated.faulty)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Metadata lives in ``pyproject.toml``; this file exists so environments
+without the ``wheel`` package (where PEP 660 editable installs fail with
+``invalid command 'bdist_wheel'``) can still do a development install via
+``python setup.py develop`` — or simply add ``src/`` to ``PYTHONPATH``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""FChain reproduction: black-box online fault localization for clouds.
+
+Reproduces Nguyen, Shen, Tan & Gu, *"FChain: Toward Black-box Online Fault
+Localization for Cloud Systems"* (ICDCS 2013): the FChain system itself
+(:mod:`repro.core`), the simulated IaaS substrate and the three benchmark
+applications it is evaluated on (:mod:`repro.cloud`, :mod:`repro.sim`,
+:mod:`repro.apps`), the fault injection campaigns (:mod:`repro.faults`),
+six comparison baselines (:mod:`repro.baselines`) and the experiment
+harness regenerating every table and figure (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro.apps.rubis import RubisApplication, DB
+    from repro.faults.library import CpuHogFault
+    from repro.core import FChain
+
+    app = RubisApplication(seed=1, duration=2400)
+    app.inject(CpuHogFault(1300, DB))
+    app.run(1400)
+    result = FChain().localize(app.store, app.slo.first_violation_after(1300))
+    print(result.faulty)  # frozenset({'db'})
+"""
+
+from repro.core import FChain, FChainConfig, FChainMaster, FChainSlave, PinpointResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FChain",
+    "FChainConfig",
+    "FChainMaster",
+    "FChainSlave",
+    "PinpointResult",
+    "__version__",
+]

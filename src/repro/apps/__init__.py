@@ -1,0 +1,23 @@
+"""Benchmark applications used in the paper's evaluation.
+
+Three distributed applications run on the simulated cloud substrate:
+
+* :mod:`repro.apps.rubis` — the RUBiS three-tier online auction benchmark
+  (web server, two EJB application servers, database);
+* :mod:`repro.apps.hadoop` — a Hadoop sort job (3 map nodes, 6 reduce
+  nodes) with a job progress score;
+* :mod:`repro.apps.systems` — an IBM System S style stream-processing
+  application with seven processing elements (Fig. 2 topology).
+"""
+
+from repro.apps.base import Application
+from repro.apps.hadoop import HadoopApplication
+from repro.apps.rubis import RubisApplication
+from repro.apps.systems import SystemSApplication
+
+__all__ = [
+    "Application",
+    "HadoopApplication",
+    "RubisApplication",
+    "SystemSApplication",
+]

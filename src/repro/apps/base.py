@@ -1,0 +1,266 @@
+"""Base class for simulated distributed applications.
+
+An :class:`Application` owns the full vertical slice of one deployment:
+components and their queues, the VMs and hosts they run on, the workload,
+the Domain-0 monitor feeding the metric store, the SLO detector, any
+injected faults, and (optionally) a packet trace for dependency discovery.
+It implements :meth:`tick` so a :class:`~repro.sim.engine.SimulationEngine`
+can drive it, and the whole object graph is deep-copyable so the engine can
+fork it for online pinpointing validation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.cloud.host import Host
+from repro.cloud.monitor import DomainZeroMonitor
+from repro.cloud.network import PacketTrace, SyntheticPacketizer
+from repro.cloud.scheduler import schedule_tick
+from repro.cloud.vm import VirtualMachine
+from repro.common.errors import SimulationError
+from repro.common.types import ComponentId, Metric
+from repro.monitoring.slo import SLODetector
+from repro.monitoring.store import MetricStore
+from repro.sim.component import ComponentSpec, QueueComponent
+from repro.workloads.generator import ClientWorkload
+
+
+class Application:
+    """A distributed application deployed on the simulated cloud.
+
+    Subclasses build their topology in ``__init__`` via
+    :meth:`add_component` / :meth:`connect`, then call :meth:`finalize`.
+    They must implement :meth:`_measure_performance` (the SLO signal) and
+    may override :meth:`_dispatch_arrivals` and :meth:`_emit_packets`.
+
+    Attributes:
+        name: Application name.
+        seed: Base seed for every random stream in this run.
+        components: Components keyed by name.
+        vms: Hosting VM per component, same keys.
+        hosts: All hosts of this deployment.
+        topology: Request-flow graph (edge ``A -> B`` means A sends
+            requests/data to B, i.e. A *depends on* B).
+        store: 1 Hz metric samples recorded by the Domain-0 monitor.
+        slo: The application's SLO detector.
+        faults: Injected faults, advanced every tick.
+        packet_trace: Packet trace, populated when ``record_packets``.
+    """
+
+    #: Whether the app's traffic is a continuous stream (no inter-packet
+    #: gaps) — the property that defeats black-box dependency discovery.
+    streaming = False
+
+    def __init__(
+        self, name: str, seed: object = 0, *, record_packets: bool = False
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        self.components: Dict[ComponentId, QueueComponent] = {}
+        self.vms: Dict[ComponentId, VirtualMachine] = {}
+        self.hosts: List[Host] = []
+        self.topology = nx.DiGraph()
+        self.entries: List[Tuple[ComponentId, float]] = []
+        self.store = MetricStore()
+        self.monitor = DomainZeroMonitor(self.store, seed=seed)
+        self.slo: Optional[SLODetector] = None
+        self.workload: Optional[ClientWorkload] = None
+        self.faults: list = []
+        self.packet_trace: Optional[PacketTrace] = None
+        self.packetizer: Optional[SyntheticPacketizer] = None
+        if record_packets:
+            self.packet_trace = PacketTrace()
+            self.packetizer = SyntheticPacketizer(
+                self.packet_trace,
+                streaming=self.streaming,
+                seed_parts=("packets", name, seed),
+            )
+        self._order: List[ComponentId] = []
+        self.time = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def new_host(self, name: str, **kwargs) -> Host:
+        """Create and register a host."""
+        host = Host(name, **kwargs)
+        self.hosts.append(host)
+        return host
+
+    def add_component(
+        self,
+        spec: ComponentSpec,
+        host: Host,
+        *,
+        memory_limit_mb: float = 2048.0,
+        vcpus: float = 1.0,
+    ) -> QueueComponent:
+        """Create a component, its VM, and place the VM on ``host``."""
+        if spec.name in self.components:
+            raise SimulationError(f"duplicate component {spec.name}")
+        component = QueueComponent(spec)
+        vm = VirtualMachine(
+            spec.name, vcpus=vcpus, memory_limit_mb=memory_limit_mb
+        )
+        host.attach(vm)
+        self.components[spec.name] = component
+        self.vms[spec.name] = vm
+        self.topology.add_node(spec.name)
+        self.monitor.register(component, vm, host)
+        return component
+
+    def connect(self, src: ComponentId, dst: ComponentId, weight: float = 1.0) -> None:
+        """Wire ``src -> dst`` in both the queueing layer and the topology."""
+        self.components[src].connect(self.components[dst], weight)
+        self.topology.add_edge(src, dst, weight=weight)
+
+    def add_entry(self, component: ComponentId, weight: float = 1.0) -> None:
+        """Mark a component as receiving external arrivals."""
+        self.entries.append((component, weight))
+
+    def finalize(self) -> None:
+        """Freeze the topology; must be called once construction is done."""
+        if not nx.is_directed_acyclic_graph(self.topology):
+            raise SimulationError("application topology must be a DAG")
+        self._order = list(nx.topological_sort(self.topology))
+
+    # ------------------------------------------------------------------
+    # Tick pipeline
+    # ------------------------------------------------------------------
+    # The tick is split into stages so a multi-tenant deployment
+    # (several applications sharing hosts) can interleave them: all
+    # tenants' demands must be on the table before the shared hosts
+    # schedule (see repro.cloud.tenancy).
+
+    def stage_begin(self, t: int) -> None:
+        """Stage 1: reset per-tick state, advance faults, feed arrivals."""
+        self.time = t
+        for comp in self.components.values():
+            comp.begin_tick()
+        for fault in self.faults:
+            fault.on_tick(self, t)
+        self._dispatch_arrivals(t)
+
+    def stage_process(self, t: int, shares=None) -> None:
+        """Stage 2: schedule resources (unless given) and process queues.
+
+        Sinks first: downstream components drain before upstream ones
+        emit, giving a one-second-per-hop pipeline and letting buffer
+        space propagate back-pressure deterministically.
+        """
+        if shares is None:
+            shares = schedule_tick(self.hosts, self.components, self.vms)
+        cpu, disk, memory = shares
+        for name in reversed(self._order):
+            self.components[name].process(
+                cpu_share=cpu[name],
+                disk_share=disk[name],
+                memory_penalty=memory[name],
+            )
+        self._post_process(t)
+
+    def stage_finish(self, t: int) -> None:
+        """Stage 3: measure performance, evaluate the SLO, sample metrics."""
+        performance = self._measure_performance(t)
+        if self.slo is not None:
+            self.slo.observe(t, performance)
+        self.monitor.sample_all(t)
+        if self.packetizer is not None:
+            self._emit_packets(t)
+
+    def tick(self, t: int) -> None:
+        """Advance the application by one simulated second."""
+        self.stage_begin(t)
+        self.stage_process(t)
+        self.stage_finish(t)
+
+    def run(self, seconds: int) -> None:
+        """Convenience loop: advance ``seconds`` ticks from current time."""
+        for _ in range(seconds):
+            self.tick(self.time)
+            self.time += 1
+
+    # ------------------------------------------------------------------
+    # Hooks
+    # ------------------------------------------------------------------
+    def _dispatch_arrivals(self, t: int) -> None:
+        """Feed external arrivals into entry components (override freely)."""
+        if self.workload is None or not self.entries:
+            return
+        arrivals = self.workload.arrivals(t)
+        total_weight = sum(w for _, w in self.entries)
+        for name, weight in self.entries:
+            self.components[name].enqueue(arrivals * weight / total_weight)
+
+    def _post_process(self, t: int) -> None:
+        """Hook after components processed, before metrics are sampled.
+
+        Applications with out-of-band transfers (e.g. Hadoop's pull-based
+        shuffle) move data here so the traffic is visible to this tick's
+        metric samples.
+        """
+
+    def _measure_performance(self, t: int) -> float:
+        """Return this tick's SLO signal (latency, progress, ...)."""
+        raise NotImplementedError
+
+    def _emit_packets(self, t: int) -> None:
+        """Record packet traffic for dependency discovery (override)."""
+        for src, dst in self.topology.edges:
+            messages = self.components[dst].arrived
+            if messages > 0:
+                self.packetizer.emit(t, src, dst, messages)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def violation_time(self) -> Optional[int]:
+        """Tick of the first SLO violation, if one occurred."""
+        return self.slo.first_violation if self.slo else None
+
+    def inject(self, fault) -> None:
+        """Register a fault; it activates itself based on its start time."""
+        self.faults.append(fault)
+
+    def path_sojourn(self, path: Sequence[ComponentId]) -> float:
+        """Summed sojourn time along a component path plus per-hop network."""
+        total = 0.0
+        for name in path:
+            total += self.components[name].sojourn_time()
+        total += 0.001 * max(0, len(path) - 1)
+        return total
+
+    def component_names(self) -> List[ComponentId]:
+        """All component names in topological order."""
+        return list(self._order)
+
+    # ------------------------------------------------------------------
+    # Online-validation lever
+    # ------------------------------------------------------------------
+    def scale_resource(
+        self, component: ComponentId, metric: Metric, factor: float = 2.0
+    ) -> None:
+        """Scale the resource behind ``metric`` on one component's VM/host.
+
+        This is the dynamic resource-scaling knob FChain's online
+        validation turns (paper Sec. II-A): CPU metrics scale the VM's CPU
+        allocation, memory scales the memory limit, disk scales the host's
+        disk bandwidth, and network scales the VM's CPU (a bigger instance —
+        the network itself is not the modelled constraint).
+        """
+        vm = self.vms[component]
+        if metric in (Metric.MEMORY_USAGE,):
+            vm.scale_memory(factor)
+        elif metric in (Metric.DISK_READ, Metric.DISK_WRITE):
+            vm.host.disk_bw_kbps *= factor
+        else:
+            # CPU and network metrics: grow the instance. The host gains
+            # the added cores too (validation migrates/scales for real on
+            # the paper's testbed; here we model the capacity arriving).
+            added = vm.vcpus * (factor - 1.0)
+            vm.scale_cpu(factor)
+            vm.host.cores += max(0.0, added)

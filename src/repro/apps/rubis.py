@@ -1,0 +1,148 @@
+"""RUBiS: the three-tier online auction benchmark (EJB version).
+
+Topology (paper Fig. 5): a web server load-balances requests over two EJB
+application servers, both backed by one database server. Each component
+runs in its own guest VM; the deployment spans two dual-core hosts. The
+request rate is modulated by a NASA-web-trace-like workload, and the SLO is
+an average response time below 100 ms.
+
+This is the application where the *back-pressure* effect matters most: a
+fault injected at the database (the last tier) drives queues in the
+application and web tiers, so upstream components manifest abnormal
+behaviour even though they are healthy — which is what defeats the
+Topology/Dependency baselines in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.monitoring.slo import LatencySLO
+from repro.sim.component import ComponentSpec
+from repro.workloads.generator import ClientWorkload
+from repro.workloads.traces import nasa_like
+
+#: Component names, also used by the fault library.
+WEB, APP1, APP2, DB = "web", "app1", "app2", "db"
+
+
+class RubisApplication(Application):
+    """The simulated RUBiS deployment.
+
+    Args:
+        seed: Base seed controlling the workload trace, queueing noise and
+            measurement noise of this run.
+        duration: Length of the workload trace to pre-generate (seconds).
+        base_rate: Mean client request rate (requests/s).
+        record_packets: Record a packet trace for dependency discovery.
+    """
+
+    #: Response-time SLO threshold in seconds (paper: 100 ms).
+    SLO_THRESHOLD = 0.100
+
+    def __init__(
+        self,
+        seed: object = 0,
+        *,
+        duration: int = 3600,
+        base_rate: float = 60.0,
+        record_packets: bool = False,
+    ) -> None:
+        super().__init__("rubis", seed, record_packets=record_packets)
+        host1 = self.new_host("rubis-host1", cores=2.0)
+        host2 = self.new_host("rubis-host2", cores=2.0)
+
+        self.add_component(
+            ComponentSpec(
+                WEB,
+                capacity=260.0,
+                service_time=0.002,
+                buffer_limit=200.0,
+                kb_in_per_item=3.0,
+                kb_out_per_item=12.0,
+                base_memory_mb=350.0,
+                memory_per_item_mb=0.15,
+            ),
+            host1,
+            memory_limit_mb=1536.0,
+        )
+        app_spec = dict(
+            capacity=85.0,
+            service_time=0.010,
+            buffer_limit=120.0,
+            kb_in_per_item=4.0,
+            kb_out_per_item=5.0,
+            base_memory_mb=500.0,
+            memory_per_item_mb=0.4,
+        )
+        self.add_component(
+            ComponentSpec(APP1, **app_spec), host1, memory_limit_mb=2048.0
+        )
+        self.add_component(
+            ComponentSpec(APP2, **app_spec), host2, memory_limit_mb=2048.0
+        )
+        self.add_component(
+            ComponentSpec(
+                DB,
+                capacity=200.0,
+                service_time=0.008,
+                buffer_limit=100.0,
+                kb_in_per_item=2.0,
+                kb_out_per_item=6.0,
+                disk_read_kb_per_item=10.0,
+                disk_write_kb_per_item=5.0,
+                base_memory_mb=420.0,
+                memory_per_item_mb=0.3,
+            ),
+            host2,
+            memory_limit_mb=1536.0,
+        )
+
+        self.connect(WEB, APP1, weight=0.5)
+        self.connect(WEB, APP2, weight=0.5)
+        self.connect(APP1, DB)
+        self.connect(APP2, DB)
+        self.add_entry(WEB)
+        self.workload = ClientWorkload(
+            nasa_like(duration, seed=seed, base_rate=base_rate),
+            seed=("rubis", seed),
+        )
+        self.slo = LatencySLO(self.SLO_THRESHOLD, sustain=10)
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    def _measure_performance(self, t: int) -> float:
+        """Average end-to-end response time of this tick's requests.
+
+        A request traverses web -> (app1 | app2, per the current routing
+        weights) -> db; its response time is the sum of per-tier sojourn
+        times plus a small fixed network delay.
+        """
+        web = self.components[WEB]
+        db = self.components[DB]
+        app_sojourn = 0.0
+        for downstream, fraction in web.routing():
+            if fraction > 0:
+                app_sojourn += fraction * downstream.sojourn_time()
+        response = (
+            web.sojourn_time() + app_sojourn + db.sojourn_time() + 0.003
+        )
+        return response
+
+    def _emit_packets(self, t: int) -> None:
+        """Correlated per-request flows client -> web -> app_i -> db."""
+        arrivals = self.components[WEB].arrived
+        for app_name in (APP1, APP2):
+            fraction = dict(
+                (c.name, f) for c, f in self.components[WEB].routing()
+            ).get(app_name, 0.0)
+            if fraction <= 0:
+                continue
+            self.packetizer.emit_path(
+                t,
+                [("client", WEB), (WEB, app_name), (app_name, DB)],
+                arrivals * fraction,
+            )

@@ -1,0 +1,129 @@
+"""IBM System S: a seven-PE data stream processing application.
+
+Models the tax-calculation sample application from the paper (Fig. 2):
+seven processing elements (PEs), each in its own guest VM, connected in a
+DAG and processing a continuous tuple stream whose arrival rate is
+modulated by a ClarkNet-like trace. The SLO is an average per-tuple
+processing time below 20 ms.
+
+Two properties of this application drive the paper's findings:
+
+* tuple buffers are small and throughput is high, so faults propagate
+  between PEs within seconds (both downstream and, via back-pressure,
+  upstream — Fig. 2's PE3 -> PE6 -> PE2 example);
+* traffic is a gap-free continuous stream, so black-box network-trace
+  dependency discovery extracts no flows and the Dependency baseline
+  degenerates to "blame every abnormal component".
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.apps.base import Application
+from repro.monitoring.slo import LatencySLO
+from repro.sim.component import ComponentSpec
+from repro.workloads.generator import ClientWorkload
+from repro.workloads.traces import clarknet_like
+
+#: PE names in topological order.
+PES = tuple(f"PE{i}" for i in range(1, 8))
+
+#: Stream graph edges (data-flow direction). PE3 -> PE6 provides the
+#: downstream propagation of Fig. 2 and PE2 -> PE6 makes PE2 an upstream
+#: neighbour of PE6 that back-pressure can reach.
+EDGES: Tuple[Tuple[str, str], ...] = (
+    ("PE1", "PE2"),
+    ("PE1", "PE3"),
+    ("PE2", "PE4"),
+    ("PE2", "PE6"),
+    ("PE3", "PE6"),
+    ("PE4", "PE5"),
+    ("PE5", "PE7"),
+    ("PE6", "PE7"),
+)
+
+
+class SystemSApplication(Application):
+    """The simulated System S deployment.
+
+    Args:
+        seed: Base seed for workload, queueing and measurement noise.
+        duration: Length of the pre-generated arrival trace (seconds).
+        base_rate: Mean tuple arrival rate at the source PE (tuples/s).
+        record_packets: Record a (gap-free) packet trace.
+    """
+
+    #: Per-tuple processing time SLO threshold in seconds (paper: 20 ms).
+    SLO_THRESHOLD = 0.020
+
+    streaming = True
+
+    def __init__(
+        self,
+        seed: object = 0,
+        *,
+        duration: int = 3600,
+        base_rate: float = 80.0,
+        record_packets: bool = False,
+    ) -> None:
+        super().__init__("systems", seed, record_packets=record_packets)
+        hosts = [self.new_host(f"systems-host{i}", cores=2.0) for i in (1, 2, 3, 4)]
+        placements = {
+            "PE1": hosts[0],
+            "PE2": hosts[0],
+            "PE3": hosts[1],
+            "PE4": hosts[1],
+            "PE5": hosts[2],
+            "PE6": hosts[2],
+            "PE7": hosts[3],
+        }
+        capacities = {
+            "PE1": 300.0,
+            "PE2": 180.0,
+            "PE3": 170.0,
+            "PE4": 160.0,
+            "PE5": 160.0,
+            "PE6": 190.0,
+            "PE7": 220.0,
+        }
+        for name in PES:
+            self.add_component(
+                ComponentSpec(
+                    name,
+                    capacity=capacities[name],
+                    service_time=0.002,
+                    buffer_limit=220.0,
+                    kb_in_per_item=2.0,
+                    kb_out_per_item=2.0,
+                    base_memory_mb=260.0,
+                    memory_per_item_mb=0.5,
+                ),
+                placements[name],
+                memory_limit_mb=1280.0,
+            )
+        for src, dst in EDGES:
+            self.connect(src, dst)
+        self.add_entry("PE1")
+        self.workload = ClientWorkload(
+            clarknet_like(duration, seed=seed, base_rate=base_rate),
+            seed=("systems", seed),
+        )
+        self.slo = LatencySLO(self.SLO_THRESHOLD, sustain=8)
+        self.finalize()
+        # Cache the root-to-sink paths used for the latency estimate.
+        self._paths: List[List[str]] = [
+            list(p) for p in nx.all_simple_paths(self.topology, "PE1", "PE7")
+        ]
+
+    # ------------------------------------------------------------------
+    def _measure_performance(self, t: int) -> float:
+        """Average per-tuple processing time: the worst root-to-sink path.
+
+        A tuple's processing time is dominated by the slowest pipeline it
+        traverses, so the SLO signal is the maximum over all PE1 -> PE7
+        paths of the summed per-PE sojourn times.
+        """
+        return max(self.path_sojourn(path) for path in self._paths)

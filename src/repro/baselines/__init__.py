@@ -1,0 +1,38 @@
+"""Baseline fault localization schemes the paper compares against.
+
+Each scheme implements the :class:`~repro.baselines.base.Localizer`
+interface so the evaluation harness can run all of them over the same
+recorded runs:
+
+* :mod:`repro.baselines.histogram` — KL-divergence anomaly scores
+  (Oliner et al., paper ref. [10]);
+* :mod:`repro.baselines.netmedic` — state-similarity impact estimation
+  with the 0.8 default for unseen states (Kandula et al., ref. [9]);
+* :mod:`repro.baselines.topology` — PAL outlier detection + known
+  application topology;
+* :mod:`repro.baselines.dependency_only` — PAL outlier detection +
+  black-box discovered dependencies;
+* :mod:`repro.baselines.pal` — the authors' earlier propagation-based
+  localizer (ref. [13]);
+* :mod:`repro.baselines.fixed_filtering` — FChain with a fixed
+  prediction-error filtering threshold instead of the burst-based one.
+"""
+
+from repro.baselines.base import LocalizationContext, Localizer
+from repro.baselines.dependency_only import DependencyLocalizer
+from repro.baselines.fixed_filtering import FixedFilteringLocalizer
+from repro.baselines.histogram import HistogramLocalizer
+from repro.baselines.netmedic import NetMedicLocalizer
+from repro.baselines.pal import PALLocalizer
+from repro.baselines.topology import TopologyLocalizer
+
+__all__ = [
+    "DependencyLocalizer",
+    "FixedFilteringLocalizer",
+    "HistogramLocalizer",
+    "LocalizationContext",
+    "Localizer",
+    "NetMedicLocalizer",
+    "PALLocalizer",
+    "TopologyLocalizer",
+]

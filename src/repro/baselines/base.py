@@ -1,0 +1,71 @@
+"""Common interface for fault localization schemes.
+
+The evaluation harness records each application run once and replays the
+same metric store through every scheme, so results are directly
+comparable. Schemes receive a :class:`LocalizationContext` carrying the
+side information the paper grants them: the Topology and NetMedic schemes
+*assume* knowledge of the application topology, the Dependency scheme gets
+the black-box discovered graph, and FChain-family schemes get the FChain
+configuration.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional
+
+import networkx as nx
+
+from repro.common.types import ComponentId
+from repro.core.config import FChainConfig
+from repro.monitoring.store import MetricStore
+
+
+@dataclass
+class LocalizationContext:
+    """Side information available to a localization scheme.
+
+    Attributes:
+        config: FChain configuration (look-back window etc.; shared so
+            every scheme examines the same amount of data).
+        topology: Ground-truth application topology in request/data-flow
+            direction (granted to Topology and NetMedic, which assume it).
+        dependency_graph: Black-box discovered dependency graph (granted
+            to Dependency and FChain); may be empty or None when discovery
+            failed, as it does for stream processing.
+        slo_component: The component at which the SLO is observed (the
+            front tier / sink); NetMedic ranks causes of this component.
+        seed: Deterministic seed label for stochastic steps.
+    """
+
+    config: FChainConfig = field(default_factory=FChainConfig)
+    topology: Optional[nx.DiGraph] = None
+    dependency_graph: Optional[nx.DiGraph] = None
+    slo_component: Optional[ComponentId] = None
+    seed: object = 0
+
+
+class Localizer(abc.ABC):
+    """A black-box fault localization scheme."""
+
+    #: Short scheme name used in reports.
+    name: str = "localizer"
+
+    @abc.abstractmethod
+    def localize(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        """Pinpoint faulty components for a violation at ``violation_time``.
+
+        Args:
+            store: Recorded metric samples of the run.
+            violation_time: ``t_v`` — when the SLO violation was detected.
+            context: Side information for this application.
+
+        Returns:
+            The set of pinpointed components (possibly empty).
+        """

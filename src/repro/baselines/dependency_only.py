@@ -1,0 +1,47 @@
+"""Dependency baseline: black-box discovered dependencies + PAL detection.
+
+Identical pinpointing rule to the Topology scheme, but instead of assuming
+the application topology it uses the graph produced by black-box
+dependency discovery. When discovery found nothing — as it does for the
+gap-free traffic of stream processing systems — the scheme degrades to
+"output every component with outlier change points as faulty" (paper
+Sec. III-A), which is why its precision collapses on System S.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+from repro.baselines.base import LocalizationContext, Localizer
+from repro.baselines.pal import pal_component_report
+from repro.baselines.topology import most_upstream_abnormal
+from repro.common.types import ComponentId
+from repro.monitoring.store import MetricStore
+
+
+class DependencyLocalizer(Localizer):
+    """Pinpoint via discovered dependencies; all-abnormal when none found."""
+
+    name = "Dependency"
+
+    def localize(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        abnormal = frozenset(
+            component
+            for component in store.components
+            if pal_component_report(
+                store, component, violation_time, context.config, context.seed
+            ).is_abnormal
+        )
+        if not abnormal:
+            return frozenset()
+        graph = context.dependency_graph
+        if graph is None or graph.number_of_edges() == 0:
+            # Discovery failed (stream processing): no way to tell
+            # propagation from origin — blame everything abnormal.
+            return abnormal
+        return most_upstream_abnormal(abnormal, graph)

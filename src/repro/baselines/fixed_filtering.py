@@ -1,0 +1,138 @@
+"""Fixed-Filtering baseline: FChain with a fixed prediction-error threshold.
+
+Identical pipeline to FChain except for the abnormal change point
+selection criterion: instead of the burstiness-derived dynamic expected
+error, a *fixed* filtering threshold is applied to the prediction error.
+Because the six metrics live on wildly different scales (percent, MB,
+KB/s), the fixed threshold is expressed relative to each metric's mean
+history level — the most charitable fixed scheme — and is swept to show
+the sensitivity trade-off of the paper's Fig. 12.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+import numpy as np
+
+from repro.baselines.base import LocalizationContext, Localizer
+from repro.common.types import ComponentId
+from repro.core.config import FChainConfig
+from repro.core.cusum import detect_change_points
+from repro.core.outliers import outlier_change_points
+from repro.core.pinpoint import pinpoint_faulty_components
+from repro.core.prediction import prediction_errors
+from repro.core.propagation import ComponentReport
+from repro.core.selection import (
+    AbnormalChange,
+    actual_prediction_error,
+    censored_onset,
+    reference_change_magnitudes,
+    rollback_onset,
+    shift_persists,
+)
+from repro.core.smoothing import smooth_series
+from repro.monitoring.store import MetricStore
+
+
+class FixedFilteringLocalizer(Localizer):
+    """FChain's pinpointing with a fixed prediction-error threshold.
+
+    Args:
+        threshold: Relative filtering threshold: a change point is
+            abnormal when its prediction error exceeds ``threshold *``
+            the metric's mean absolute history level. Swept in Fig. 12.
+    """
+
+    name = "Fixed-Filtering"
+
+    def __init__(self, threshold: float = 0.3) -> None:
+        self.threshold = threshold
+
+    def _component_report(
+        self,
+        store: MetricStore,
+        component: ComponentId,
+        violation_time: int,
+        config: FChainConfig,
+        seed: object,
+    ) -> ComponentReport:
+        window_start = violation_time - config.look_back_window
+        window_end = violation_time + config.analysis_grace + 1
+        changes: List[AbnormalChange] = []
+        for metric in store.metrics_for(component):
+            full = store.series(component, metric).window(
+                store.start, window_end
+            )
+            if len(full) < 2 * config.min_segment:
+                continue
+            raw = full.window(window_start, window_end)
+            if len(raw) < 2 * config.min_segment:
+                continue
+            history = full.window(full.start, raw.start)
+            errors = prediction_errors(
+                full,
+                bins=config.markov_bins,
+                halflife=config.markov_halflife,
+                signed=True,
+            )[raw.start - full.start :]
+            smoothed = smooth_series(raw, config.smoothing_window)
+            points = detect_change_points(
+                smoothed,
+                bootstraps=config.cusum_bootstraps,
+                confidence=config.cusum_confidence,
+                min_segment=config.min_segment,
+                seed=(seed, component, str(metric)),
+            )
+            outliers = outlier_change_points(
+                points,
+                reference_change_magnitudes(history),
+                smoothed,
+                zscore=config.outlier_zscore,
+            )
+            level = float(np.mean(np.abs(history.values))) if len(history) else 0.0
+            fixed_threshold = self.threshold * max(level, 1e-9)
+            for point in outliers:
+                actual = actual_prediction_error(
+                    errors, raw, point.time, direction=point.direction
+                )
+                if actual <= fixed_threshold:
+                    continue
+                if not shift_persists(
+                    raw.values, point.time - raw.start, point.magnitude
+                ):
+                    continue
+                onset = rollback_onset(
+                    smoothed, points, point, tolerance=config.tangent_tolerance
+                )
+                onset = censored_onset(
+                    raw, onset, point.direction, point.magnitude
+                )
+                changes.append(
+                    AbnormalChange(
+                        metric=metric,
+                        change_point=point,
+                        onset_time=onset,
+                        prediction_error=actual,
+                        expected_error=fixed_threshold,
+                        direction=point.direction,
+                    )
+                )
+        return ComponentReport(component=component, abnormal_changes=changes)
+
+    def localize(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        reports = [
+            self._component_report(
+                store, component, violation_time, context.config, context.seed
+            )
+            for component in store.components
+        ]
+        result = pinpoint_faulty_components(
+            reports, context.config, context.dependency_graph
+        )
+        return result.faulty

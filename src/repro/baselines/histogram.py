@@ -1,0 +1,103 @@
+"""Histogram baseline: KL-divergence anomaly scores (paper ref. [10]).
+
+For every metric the scheme compares the histogram of the most recent data
+(the same look-back window FChain uses) against the histogram of the whole
+recorded history via Kullback–Leibler divergence; a component's anomaly
+score is its largest per-metric divergence, and components scoring above a
+threshold are pinpointed. Sweeping the threshold yields the ROC trade-off
+shown in the paper's figures.
+
+The scheme's characteristic weakness (Sec. III-B): a fault that manifests
+*quickly* leaves too few samples in the recent window to shift its
+histogram by detection time, so CpuHog/NetHog-style faults are missed,
+while gradually manifesting faults (memory leaks) are caught.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.baselines.base import LocalizationContext, Localizer
+from repro.common.types import ComponentId
+from repro.monitoring.store import MetricStore
+
+
+def kl_divergence(
+    recent: np.ndarray, reference: np.ndarray, bins: int = 20
+) -> float:
+    """KL divergence between the histograms of two samples.
+
+    Histograms share a bin grid spanning both samples; both are Laplace
+    smoothed so the divergence is finite.
+
+    Args:
+        recent: Samples from the look-back window.
+        reference: Samples from the whole history.
+        bins: Number of histogram bins.
+
+    Returns:
+        ``KL(recent || reference)`` in nats (>= 0).
+    """
+    if len(recent) == 0 or len(reference) == 0:
+        return 0.0
+    lo = min(float(recent.min()), float(reference.min()))
+    hi = max(float(recent.max()), float(reference.max()))
+    if hi <= lo:
+        return 0.0
+    edges = np.linspace(lo, hi, bins + 1)
+    p, _ = np.histogram(recent, bins=edges)
+    q, _ = np.histogram(reference, bins=edges)
+    p = (p + 1.0) / (p.sum() + bins)
+    q = (q + 1.0) / (q.sum() + bins)
+    return float(np.sum(p * np.log(p / q)))
+
+
+class HistogramLocalizer(Localizer):
+    """Pinpoint components whose recent-vs-history KL score is high.
+
+    Args:
+        threshold: Anomaly-score threshold (swept for the ROC curve).
+        bins: Histogram resolution.
+    """
+
+    name = "Histogram"
+
+    def __init__(self, threshold: float = 0.8, bins: int = 20) -> None:
+        self.threshold = threshold
+        self.bins = bins
+
+    def score(
+        self,
+        store: MetricStore,
+        component: ComponentId,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> float:
+        """Anomaly score: max KL divergence across the six metrics."""
+        window_start = violation_time - context.config.look_back_window
+        window_end = violation_time + context.config.analysis_grace + 1
+        best = 0.0
+        for metric in store.metrics_for(component):
+            full = store.series(component, metric).window(
+                store.start, window_end
+            )
+            recent = full.window(window_start, window_end)
+            best = max(
+                best, kl_divergence(recent.values, full.values, self.bins)
+            )
+        return best
+
+    def localize(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        return frozenset(
+            component
+            for component in store.components
+            if self.score(store, component, violation_time, context)
+            > self.threshold
+        )

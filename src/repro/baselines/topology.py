@@ -1,0 +1,66 @@
+"""Topology baseline: known application topology + PAL outlier detection.
+
+The scheme first detects abnormal components with PAL's outlier change
+point detection, then pinpoints using the application topology (which it
+*assumes* to know): if abnormal component C2 receives its input from
+abnormal component C1 (C2's data depends on C1's output), C1 is blamed —
+i.e. the most-upstream abnormal components in data-flow order are
+pinpointed.
+
+This is exactly what the back-pressure effect defeats (paper Sec. III-B):
+a fault at the *last* tier stalls its upstream callers, the first tier
+turns abnormal too, and the scheme blames the head of the pipeline.
+Conversely it works well when faults sit at the first components (NetHog
+at the web tier, Hadoop's map-side faults).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+import networkx as nx
+
+from repro.baselines.base import LocalizationContext, Localizer
+from repro.baselines.pal import pal_component_report
+from repro.common.types import ComponentId
+from repro.monitoring.store import MetricStore
+
+
+def most_upstream_abnormal(
+    abnormal: FrozenSet[ComponentId], graph: nx.DiGraph
+) -> FrozenSet[ComponentId]:
+    """Abnormal components with no abnormal ancestor in data-flow order."""
+    pinpointed = set()
+    for component in abnormal:
+        if component not in graph:
+            pinpointed.add(component)
+            continue
+        ancestors = nx.ancestors(graph, component)
+        if not (ancestors & abnormal):
+            pinpointed.add(component)
+    return frozenset(pinpointed)
+
+
+class TopologyLocalizer(Localizer):
+    """Pinpoint the most-upstream abnormal components in the topology."""
+
+    name = "Topology"
+
+    def localize(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        if context.topology is None:
+            raise ValueError("Topology scheme requires the application topology")
+        abnormal = frozenset(
+            component
+            for component in store.components
+            if pal_component_report(
+                store, component, violation_time, context.config, context.seed
+            ).is_abnormal
+        )
+        if not abnormal:
+            return frozenset()
+        return most_upstream_abnormal(abnormal, context.topology)

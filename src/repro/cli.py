@@ -1,0 +1,170 @@
+"""Command-line interface: run scenarios and print scheme comparisons.
+
+Examples::
+
+    python -m repro list
+    python -m repro run rubis/cpuhog --runs 5
+    python -m repro run systems/bottleneck --runs 5 --schemes FChain,PAL
+    python -m repro demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.baselines import (
+    DependencyLocalizer,
+    FixedFilteringLocalizer,
+    HistogramLocalizer,
+    NetMedicLocalizer,
+    PALLocalizer,
+    TopologyLocalizer,
+)
+from repro.baselines.base import Localizer
+from repro.eval.report import format_scheme_table
+from repro.eval.runner import (
+    FChainLocalizer,
+    FChainValidatedLocalizer,
+    evaluate_schemes,
+)
+from repro.eval.scenarios import all_scenarios, scenario_by_name
+
+#: Factory for every scheme selectable from the command line.
+SCHEMES: Dict[str, callable] = {
+    "FChain": FChainLocalizer,
+    "FChain+VAL": FChainValidatedLocalizer,
+    "Histogram": HistogramLocalizer,
+    "NetMedic": NetMedicLocalizer,
+    "Topology": TopologyLocalizer,
+    "Dependency": DependencyLocalizer,
+    "PAL": PALLocalizer,
+    "Fixed-Filtering": FixedFilteringLocalizer,
+}
+
+
+def _build_schemes(names: str) -> List[Localizer]:
+    schemes = []
+    for name in names.split(","):
+        name = name.strip()
+        if name not in SCHEMES:
+            raise SystemExit(
+                f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+            )
+        schemes.append(SCHEMES[name]())
+    return schemes
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    print("Available fault scenarios:")
+    for scenario in all_scenarios():
+        window = scenario.look_back_window or 100
+        print(f"  {scenario.name:26s} (W={window}s)")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = scenario_by_name(args.scenario)
+    schemes = _build_schemes(args.schemes)
+    print(
+        f"Running {args.runs} fault-injection runs of {scenario.name} "
+        f"with schemes: {[s.name for s in schemes]}"
+    )
+    results = evaluate_schemes(
+        scenario, schemes, n_runs=args.runs, base_seed=args.seed
+    )
+    print()
+    print(
+        format_scheme_table(
+            f"{scenario.name} over {args.runs} runs",
+            {scenario.name.split("/")[1]: results},
+        )
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Diagnose recorded metrics from a CSV file."""
+    from repro.core import FChain, FChainConfig
+    from repro.core.dependency import load_graph
+    from repro.monitoring.io import load_store_csv
+
+    store = load_store_csv(args.metrics)
+    graph = load_graph(args.graph) if args.graph else None
+    config = FChainConfig()
+    if args.window:
+        config = config.with_window(args.window)
+    fchain = FChain(config, dependency_graph=graph)
+    result = fchain.localize(store, args.violation)
+    print(result.summary())
+    return 0
+
+
+def cmd_demo(_: argparse.Namespace) -> int:
+    from repro.apps.rubis import DB, RubisApplication
+    from repro.core import FChain
+    from repro.faults.library import CpuHogFault
+
+    app = RubisApplication(seed=42, duration=2400)
+    app.inject(CpuHogFault(1300, DB))
+    app.run(1500)
+    violation = app.slo.first_violation_after(1300)
+    result = FChain(seed=42).localize(app.store, violation)
+    print(f"SLO violated at t={violation}s; FChain pinpoints "
+          f"{sorted(result.faulty)} (truth: ['db'])")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FChain reproduction: run fault scenarios and compare "
+        "localization schemes.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list fault scenarios").set_defaults(
+        func=cmd_list
+    )
+
+    run = sub.add_parser("run", help="run one scenario across schemes")
+    run.add_argument("scenario", help="scenario name, e.g. rubis/cpuhog")
+    run.add_argument("--runs", type=int, default=5)
+    run.add_argument("--seed", default="cli")
+    run.add_argument(
+        "--schemes",
+        default="FChain,Histogram,NetMedic,Topology,Dependency,PAL",
+        help="comma-separated scheme names",
+    )
+    run.set_defaults(func=cmd_run)
+
+    analyze = sub.add_parser(
+        "analyze", help="diagnose recorded metrics from a CSV file"
+    )
+    analyze.add_argument(
+        "metrics", help="long-format CSV: time,component,metric,value"
+    )
+    analyze.add_argument(
+        "--violation", type=int, required=True,
+        help="SLO violation time t_v (seconds)",
+    )
+    analyze.add_argument(
+        "--graph", default=None,
+        help="dependency graph JSON (from repro.core.dependency.save_graph)",
+    )
+    analyze.add_argument(
+        "--window", type=int, default=None, help="look-back window W override"
+    )
+    analyze.set_defaults(func=cmd_analyze)
+
+    sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
+        func=cmd_demo
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

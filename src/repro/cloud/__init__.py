@@ -1,0 +1,23 @@
+"""IaaS cloud substrate: hosts, guest VMs, contention, and packet traces.
+
+Stands in for the paper's Xen/VCL testbed. Hosts apportion CPU and disk
+bandwidth among their guest VMs each tick (two-level scheduling: host-level
+shares, then in-VM competition with injected hog processes), and the network
+layer records packet traces that feed black-box dependency discovery.
+"""
+
+from repro.cloud.host import Host
+from repro.cloud.monitor import DomainZeroMonitor
+from repro.cloud.network import PacketEvent, PacketTrace, SyntheticPacketizer
+from repro.cloud.tenancy import SharedDeployment
+from repro.cloud.vm import VirtualMachine
+
+__all__ = [
+    "DomainZeroMonitor",
+    "Host",
+    "PacketEvent",
+    "PacketTrace",
+    "SharedDeployment",
+    "SyntheticPacketizer",
+    "VirtualMachine",
+]

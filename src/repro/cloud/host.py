@@ -1,0 +1,91 @@
+"""Physical host model: CPU and disk bandwidth shared by guest VMs.
+
+Mirrors the paper's testbed nodes (dual-core Xeon hosts running several
+guest VMs). The host runs a simple work-conserving proportional-share
+scheduler each tick. Domain-0 interference (the DiskHog fault starts a disk
+intensive program in Domain-0) contends for disk bandwidth with priority,
+which is what makes the fault manifest slowly in the guests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cloud.vm import VirtualMachine
+from repro.common.errors import SimulationError
+
+
+class Host:
+    """One physical machine with fixed CPU cores and disk bandwidth.
+
+    Attributes:
+        name: Host identifier.
+        cores: CPU cores available to guest VMs.
+        disk_bw_kbps: Aggregate disk bandwidth (KB/s) shared by guests.
+        dom0_disk_kbps: Disk bandwidth currently consumed in Domain-0
+            (injected by the DiskHog fault); served before guest traffic.
+    """
+
+    def __init__(
+        self, name: str, *, cores: float = 2.0, disk_bw_kbps: float = 60000.0
+    ) -> None:
+        if cores <= 0 or disk_bw_kbps <= 0:
+            raise SimulationError("host resources must be positive")
+        self.name = name
+        self.cores = cores
+        self.disk_bw_kbps = disk_bw_kbps
+        self.dom0_disk_kbps = 0.0
+        self.vms: List[VirtualMachine] = []
+
+    def attach(self, vm: VirtualMachine) -> None:
+        """Place a guest VM on this host."""
+        if vm.host is not None:
+            raise SimulationError(f"VM {vm.name} already placed")
+        vm.host = self
+        self.vms.append(vm)
+
+    # ------------------------------------------------------------------
+    # CPU scheduling
+    # ------------------------------------------------------------------
+    def allocate_cpu(self, demands: Dict[str, float]) -> None:
+        """Grant CPU to each VM given per-component demands in cores.
+
+        Args:
+            demands: Hosted-component CPU demand in core units, keyed by VM
+                name. VMs not listed demand only their injected hog load.
+
+        The grant is proportional when the host is oversubscribed and is
+        written back to each VM's ``granted_cpu`` (in core units).
+        """
+        requests = []
+        for vm in self.vms:
+            demand = demands.get(vm.name, 0.0)
+            requests.append(vm.cpu_request(demand))
+        total = sum(requests)
+        scale = 1.0 if total <= self.cores or total == 0 else self.cores / total
+        for vm, request in zip(self.vms, requests):
+            vm.granted_cpu = request * scale
+
+    # ------------------------------------------------------------------
+    # Disk scheduling
+    # ------------------------------------------------------------------
+    def allocate_disk(self, demands: Dict[str, float]) -> Dict[str, float]:
+        """Apportion disk bandwidth among guests after Domain-0 traffic.
+
+        Args:
+            demands: Desired disk throughput (KB/s) keyed by VM name.
+
+        Returns:
+            Per-VM disk *share* in ``(0, 1]`` — the fraction of its demand
+            each VM can actually sustain this tick. Domain-0 traffic (the
+            DiskHog) is served first, shrinking what guests can get.
+        """
+        available = max(0.0, self.disk_bw_kbps - self.dom0_disk_kbps)
+        total = sum(demands.values())
+        if total <= available or total == 0:
+            return {name: 1.0 for name in demands}
+        fraction = available / total
+        return {name: max(1e-3, fraction) for name in demands}
+
+    def __repr__(self) -> str:
+        return f"Host({self.name!r}, vms={[vm.name for vm in self.vms]})"

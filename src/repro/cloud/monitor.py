@@ -1,0 +1,58 @@
+"""Domain-0 style black-box monitor.
+
+The paper's FChain slave samples each guest VM from Domain-0 via
+libxenstat/libvirt — never touching the application. This monitor is the
+simulation analog: once per tick it reads each component's VM-visible state
+through a :class:`~repro.sim.metrics.MetricSynthesizer` and appends the six
+metric samples to a :class:`~repro.monitoring.store.MetricStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.cloud.host import Host
+from repro.cloud.vm import VirtualMachine
+from repro.monitoring.store import MetricStore
+from repro.sim.component import QueueComponent
+from repro.sim.metrics import MetricSynthesizer
+
+
+class DomainZeroMonitor:
+    """Samples every registered VM once per tick into a metric store.
+
+    Args:
+        store: Destination metric store.
+        seed: Base seed label, so independent runs produce independent
+            measurement noise.
+    """
+
+    def __init__(self, store: MetricStore, seed: object = 0) -> None:
+        self.store = store
+        self.seed = seed
+        self._targets: Dict[str, Tuple[QueueComponent, VirtualMachine, Host]] = {}
+        self._synths: Dict[str, MetricSynthesizer] = {}
+
+    def register(
+        self,
+        component: QueueComponent,
+        vm: VirtualMachine,
+        host: Host,
+        synthesizer: MetricSynthesizer = None,
+    ) -> None:
+        """Start monitoring one component/VM pair."""
+        name = component.name
+        self._targets[name] = (component, vm, host)
+        self._synths[name] = synthesizer or MetricSynthesizer(name, seed=self.seed)
+
+    def sample_all(self, t: int) -> None:
+        """Record one tick of samples for every registered VM."""
+        for name, (component, vm, host) in self._targets.items():
+            values = self._synths[name].sample(t, component, vm, host)
+            self.store.record(name, values)
+        self.store.advance()
+
+    @property
+    def monitored(self) -> Tuple[str, ...]:
+        """Names of all monitored components."""
+        return tuple(sorted(self._targets))

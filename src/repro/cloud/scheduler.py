@@ -1,0 +1,74 @@
+"""Per-tick resource scheduling across hosts.
+
+Bridges the queueing components and the cloud substrate: collects each
+component's resource demands, lets every host run its proportional-share
+allocation, and returns the effective multipliers the components feed into
+:meth:`repro.sim.component.QueueComponent.process`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.cloud.host import Host
+from repro.cloud.vm import VirtualMachine
+from repro.sim.component import QueueComponent
+
+
+def schedule_tick(
+    hosts: Iterable[Host],
+    components: Mapping[str, QueueComponent],
+    vms: Mapping[str, VirtualMachine],
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float]]:
+    """Run one tick of CPU, disk and memory scheduling.
+
+    Args:
+        hosts: All hosts in the deployment.
+        components: Components keyed by name (name == VM name).
+        vms: The VM hosting each component, same keys.
+
+    Returns:
+        Three dicts keyed by component name: CPU share (capacity
+        multiplier), disk share (fraction of demanded disk throughput
+        available), and memory-pressure penalty.
+    """
+    # --- CPU: demands in cores, granted per host ----------------------
+    demand_cores: Dict[str, float] = {}
+    for name, comp in components.items():
+        vm = vms[name]
+        fraction = min(comp.desired_cpu_demand(), vm.max_component_fraction())
+        demand_cores[name] = fraction * vm.vcpus_baseline
+    for host in hosts:
+        host.allocate_cpu(demand_cores)
+
+    cpu_shares = {name: vms[name].component_cpu_share() for name in components}
+
+    # --- Memory: pressure penalty from current occupancy --------------
+    memory_penalties: Dict[str, float] = {}
+    for name, comp in components.items():
+        vm = vms[name]
+        used = comp.memory_mb() + vm.extra_memory_mb
+        memory_penalties[name] = vm.memory_pressure(used)
+
+    # --- Disk: desired KB/s per VM, shared per host --------------------
+    disk_shares: Dict[str, float] = {name: 1.0 for name in components}
+    for host in hosts:
+        demands: Dict[str, float] = {}
+        for vm in host.vms:
+            comp = components.get(vm.name)
+            if comp is None:
+                continue
+            desired_items = min(comp.queue, comp.spec.capacity)
+            per_item = (
+                comp.spec.disk_read_kb_per_item + comp.spec.disk_write_kb_per_item
+            )
+            used_mb = comp.memory_mb() + vm.extra_memory_mb
+            demands[vm.name] = (
+                desired_items * per_item
+                + vm.extra_disk_kbps
+                + vm.swap_rate_kbps(used_mb)
+            )
+        shares = host.allocate_disk(demands)
+        disk_shares.update(shares)
+
+    return cpu_shares, disk_shares, memory_penalties

@@ -1,0 +1,194 @@
+"""Guest virtual machine model.
+
+A VM hosts exactly one application component (FChain's unit of diagnosis)
+plus, possibly, injected interference: a CPU hog competing inside the VM, a
+memory ballast, or extra network traffic. CPU is accounted in *cores*: a
+hog process wants a fixed number of cores, so growing the VM (the online
+validation's scale-up action) genuinely dilutes the hog, exactly as on real
+hardware. The component's nominal capacity corresponds to the VM's
+*baseline* vCPU allocation; scaling the VM beyond baseline lets the
+component exceed nominal capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.errors import SimulationError
+
+
+class VirtualMachine:
+    """One guest VM with capped resources on a shared host.
+
+    Attributes:
+        name: VM name; equal to the component name it hosts.
+        vcpus: Current virtual CPUs (core units); raised by validation.
+        vcpus_baseline: vCPUs at creation — the allocation the component's
+            nominal ``capacity`` refers to.
+        cpu_cap: Fraction of ``vcpus`` the hypervisor lets the VM use
+            (1.0 = uncapped). The Bottleneck fault lowers this.
+        memory_limit_mb: Memory ceiling; approaching it triggers thrashing.
+        extra_cpu_cores: Cores demanded by hog processes injected inside
+            the VM (CpuHog fault).
+        extra_memory_mb: Memory consumed by injected ballast.
+        extra_net_in_kbps: Junk inbound traffic (NetHog).
+        extra_disk_kbps: Extra disk traffic generated inside the VM.
+        granted_cpu: Cores granted by the host this tick (scheduler output).
+        requested_cpu: Cores requested from the host this tick.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        vcpus: float = 1.0,
+        memory_limit_mb: float = 2048.0,
+        cpu_cap: float = 1.0,
+    ) -> None:
+        if vcpus <= 0 or memory_limit_mb <= 0:
+            raise SimulationError("VM resources must be positive")
+        if not 0 < cpu_cap <= 1.0:
+            raise SimulationError("cpu_cap must be in (0, 1]")
+        self.name = name
+        self.vcpus = vcpus
+        self.vcpus_baseline = vcpus
+        self.memory_limit_mb = memory_limit_mb
+        self.cpu_cap = cpu_cap
+        self.host: Optional[object] = None  # set by Host.attach
+        self.extra_cpu_cores = 0.0
+        self.extra_memory_mb = 0.0
+        self.extra_net_in_kbps = 0.0
+        self.extra_disk_kbps = 0.0
+        self.granted_cpu = 0.0
+        self.requested_cpu = 0.0
+        self._component_demand_cores = 0.0
+
+    # ------------------------------------------------------------------
+    # Scheduling interface (driven by the host scheduler)
+    # ------------------------------------------------------------------
+    def max_component_fraction(self) -> float:
+        """Largest capacity multiplier the VM's sizing permits.
+
+        1.0 at baseline; above 1.0 after a scale-up; below 1.0 under a
+        Bottleneck cap.
+        """
+        return self.cpu_cap * self.vcpus / self.vcpus_baseline
+
+    def cpu_request(self, component_demand_cores: float) -> float:
+        """Cores the VM asks the host for this tick.
+
+        Args:
+            component_demand_cores: Cores the hosted component wants.
+
+        Returns:
+            Total demand (component + in-VM hogs), capped by the VM size
+            and its hypervisor cap.
+        """
+        self._component_demand_cores = max(0.0, component_demand_cores)
+        wanted = self._component_demand_cores + self.extra_cpu_cores
+        self.requested_cpu = min(self.cpu_cap * self.vcpus, wanted)
+        return self.requested_cpu
+
+    def _split_grant(self) -> tuple:
+        """Weighted-fair split of the host grant inside the VM.
+
+        The component (weight = baseline vCPUs) and any hog processes
+        (weight = the cores' worth of busy threads they run) share the
+        grant like a weighted-fair scheduler: each side is entitled to its
+        weighted share, a side wanting less than its entitlement gets its
+        full demand and the leftover flows to the other side
+        (work-conserving). This is what makes scaling the VM up genuinely
+        dilute a hog — the component's entitlement grows with the grant —
+        while a hog on a small VM still crushes the component.
+
+        Returns:
+            ``(component_cores, hog_cores)`` actually received.
+        """
+        demand = self._component_demand_cores
+        hog = self.extra_cpu_cores
+        grant = self.granted_cpu
+        if demand + hog <= grant + 1e-12:
+            return demand, hog
+        weight_component = self.vcpus_baseline
+        weight_hog = max(hog, 1e-12)
+        total_weight = weight_component + weight_hog
+        entitled_component = grant * weight_component / total_weight
+        if demand <= entitled_component:
+            return demand, min(hog, grant - demand)
+        entitled_hog = grant * weight_hog / total_weight
+        if hog <= entitled_hog:
+            return min(demand, grant - hog), hog
+        return entitled_component, entitled_hog
+
+    def component_cpu_share(self) -> float:
+        """Capacity multiplier the component receives after scheduling.
+
+        Expressed relative to the baseline allocation, so it multiplies
+        the component's nominal capacity directly. An uncontended VM runs
+        at the full speed its sizing allows (work-conserving scheduler).
+        """
+        demand = self._component_demand_cores
+        if demand <= 0:
+            return self.max_component_fraction()
+        wanted = demand + self.extra_cpu_cores
+        if self.granted_cpu >= wanted - 1e-12:
+            # Uncontended: the scheduler is work-conserving, so the
+            # component runs at the full speed its VM sizing allows.
+            return self.max_component_fraction()
+        component_cores, _ = self._split_grant()
+        return component_cores / self.vcpus_baseline
+
+    def hog_cpu_cores(self) -> float:
+        """Cores the in-VM hog actually burned this tick."""
+        if self.extra_cpu_cores <= 0:
+            return 0.0
+        _, hog_cores = self._split_grant()
+        return hog_cores
+
+    # ------------------------------------------------------------------
+    # Memory pressure
+    # ------------------------------------------------------------------
+    def memory_pressure(self, used_mb: float) -> float:
+        """Thrashing penalty for the given memory usage.
+
+        Below 85 % of the limit there is no penalty. Above it, the
+        effective speed decays linearly down to a floor of 5 % at full
+        occupancy — modelling swap-induced slowdown as a memory leak
+        approaches the VM's limit.
+
+        Returns:
+            A multiplier in ``(0, 1]`` applied to the component's rate.
+        """
+        fraction = used_mb / self.memory_limit_mb
+        if fraction <= 0.85:
+            return 1.0
+        overshoot = min(1.0, (fraction - 0.85) / 0.15)
+        return max(0.05, 1.0 - 0.95 * overshoot)
+
+    def swap_rate_kbps(self, used_mb: float) -> float:
+        """Swap traffic (KB/s) caused by memory pressure, if any."""
+        fraction = used_mb / self.memory_limit_mb
+        if fraction <= 0.85:
+            return 0.0
+        overshoot = min(1.0, (fraction - 0.85) / 0.15)
+        return 4000.0 * overshoot
+
+    # ------------------------------------------------------------------
+    # Validation levers
+    # ------------------------------------------------------------------
+    def scale_cpu(self, factor: float) -> None:
+        """Grow (or shrink) the VM's CPU allocation and lift any cap."""
+        if factor <= 0:
+            raise SimulationError("scale factor must be positive")
+        self.vcpus *= factor
+        if factor > 1.0:
+            self.cpu_cap = 1.0
+
+    def scale_memory(self, factor: float) -> None:
+        """Grow (or shrink) the VM's memory limit."""
+        if factor <= 0:
+            raise SimulationError("scale factor must be positive")
+        self.memory_limit_mb *= factor
+
+    def __repr__(self) -> str:
+        return f"VirtualMachine({self.name!r}, vcpus={self.vcpus}, cap={self.cpu_cap})"

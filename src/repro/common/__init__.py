@@ -1,0 +1,35 @@
+"""Shared primitives used across the FChain reproduction.
+
+This package holds the small, dependency-free building blocks: metric
+identifiers, time-series containers, seeded random-number helpers, and the
+exception hierarchy. Everything here is deliberately independent of the
+simulation substrate and of the FChain algorithms so that the higher layers
+can depend on it without cycles.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
+from repro.common.rng import spawn_rng, stable_seed
+from repro.common.timeseries import TimeSeries
+from repro.common.types import (
+    METRIC_NAMES,
+    ComponentId,
+    Metric,
+    MetricSample,
+)
+
+__all__ = [
+    "ComponentId",
+    "ConfigurationError",
+    "METRIC_NAMES",
+    "Metric",
+    "MetricSample",
+    "ReproError",
+    "SimulationError",
+    "TimeSeries",
+    "spawn_rng",
+    "stable_seed",
+]

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the FChain reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch one base type at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation substrate was driven into an invalid state."""
+
+
+class DiagnosisError(ReproError):
+    """Fault localization was asked to operate on unusable input."""

@@ -1,0 +1,137 @@
+"""A small 1 Hz time-series container.
+
+All FChain algorithms consume regularly sampled (1-second interval) metric
+series. :class:`TimeSeries` wraps a numpy array together with the timestamp
+of its first sample and offers the slicing/window operations the paper's
+pipeline needs (look-back windows, burst windows around a change point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass
+class TimeSeries:
+    """A regularly sampled series ``values[i]`` at time ``start + i`` seconds.
+
+    Attributes:
+        values: Sample values, one per second.
+        start: Timestamp (in simulated seconds) of ``values[0]``.
+    """
+
+    values: np.ndarray
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise ValueError("TimeSeries requires a 1-D value array")
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    @property
+    def end(self) -> int:
+        """Timestamp one past the last sample (exclusive)."""
+        return self.start + len(self.values)
+
+    @property
+    def times(self) -> np.ndarray:
+        """Timestamps aligned with :attr:`values`."""
+        return np.arange(self.start, self.end)
+
+    def at(self, time: int) -> float:
+        """Return the sample at an absolute timestamp.
+
+        Raises:
+            IndexError: If ``time`` falls outside the series.
+        """
+        idx = time - self.start
+        if not 0 <= idx < len(self.values):
+            raise IndexError(f"time {time} outside [{self.start}, {self.end})")
+        return float(self.values[idx])
+
+    def index_of(self, time: int) -> int:
+        """Translate an absolute timestamp to an array index."""
+        idx = time - self.start
+        if not 0 <= idx < len(self.values):
+            raise IndexError(f"time {time} outside [{self.start}, {self.end})")
+        return idx
+
+    # ------------------------------------------------------------------
+    # Windowing
+    # ------------------------------------------------------------------
+    def window(self, t_from: int, t_to: int) -> "TimeSeries":
+        """Return the sub-series covering ``[t_from, t_to)``, clipped.
+
+        The bounds are clipped to the available data, matching how FChain
+        slaves take a look-back window ``[t_v - W, t_v]`` that may extend
+        past the beginning of recorded history.
+        """
+        lo = max(t_from, self.start)
+        hi = min(t_to, self.end)
+        if hi <= lo:
+            # Empty window: anchor inside the parent series so the result's
+            # grid stays within [start, end].
+            return TimeSeries(np.empty(0), start=min(lo, self.end))
+        return TimeSeries(self.values[lo - self.start : hi - self.start], start=lo)
+
+    def around(self, time: int, radius: int) -> "TimeSeries":
+        """Return the ``±radius`` window centred on ``time`` (clipped).
+
+        Used for the burst-extraction window ``X = x_{t-Q} .. x_{t+Q}``.
+        """
+        return self.window(time - radius, time + radius + 1)
+
+    # ------------------------------------------------------------------
+    # Construction / combination
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Sequence[float], start: int = 0) -> "TimeSeries":
+        """Build a series from any sequence of floats."""
+        return cls(np.asarray(list(values), dtype=float), start=start)
+
+    def extended(self, more: Sequence[float]) -> "TimeSeries":
+        """Return a new series with ``more`` appended after the last sample."""
+        tail = np.asarray(list(more), dtype=float)
+        return TimeSeries(np.concatenate([self.values, tail]), start=self.start)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if len(self.values) else 0.0
+
+    def std(self) -> float:
+        return float(np.std(self.values)) if len(self.values) else 0.0
+
+    def slope_at(self, time: int, span: int = 3) -> float:
+        """Least-squares slope of the ``±span`` neighbourhood around ``time``.
+
+        This is the "tangent" used by FChain's rollback step: the local rate
+        of change of the (smoothed) metric at a change point.
+        """
+        piece = self.around(time, span)
+        if len(piece) < 2:
+            return 0.0
+        x = np.arange(len(piece), dtype=float)
+        slope = np.polyfit(x, piece.values, 1)[0]
+        return float(slope)
+
+
+def require_same_grid(a: TimeSeries, b: TimeSeries) -> None:
+    """Raise ``ValueError`` unless two series cover identical timestamps."""
+    if a.start != b.start or len(a) != len(b):
+        raise ValueError(
+            f"series grids differ: [{a.start},{a.end}) vs [{b.start},{b.end})"
+        )

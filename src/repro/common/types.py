@@ -1,0 +1,56 @@
+"""Core identifier and value types shared across the library.
+
+FChain treats each guest VM as one *component* and monitors six system-level
+metrics per component at a 1-second sampling interval (paper Sec. III-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Metric(enum.Enum):
+    """The six black-box system-level metrics FChain monitors per VM.
+
+    These mirror the libxenstat/libvirt attributes listed in the paper:
+    cpu usage, memory usage, network in, network out, disk read, disk write.
+    """
+
+    CPU_USAGE = "cpu_usage"
+    MEMORY_USAGE = "memory_usage"
+    NETWORK_IN = "network_in"
+    NETWORK_OUT = "network_out"
+    DISK_READ = "disk_read"
+    DISK_WRITE = "disk_write"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: All monitored metrics in a stable order (used for vectorized storage).
+METRIC_NAMES = tuple(Metric)
+
+
+# A component is identified by a plain string (e.g. "web", "app1", "PE3").
+# Using a NewType-like alias keeps signatures self-describing without
+# imposing a wrapper object on hot paths.
+ComponentId = str
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One sampled metric value.
+
+    Attributes:
+        component: The component (guest VM) the sample belongs to.
+        metric: Which of the six system metrics was sampled.
+        time: Sample timestamp in simulated seconds.
+        value: The sampled value (units depend on the metric: percent for
+            CPU, MB for memory, KB/s for network and disk rates).
+    """
+
+    component: ComponentId
+    metric: Metric
+    time: int
+    value: float

@@ -1,0 +1,144 @@
+"""Adaptive extensions the paper lists as ongoing/future work.
+
+Two mechanisms from the paper's discussion sections:
+
+* **Adaptive look-back window** (Sec. III-F): "We are currently
+  investigating an adaptive look-back window configuration scheme by
+  examining the metric changing speed." A fixed ``W = 100`` misses the
+  onset of slowly manifesting faults (the DiskHog row of Table I).
+  :func:`adaptive_look_back_window` grows the window while the data at
+  the window head is still trending — i.e. while the manifestation is
+  still censored by the boundary.
+
+* **Adaptive smoothing** (Sec. III-C): "smoothing in this case causes the
+  time of the abnormal change point in the affected normal component to
+  become earlier than those of true culprit components. We need to
+  perform adaptive smoothing to address this problem."
+  :func:`adaptive_smoothing_window` picks the smoothing width from the
+  local noise-to-signal ratio, so quiet metrics keep sharp (accurately
+  timed) transitions while noisy ones still get de-noised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+from repro.common.types import ComponentId, Metric
+from repro.core.config import FChainConfig
+from repro.monitoring.store import MetricStore
+
+
+def _head_trending(values: np.ndarray, head: int = 12) -> bool:
+    """Statistically significant linear trend over the window head?"""
+    if len(values) < head + 2:
+        return False
+    x = np.arange(head, dtype=float)
+    y = values[:head]
+    slope, intercept = np.polyfit(x, y, 1)
+    residuals = y - (slope * x + intercept)
+    denom = float(np.sqrt(np.sum((x - x.mean()) ** 2)))
+    stderr = float(np.std(residuals, ddof=2)) / max(denom, 1e-12)
+    scale = float(np.std(y)) + 1e-12
+    return abs(slope) >= 3.0 * stderr and abs(slope) * head >= 0.5 * scale
+
+
+def adaptive_look_back_window(
+    store: MetricStore,
+    violation_time: int,
+    *,
+    base_window: int = 100,
+    max_window: int = 600,
+    step: int = 100,
+    components: Optional[Iterable[ComponentId]] = None,
+) -> int:
+    """Choose ``W`` by examining the metric changing speed (paper Sec. III-F).
+
+    Starting from the default window, the head (oldest samples) of every
+    monitored metric's window is tested for a significant trend: a head
+    that is still climbing/falling means the fault manifestation started
+    *before* the window — so the window is grown until the heads are
+    quiet or ``max_window`` is reached. Fast faults keep the small,
+    cheap window; the Hadoop DiskHog automatically gets the large one.
+
+    Args:
+        store: Recorded metrics.
+        violation_time: ``t_v``.
+        base_window: Starting (and minimum) window size in seconds.
+        max_window: Upper bound on the window size.
+        step: Growth increment per round.
+        components: Restrict the scan (defaults to every component).
+
+    Returns:
+        The selected look-back window in seconds.
+    """
+    names = list(components) if components is not None else store.components
+    window = base_window
+    while window < max_window:
+        head_is_trending = False
+        for component in names:
+            for metric in store.metrics_for(component):
+                series = store.series(component, metric).window(
+                    violation_time - window, violation_time + 1
+                )
+                if len(series) < window:
+                    return window  # history exhausted: stop growing
+                if _head_trending(series.values):
+                    head_is_trending = True
+                    break
+            if head_is_trending:
+                break
+        if not head_is_trending:
+            return window
+        window = min(max_window, window + step)
+    return window
+
+
+def adaptive_smoothing_window(
+    series: TimeSeries,
+    *,
+    min_window: int = 1,
+    max_window: int = 9,
+) -> int:
+    """Pick a smoothing width from the local noise-to-signal ratio.
+
+    The noise level is estimated from first differences (high-frequency
+    content), the signal scale from the series spread. Quiet metrics
+    (memory) get little or no smoothing — keeping level-shift timing
+    sharp, the fix for the paper's concurrent-CpuHog mis-ordering — while
+    noisy metrics (disk) get the full window.
+
+    Returns:
+        An odd window width in ``[min_window, max_window]``.
+    """
+    values = series.values
+    if len(values) < 4:
+        return min_window
+    noise = float(np.median(np.abs(np.diff(values)))) + 1e-12
+    spread = float(np.percentile(values, 90) - np.percentile(values, 10))
+    ratio = noise / (spread + 1e-12)
+    # ratio ~0 (smooth series) -> min window; ratio >= 0.5 -> max window.
+    fraction = min(1.0, ratio / 0.5)
+    window = int(round(min_window + fraction * (max_window - min_window)))
+    if window % 2 == 0:
+        window += 1
+    return max(min_window, min(max_window, window))
+
+
+def adaptive_config(
+    store: MetricStore,
+    violation_time: int,
+    base: Optional[FChainConfig] = None,
+    **kwargs,
+) -> FChainConfig:
+    """An :class:`FChainConfig` with the adaptively chosen look-back window."""
+    base = base or FChainConfig()
+    window = adaptive_look_back_window(
+        store,
+        violation_time,
+        base_window=base.look_back_window,
+        **kwargs,
+    )
+    return base.with_window(window)

@@ -1,0 +1,119 @@
+"""FChain configuration.
+
+All tunables from the paper with their published defaults (Sec. III-A):
+look-back window ``W = 100 s`` (500 s for slowly manifesting faults),
+concurrency threshold 2 s, burst window ``Q = 20 s``, top-90 % frequencies,
+90th-percentile burst magnitude, tangent-rollback similarity 0.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FChainConfig:
+    """Tunable parameters of the FChain pipeline.
+
+    Attributes:
+        look_back_window: ``W`` — seconds of history before the SLO
+            violation each slave examines (paper default 100; 500 for the
+            Hadoop DiskHog).
+        concurrency_threshold: Seconds within which two components'
+            abnormal onsets count as one concurrent fault (paper: 2).
+        burst_window: ``Q`` — half-width in seconds of the series window
+            around a change point used for FFT burst extraction (paper: 20).
+        high_frequency_fraction: Fraction of the frequency spectrum treated
+            as "high" when synthesizing the burst signal (paper: top 90 %).
+        burst_percentile: Percentile of the burst-signal magnitude used as
+            the expected prediction error (paper: 90th).
+        tangent_tolerance: Maximum tangent difference below which rollback
+            continues to the preceding change point (paper: 0.1), relative
+            to the local value scale.
+        smoothing_window: Moving-average width applied before change point
+            detection (the PAL smoothing step).
+        cusum_bootstraps: Permutations per CUSUM bootstrap significance
+            test.
+        cusum_confidence: Required bootstrap confidence for a change point.
+        min_segment: Minimum segment length for recursive CUSUM splitting.
+        outlier_zscore: Magnitude z-score above which a change point is an
+            outlier candidate.
+        prediction_error_margin: The actual prediction error must exceed
+            ``margin *`` the burst-derived expected error for a change
+            point to be selected as abnormal (guards against borderline
+            passes on noisy metrics).
+        history_error_percentile: Percentile of the online model's own
+            prediction errors over the training history used as an
+            additional expected-error reference: an error pattern the
+            model already produced routinely under normal operation (e.g.
+            at recurring flash bursts) is not abnormal.
+        censor_slow_onsets: Clamp the onset to the window start when the
+            series is already trending there (the manifestation began
+            before the look-back window). This refinement aligns
+            concurrent slow faults; disabling it reproduces the vanilla
+            pipeline of the paper, whose Table I shows the resulting
+            look-back-window sensitivity for the Hadoop DiskHog.
+        analysis_grace: Seconds of post-violation data the slaves may use.
+            The master contacts the slaves after detection, so by analysis
+            time a few seconds beyond ``t_v`` have been recorded; this
+            keeps change points landing exactly at the window edge
+            detectable.
+        markov_bins: Number of value bins in the Markov prediction model.
+        markov_halflife: Updates after which old transition counts decay to
+            half weight (online learning forgetting rate).
+        external_trend_fraction: Fraction of components that must share a
+            common monotone trend (with every component abnormal, and the
+            majority-trend onsets tightly clustered) for the anomaly to be
+            attributed to an external factor.
+        validation_horizon: Seconds of forked simulation used to observe a
+            scaling action during online validation (paper: ~30 s).
+        validation_improvement: Relative SLO improvement required for a
+            pinpointed component to survive validation.
+    """
+
+    look_back_window: int = 100
+    concurrency_threshold: float = 2.0
+    burst_window: int = 20
+    high_frequency_fraction: float = 0.9
+    burst_percentile: float = 90.0
+    tangent_tolerance: float = 0.1
+    smoothing_window: int = 5
+    cusum_bootstraps: int = 120
+    cusum_confidence: float = 0.95
+    min_segment: int = 5
+    outlier_zscore: float = 2.0
+    prediction_error_margin: float = 1.2
+    history_error_percentile: float = 99.7
+    analysis_grace: int = 8
+    censor_slow_onsets: bool = True
+    markov_bins: int = 40
+    markov_halflife: int = 2000
+    external_trend_fraction: float = 0.75
+    validation_horizon: int = 30
+    validation_improvement: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.look_back_window <= 0:
+            raise ConfigurationError("look_back_window must be positive")
+        if self.concurrency_threshold < 0:
+            raise ConfigurationError("concurrency_threshold must be >= 0")
+        if self.burst_window <= 1:
+            raise ConfigurationError("burst_window must exceed 1")
+        if not 0 < self.high_frequency_fraction <= 1:
+            raise ConfigurationError("high_frequency_fraction must be in (0, 1]")
+        if not 0 < self.burst_percentile <= 100:
+            raise ConfigurationError("burst_percentile must be in (0, 100]")
+        if self.smoothing_window < 1:
+            raise ConfigurationError("smoothing_window must be >= 1")
+        if self.markov_bins < 2:
+            raise ConfigurationError("markov_bins must be >= 2")
+        if not 0 < self.cusum_confidence < 1:
+            raise ConfigurationError("cusum_confidence must be in (0, 1)")
+
+    def with_window(self, look_back_window: int) -> "FChainConfig":
+        """Copy of this config with a different look-back window."""
+        from dataclasses import replace
+
+        return replace(self, look_back_window=look_back_window)

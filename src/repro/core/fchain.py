@@ -1,0 +1,198 @@
+"""The FChain system facade: slaves, master, and a one-call API.
+
+Mirrors the paper's architecture (Fig. 1): slave modules (normal
+fluctuation modeling + abnormal change point selection) conceptually run in
+Domain-0 of every cloud node; the master module (integrated fault
+diagnosis + online pinpointing validation) runs on a dedicated server and
+is invoked when a performance anomaly is detected. In this reproduction
+the slaves analyse a shared :class:`~repro.monitoring.store.MetricStore`,
+and "contacting the slaves" is a method call — the algorithms and the data
+they see are identical to the distributed deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.common.errors import DiagnosisError
+from repro.common.timeseries import TimeSeries
+from repro.common.types import ComponentId, Metric
+from repro.core.config import FChainConfig
+from repro.core.pinpoint import PinpointResult, pinpoint_faulty_components
+from repro.core.prediction import MarkovPredictor, prediction_errors
+from repro.core.propagation import ComponentReport
+from repro.core.selection import select_abnormal_changes
+from repro.core.validation import (
+    ValidationOutcome,
+    apply_validation,
+    validate_pinpointing,
+)
+from repro.monitoring.store import MetricStore
+
+
+class FChainSlave:
+    """Slave-side analysis for the components of one node.
+
+    The slave owns the *normal fluctuation modeling* (online Markov
+    predictors, fed continuously at 1 Hz via :meth:`observe`) and the
+    *abnormal change point selection* that the master triggers with a
+    look-back window after an SLO violation.
+    """
+
+    def __init__(self, config: Optional[FChainConfig] = None, seed: object = 0):
+        self.config = config or FChainConfig()
+        self.seed = seed
+        self._models: Dict[Tuple[ComponentId, Metric], MarkovPredictor] = {}
+        self._errors: Dict[Tuple[ComponentId, Metric], List[float]] = {}
+
+    # ------------------------------------------------------------------
+    # Continuous modeling (streaming interface)
+    # ------------------------------------------------------------------
+    def observe(self, component: ComponentId, metric: Metric, value: float) -> None:
+        """Feed one 1 Hz sample into the online fluctuation model."""
+        key = (component, metric)
+        model = self._models.get(key)
+        if model is None:
+            model = MarkovPredictor(
+                bins=self.config.markov_bins,
+                halflife=self.config.markov_halflife,
+            )
+            self._models[key] = model
+            self._errors[key] = []
+        error = model.update(value)
+        self._errors[key].append(np.nan if error is None else error)
+
+    def model_for(
+        self, component: ComponentId, metric: Metric
+    ) -> Optional[MarkovPredictor]:
+        """The online model of one metric, if any samples were observed."""
+        return self._models.get((component, metric))
+
+    # ------------------------------------------------------------------
+    # On-demand abnormal change point selection
+    # ------------------------------------------------------------------
+    def analyze(
+        self, store: MetricStore, component: ComponentId, violation_time: int
+    ) -> ComponentReport:
+        """Examine one component's look-back window before a violation.
+
+        Args:
+            store: Metric samples (only data up to ``violation_time`` is
+                used — the diagnosis is online).
+            component: The component to examine.
+            violation_time: ``t_v``, the SLO violation tick.
+
+        Returns:
+            The component report with any selected abnormal changes.
+        """
+        window_start = violation_time - self.config.look_back_window
+        window_end = violation_time + self.config.analysis_grace + 1
+        changes = []
+        for metric in store.metrics_for(component):
+            full = store.series(component, metric).window(
+                store.start, window_end
+            )
+            if len(full) < 2 * self.config.min_segment:
+                continue
+            errors = prediction_errors(
+                full,
+                bins=self.config.markov_bins,
+                halflife=self.config.markov_halflife,
+                signed=True,
+            )
+            raw = full.window(window_start, window_end)
+            history = full.window(full.start, raw.start)
+            split = raw.start - full.start
+            changes.extend(
+                select_abnormal_changes(
+                    raw,
+                    history,
+                    metric,
+                    self.config,
+                    seed=(self.seed, component),
+                    errors=errors[split:],
+                    history_errors=errors[:split],
+                )
+            )
+        return ComponentReport(component=component, abnormal_changes=changes)
+
+
+class FChainMaster:
+    """Master-side integrated fault diagnosis and validation."""
+
+    def __init__(
+        self,
+        config: Optional[FChainConfig] = None,
+        dependency_graph: Optional[nx.DiGraph] = None,
+        seed: object = 0,
+    ) -> None:
+        self.config = config or FChainConfig()
+        self.dependency_graph = dependency_graph
+        self.seed = seed
+
+    def diagnose(
+        self, store: MetricStore, violation_time: int
+    ) -> PinpointResult:
+        """Pinpoint faulty components after an SLO violation at ``t_v``.
+
+        Triggers the slave analysis for every monitored component, builds
+        the propagation chain and runs integrated pinpointing against the
+        (offline discovered) dependency graph.
+        """
+        if violation_time <= store.start:
+            raise DiagnosisError("violation time precedes recorded history")
+        slave = FChainSlave(self.config, seed=self.seed)
+        reports = [
+            slave.analyze(store, component, violation_time)
+            for component in store.components
+        ]
+        return pinpoint_faulty_components(
+            reports, self.config, self.dependency_graph
+        )
+
+    def validate(
+        self, app, result: PinpointResult
+    ) -> Tuple[PinpointResult, Dict[ComponentId, ValidationOutcome]]:
+        """Run online pinpointing validation and filter false alarms."""
+        outcomes = validate_pinpointing(app, result, self.config)
+        return apply_validation(result, outcomes), outcomes
+
+
+class FChain:
+    """One-call facade over the FChain system.
+
+    Example::
+
+        fchain = FChain(FChainConfig(), dependency_graph=graph)
+        result = fchain.localize(app.store, app.slo.first_violation)
+        print(result.faulty)
+    """
+
+    def __init__(
+        self,
+        config: Optional[FChainConfig] = None,
+        dependency_graph: Optional[nx.DiGraph] = None,
+        seed: object = 0,
+    ) -> None:
+        self.config = config or FChainConfig()
+        self.master = FChainMaster(self.config, dependency_graph, seed=seed)
+
+    @property
+    def dependency_graph(self) -> Optional[nx.DiGraph]:
+        return self.master.dependency_graph
+
+    def localize(
+        self, store: MetricStore, violation_time: int
+    ) -> PinpointResult:
+        """Diagnose the faulty components for a detected SLO violation."""
+        return self.master.diagnose(store, violation_time)
+
+    def localize_and_validate(
+        self, app, violation_time: int
+    ) -> Tuple[PinpointResult, Dict[ComponentId, ValidationOutcome]]:
+        """Diagnose, then validate the pinpointing online (FChain+VAL)."""
+        result = self.master.diagnose(app.store, violation_time)
+        return self.master.validate(app, result)

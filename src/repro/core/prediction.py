@@ -1,0 +1,174 @@
+"""Online Markov-chain metric prediction (the PRESS model, paper ref. [12]).
+
+The FChain slave continuously learns each metric's *value-transition*
+pattern: the value range is discretized into bins and a discrete-time
+Markov chain counts bin-to-bin transitions, with exponential forgetting so
+the model tracks the evolving workload. The prediction for the next sample
+is the expected value of the next-bin distribution given the current bin.
+
+The model's role in FChain is the *predictability metric*: transitions the
+model has seen before (normal workload fluctuation) predict well; fault
+manifestations move the metric in ways the model never learned, producing
+large prediction errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+
+
+class MarkovPredictor:
+    """Online one-step-ahead predictor for a single metric series.
+
+    Args:
+        bins: Number of value bins.
+        halflife: Number of updates after which old transition counts
+            carry half weight (implemented by periodic count halving).
+        warmup: Samples used to estimate the initial value range before
+            the bin grid is frozen.
+        headroom: Fractional padding added around the warmup range so
+            moderately larger values still fall inside the grid; values
+            beyond it clamp to the edge bins (an "unseen regime" signal).
+    """
+
+    def __init__(
+        self,
+        bins: int = 40,
+        halflife: int = 2000,
+        warmup: int = 60,
+        headroom: float = 0.75,
+    ) -> None:
+        if bins < 2:
+            raise ValueError("bins must be >= 2")
+        self.bins = bins
+        self.halflife = max(1, halflife)
+        self.warmup = max(2, warmup)
+        self.headroom = headroom
+        self._warmup_values: list = []
+        self._lo: Optional[float] = None
+        self._hi: Optional[float] = None
+        self._counts = np.zeros((bins, bins), dtype=float)
+        self._centers: Optional[np.ndarray] = None
+        self._previous_bin: Optional[int] = None
+        self._updates = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """Whether the warmup finished and predictions are meaningful."""
+        return self._centers is not None
+
+    def _freeze_grid(self) -> None:
+        values = np.asarray(self._warmup_values, dtype=float)
+        lo, hi = float(values.min()), float(values.max())
+        pad = self.headroom * max(hi - lo, abs(hi), 1e-6)
+        self._lo, self._hi = lo - pad, hi + pad
+        edges = np.linspace(self._lo, self._hi, self.bins + 1)
+        self._centers = 0.5 * (edges[:-1] + edges[1:])
+        self._warmup_values = []
+
+    def _bin_of(self, value: float) -> int:
+        span = self._hi - self._lo
+        idx = int((value - self._lo) / span * self.bins)
+        return min(self.bins - 1, max(0, idx))
+
+    # ------------------------------------------------------------------
+    def predict(self) -> Optional[float]:
+        """Expected next value given the current state, or None pre-warmup.
+
+        An unvisited transition row falls back to the *marginal*
+        expectation over all observed values: the model has never seen
+        this state, so its best estimate is the historical norm. This is
+        what makes a sustained excursion into an unseen regime — the
+        signature of a fault manifestation — keep producing large
+        prediction errors tick after tick, whereas a brief benign spike
+        returns to well-learned states immediately.
+        """
+        if not self.ready or self._previous_bin is None:
+            return None
+        row = self._counts[self._previous_bin]
+        total = row.sum()
+        if total <= 0:
+            return self._marginal_expectation()
+        return float(row @ self._centers / total)
+
+    def _marginal_expectation(self) -> float:
+        """Expected value under the marginal distribution of seen bins."""
+        mass = self._counts.sum(axis=0)
+        total = mass.sum()
+        if total <= 0:
+            return float(self._centers[self._previous_bin])
+        return float(mass @ self._centers / total)
+
+    def update(self, value: float) -> Optional[float]:
+        """Feed one sample; returns the prediction error for it.
+
+        The error is ``|predicted - value|`` using the prediction made
+        *before* the model saw ``value`` (honest one-step-ahead error).
+        During warmup the error is None.
+        """
+        value = float(value)
+        if not self.ready:
+            self._warmup_values.append(value)
+            if len(self._warmup_values) >= self.warmup:
+                self._freeze_grid()
+            return None
+        predicted = self.predict()
+        current_bin = self._bin_of(value)
+        if self._previous_bin is not None:
+            self._counts[self._previous_bin, current_bin] += 1.0
+            self._updates += 1
+            if self._updates % self.halflife == 0:
+                self._counts *= 0.5
+        self._previous_bin = current_bin
+        if predicted is None:
+            return None
+        return abs(predicted - value)
+
+    # ------------------------------------------------------------------
+    def transition_matrix(self) -> np.ndarray:
+        """Row-normalized transition probabilities (rows with no mass are
+        uniform)."""
+        if not self.ready:
+            raise RuntimeError("model not warmed up")
+        totals = self._counts.sum(axis=1, keepdims=True)
+        matrix = np.where(
+            totals > 0, self._counts / np.maximum(totals, 1e-12), 1.0 / self.bins
+        )
+        return matrix
+
+
+def prediction_errors(
+    series: TimeSeries,
+    *,
+    bins: int = 40,
+    halflife: int = 2000,
+    warmup: int = 60,
+    signed: bool = False,
+) -> np.ndarray:
+    """Run a fresh model over a whole series; return per-sample errors.
+
+    Entries where the model had no prediction yet (warmup) are NaN. This
+    is the batch path the diagnosis uses: the model is trained online over
+    the history, so the error at time ``t`` reflects exactly the data seen
+    before ``t``.
+
+    Args:
+        signed: Return ``actual - predicted`` instead of the magnitude.
+            The sign separates over-shoots (benign spikes are almost
+            always upward) from under-shoots, letting callers compare a
+            change point against same-direction history only.
+    """
+    model = MarkovPredictor(bins=bins, halflife=halflife, warmup=warmup)
+    errors = np.full(len(series), np.nan)
+    for i, value in enumerate(series.values):
+        predicted = model.predict()
+        model.update(value)
+        if predicted is not None:
+            delta = float(value) - predicted
+            errors[i] = delta if signed else abs(delta)
+    return errors

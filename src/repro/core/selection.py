@@ -1,0 +1,400 @@
+"""Abnormal change point selection and onset-time identification.
+
+This module implements the heart of the FChain slave (paper Sec. II-B):
+
+1. smooth the look-back window and detect change points (CUSUM+bootstrap);
+2. keep magnitude outliers (the PAL step);
+3. keep only outliers whose *actual* prediction error (from the online
+   Markov model) exceeds the *expected* prediction error derived from the
+   local burstiness (FFT burst extraction);
+4. roll the selected abnormal change point back along preceding change
+   points with similar tangents to find the precise onset of the fault
+   manifestation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+from repro.common.types import Metric
+from repro.core.burst import expected_prediction_error
+from repro.core.config import FChainConfig
+from repro.core.cusum import ChangePoint, detect_change_points
+from repro.core.outliers import outlier_change_points
+from repro.core.prediction import prediction_errors
+from repro.core.smoothing import smooth_series
+
+
+@dataclass(frozen=True)
+class AbnormalChange:
+    """One abnormal change selected on a single metric.
+
+    Attributes:
+        metric: The metric it was found on.
+        change_point: The selected change point.
+        onset_time: Manifestation start after tangent rollback.
+        prediction_error: Actual online-model prediction error at the point.
+        expected_error: Burst-derived expected prediction error.
+        direction: +1 upward shift, -1 downward.
+    """
+
+    metric: Metric
+    change_point: ChangePoint
+    onset_time: int
+    prediction_error: float
+    expected_error: float
+    direction: int
+
+
+def reference_change_magnitudes(
+    history: TimeSeries, window: int = 10
+) -> np.ndarray:
+    """Normal change-magnitude scale from a history window.
+
+    Approximates "magnitudes of change points seen during normal
+    operation" with the distribution of adjacent-window mean shifts —
+    cheap, and it tracks exactly the quantity the outlier filter compares
+    against.
+    """
+    values = history.values
+    if len(values) < 2 * window:
+        return np.asarray([])
+    csum = np.concatenate([[0.0], np.cumsum(values)])
+    means = (csum[window:] - csum[:-window]) / window
+    return np.abs(means[window:] - means[:-window])
+
+
+def actual_prediction_error(
+    errors: np.ndarray,
+    series: TimeSeries,
+    time: int,
+    *,
+    direction: int = 0,
+    forward: int = 4,
+) -> float:
+    """Online-model prediction error attributed to a change point.
+
+    The error is the maximum over the short forward window
+    ``[cp, cp + forward]``: smoothing places the detected change point a
+    tick or two *before* the raw jump, so the window looks ahead to where
+    the model's one-step error actually spikes. Transient benign spikes
+    also produce such errors; they are removed by the persistence check
+    (:func:`shift_persists`) and the burstiness threshold instead.
+
+    Args:
+        errors: *Signed* per-sample errors (``actual - predicted``)
+            aligned with ``series``.
+        series: The analysed window.
+        time: Change-point timestamp.
+        direction: When non-zero, only errors matching the change
+            direction count (an upward shift produces positive errors);
+            falls back to the unsigned maximum if none match.
+        forward: Forward window length.
+    """
+    idx = time - series.start
+    lo = max(0, idx)
+    hi = min(len(errors), idx + forward + 1)
+    window = errors[lo:hi]
+    finite = window[np.isfinite(window)]
+    if len(finite) == 0:
+        return 0.0
+    if direction:
+        matching = finite[np.sign(finite) == np.sign(direction)]
+        if len(matching):
+            return float(np.abs(matching).max())
+    return float(np.abs(finite).max())
+
+
+def history_error_reference(
+    history_errors: np.ndarray, direction: int, percentile: float
+) -> float:
+    """Routine error level of the model under normal operation.
+
+    Only same-direction errors are considered: benign spikes and flash
+    bursts over-shoot the prediction (positive errors), so they say
+    nothing about how abnormal an *under*-shoot (a collapse in the
+    metric) is, and vice versa.
+    """
+    finite = history_errors[np.isfinite(history_errors)]
+    if direction:
+        finite = finite[np.sign(finite) == np.sign(direction)]
+    if len(finite) < 20:
+        return 0.0
+    return float(np.percentile(np.abs(finite), percentile))
+
+
+def shift_persists(
+    values: np.ndarray,
+    index: int,
+    magnitude: float,
+    *,
+    horizon: int = 15,
+    min_fraction: float = 0.5,
+) -> bool:
+    """Whether a change point's level shift persists past transients.
+
+    A *change point* is a lasting regime change; a flash burst or benign
+    spike decays within seconds. The level ``horizon`` ticks after the
+    point is compared with the level just before it: the shift must retain
+    at least ``min_fraction`` of the detected magnitude. Points too close
+    to the data edge (not enough forward evidence) are accepted — faults
+    are detected moments after they manifest, so the freshest change
+    points necessarily have little trailing data.
+
+    Args:
+        values: The analysed window's values.
+        index: Change-point index within ``values``.
+        magnitude: Detected mean-shift magnitude.
+        horizon: Ticks ahead at which persistence is assessed.
+        min_fraction: Required surviving fraction of the magnitude.
+    """
+    n = len(values)
+    available = n - 1 - index
+    if available < 6:
+        return True
+    h = min(horizon, available)
+    early_lo = max(0, index - 7)
+    early = values[early_lo : max(early_lo + 1, index - 1)]
+    late = values[index + max(1, h - 4) : index + h + 1]
+    if len(early) == 0 or len(late) == 0:
+        return True
+    shift = abs(float(np.mean(late)) - float(np.mean(early)))
+    return shift >= min_fraction * magnitude
+
+
+def censored_onset(
+    raw: TimeSeries,
+    onset: int,
+    direction: int,
+    magnitude: float,
+    *,
+    head: int = 12,
+    slope_fraction: float = 0.25,
+) -> int:
+    """Clamp the onset to the window start when manifestation is censored.
+
+    When a slowly manifesting fault started *before* the look-back window
+    (the Table-I DiskHog situation: W too small to cover the onset), the
+    series is already trending in the abnormal direction at the window
+    boundary. The true onset is then unknown — "window start" is the
+    earliest statement the slave can make, and using it keeps concurrent
+    slow faults on different components aligned instead of scattering
+    their onsets across rollback stopping points.
+
+    Args:
+        raw: The raw (unsmoothed) look-back window; the trend test needs
+            independent residuals, which smoothing would destroy.
+        onset: Onset after tangent rollback.
+        direction: Direction of the abnormal change.
+        magnitude: Magnitude of the abnormal change.
+        head: Ticks at the window start over which the initial trend is
+            measured.
+        slope_fraction: The initial trend, extrapolated over ``head``
+            ticks, must account for at least this fraction of the change
+            magnitude to count as "already manifesting".
+
+    Returns:
+        ``raw.start`` when censored, otherwise ``onset``.
+    """
+    if onset <= raw.start or len(raw) < head + 2:
+        return onset
+    x = np.arange(head, dtype=float)
+    y = raw.values[:head]
+    slope, intercept = np.polyfit(x, y, 1)
+    if np.sign(slope) != np.sign(direction):
+        return onset
+    if abs(slope) * head < slope_fraction * magnitude:
+        return onset
+    # The head trend must be statistically significant, not sampling
+    # noise: require the slope to exceed three standard errors.
+    residuals = y - (slope * x + intercept)
+    denom = float(np.sqrt(np.sum((x - x.mean()) ** 2)))
+    stderr = float(np.std(residuals, ddof=2)) / max(denom, 1e-12)
+    if abs(slope) < 3.0 * stderr:
+        return onset
+    # The manifestation must actually have *progressed* between the
+    # window start and the onset candidate: a head that merely wiggles
+    # with the workload while the level near the onset is unchanged is
+    # not a censored manifestation.
+    span = onset - raw.start
+    if span >= 2 * head:
+        early = float(np.mean(y))
+        late_lo = max(0, span - head)
+        late = float(np.mean(raw.values[late_lo:span]))
+        if np.sign(late - early) != np.sign(direction):
+            return onset
+        if abs(late - early) < slope_fraction * magnitude:
+            return onset
+    return raw.start
+
+
+def rollback_onset(
+    smoothed: TimeSeries,
+    change_points: Sequence[ChangePoint],
+    selected: ChangePoint,
+    *,
+    tolerance: float = 0.1,
+    span: int = 3,
+    max_step_gap: int = 12,
+) -> int:
+    """Tangent-based rollback to the manifestation start (paper Sec. II-B).
+
+    Starting from the selected abnormal change point, compare the tangent
+    (local slope) at the current change point with that at its preceding
+    change point; while they are close, roll back. Tangent closeness is
+    relative: ``|a - b| <= tolerance * max(|a|, |b|)`` (with a small
+    absolute floor), which makes the 0.1 constant scale-free across
+    metrics measured in different units.
+
+    Returns:
+        The onset timestamp.
+    """
+    ordered = sorted(change_points, key=lambda p: p.time)
+    scale_floor = 1e-3 * (smoothed.std() + 1e-12)
+    position = next(
+        (i for i, p in enumerate(ordered) if p.time == selected.time), None
+    )
+    if position is None:
+        return selected.time
+    current = ordered[position]
+    while position > 0:
+        previous = ordered[position - 1]
+        # A fault manifestation that started earlier shows as a run of
+        # nearby change points continuing the same trend. Stop when the
+        # preceding point reverses direction or lies too far back — those
+        # belong to ordinary pre-fault fluctuation, and rolling across
+        # them would inflate how early the manifestation looks.
+        if previous.direction != current.direction:
+            break
+        if current.time - previous.time > max_step_gap:
+            break
+        slope_current = smoothed.slope_at(current.time, span)
+        slope_previous = smoothed.slope_at(previous.time, span)
+        gap = abs(slope_current - slope_previous)
+        bound = tolerance * max(abs(slope_current), abs(slope_previous))
+        if gap > max(bound, scale_floor):
+            break
+        position -= 1
+        current = previous
+    return current.time
+
+
+def select_abnormal_changes(
+    raw: TimeSeries,
+    history: TimeSeries,
+    metric: Metric,
+    config: FChainConfig,
+    *,
+    seed: object = 0,
+    errors: Optional[np.ndarray] = None,
+    history_errors: Optional[np.ndarray] = None,
+) -> List[AbnormalChange]:
+    """Run the full slave-side selection pipeline on one metric window.
+
+    Args:
+        raw: The look-back window ``[t_v - W, t_v]`` of the raw series.
+        history: A longer raw history ending at the window start, used for
+            the normal change-magnitude reference and (if ``errors`` is
+            not supplied) to train the online prediction model.
+        metric: Which metric this is (carried into the result).
+        config: FChain configuration.
+        seed: Label for the deterministic CUSUM bootstrap stream.
+        errors: Optional precomputed *signed* per-sample prediction
+            errors (``actual - predicted``) aligned with ``raw`` (the
+            slave trains its model online over the full history and
+            passes the window slice); if omitted the model is trained
+            here over ``history`` + ``raw``.
+        history_errors: Signed prediction errors over the training
+            history (the samples preceding ``raw``), used to derive the
+            model's routine same-direction error level under normal
+            operation.
+
+    Returns:
+        Abnormal changes, possibly empty.
+    """
+    if len(raw) < 2 * config.min_segment:
+        return []
+    smoothed = smooth_series(raw, config.smoothing_window)
+    points = detect_change_points(
+        smoothed,
+        bootstraps=config.cusum_bootstraps,
+        confidence=config.cusum_confidence,
+        min_segment=config.min_segment,
+        seed=(seed, str(metric)),
+    )
+    if not points:
+        return []
+    reference = reference_change_magnitudes(history)
+    outliers = outlier_change_points(
+        points, reference, smoothed, zscore=config.outlier_zscore
+    )
+    if not outliers:
+        return []
+
+    if errors is None:
+        combined = TimeSeries(
+            np.concatenate([history.values, raw.values]), start=history.start
+        )
+        all_errors = prediction_errors(
+            combined,
+            bins=config.markov_bins,
+            halflife=config.markov_halflife,
+            signed=True,
+        )
+        errors = all_errors[len(history):]
+        if history_errors is None:
+            history_errors = all_errors[: len(history)]
+    full = TimeSeries(
+        np.concatenate([history.values, raw.values]), start=history.start
+    ) if len(history) else raw
+
+    abnormal: List[AbnormalChange] = []
+    for point in outliers:
+        history_reference = 0.0
+        if history_errors is not None:
+            history_reference = history_error_reference(
+                history_errors,
+                point.direction,
+                config.history_error_percentile,
+            )
+        actual = actual_prediction_error(
+            errors, raw, point.time, direction=point.direction
+        )
+        expected = expected_prediction_error(
+            full,
+            point.time,
+            burst_window=config.burst_window,
+            high_frequency_fraction=config.high_frequency_fraction,
+            percentile=config.burst_percentile,
+        )
+        # The expected error is the larger of the burstiness-derived
+        # threshold and the model's own routine error level under normal
+        # operation: an error the model already produced regularly (e.g.
+        # at recurring flash bursts) does not indicate a fault.
+        expected = max(expected, history_reference)
+        if actual <= config.prediction_error_margin * expected:
+            continue
+        if not shift_persists(raw.values, point.time - raw.start, point.magnitude):
+            continue
+        onset = rollback_onset(
+            smoothed, points, point, tolerance=config.tangent_tolerance
+        )
+        if config.censor_slow_onsets:
+            onset = censored_onset(
+                raw, onset, point.direction, point.magnitude
+            )
+        abnormal.append(
+            AbnormalChange(
+                metric=metric,
+                change_point=point,
+                onset_time=onset,
+                prediction_error=actual,
+                expected_error=expected,
+                direction=point.direction,
+            )
+        )
+    return abnormal

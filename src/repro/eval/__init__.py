@@ -1,0 +1,48 @@
+"""Experiment harness regenerating the paper's evaluation.
+
+:mod:`repro.eval.scenarios` defines every fault scenario of Sec. III-A;
+:mod:`repro.eval.runner` executes repeated fault-injection runs and feeds
+the identical recorded data to every localization scheme;
+:mod:`repro.eval.metrics` implements the precision/recall accounting; and
+:mod:`repro.eval.report` prints the rows/series of each table and figure.
+"""
+
+from repro.eval.metrics import PrecisionRecall, RocPoint
+from repro.eval.plotting import sparkline, strip_chart
+from repro.eval.runner import (
+    FChainLocalizer,
+    FChainValidatedLocalizer,
+    RunRecord,
+    dependency_graph_for,
+    evaluate_schemes,
+    execute_run,
+    sweep_thresholds,
+)
+from repro.eval.scenarios import (
+    Scenario,
+    all_scenarios,
+    hadoop_scenarios,
+    rubis_scenarios,
+    scenario_by_name,
+    systems_scenarios,
+)
+
+__all__ = [
+    "FChainLocalizer",
+    "sparkline",
+    "strip_chart",
+    "FChainValidatedLocalizer",
+    "PrecisionRecall",
+    "RocPoint",
+    "RunRecord",
+    "Scenario",
+    "all_scenarios",
+    "dependency_graph_for",
+    "evaluate_schemes",
+    "execute_run",
+    "hadoop_scenarios",
+    "rubis_scenarios",
+    "scenario_by_name",
+    "sweep_thresholds",
+    "systems_scenarios",
+]

@@ -1,0 +1,86 @@
+"""Precision / recall accounting (paper Sec. III-A, Eq. 1).
+
+True positive: a faulty component correctly pinpointed. False negative: a
+faulty component missed. False positive: a normal component pinpointed.
+The ROC curves in the paper plot recall (x) against precision (y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Set
+
+from repro.common.types import ComponentId
+
+
+@dataclass
+class PrecisionRecall:
+    """Accumulates confusion counts across runs.
+
+    Attributes:
+        true_positives: Correctly pinpointed faulty components.
+        false_positives: Normal components pinpointed as faulty.
+        false_negatives: Faulty components missed.
+        runs: Number of runs accumulated.
+    """
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    runs: int = 0
+
+    def update(
+        self,
+        pinpointed: Iterable[ComponentId],
+        ground_truth: Iterable[ComponentId],
+    ) -> None:
+        """Score one run's pinpointing against its ground truth."""
+        pin: Set[ComponentId] = set(pinpointed)
+        truth: Set[ComponentId] = set(ground_truth)
+        self.true_positives += len(pin & truth)
+        self.false_positives += len(pin - truth)
+        self.false_negatives += len(truth - pin)
+        self.runs += 1
+
+    @property
+    def precision(self) -> float:
+        """``tp / (tp + fp)``; defined as 0 with no pinpointings at all."""
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        """``tp / (tp + fn)``; defined as 0 with no faulty components."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def merged(self, other: "PrecisionRecall") -> "PrecisionRecall":
+        """Combine two accumulators."""
+        return PrecisionRecall(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+            self.runs + other.runs,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.2f} R={self.recall:.2f} "
+            f"(tp={self.true_positives} fp={self.false_positives} "
+            f"fn={self.false_negatives}, {self.runs} runs)"
+        )
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One point of a threshold-swept ROC curve."""
+
+    threshold: float
+    precision: float
+    recall: float

@@ -1,0 +1,99 @@
+"""Terminal-friendly plotting helpers for series and markers.
+
+The evaluation prints its figures as text; these helpers render a time
+series as an ASCII strip chart with optional event markers (change
+points, onsets, the SLO violation) so the regenerated Fig. 3 / Fig. 4
+outputs are actually inspectable in a terminal or a text file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+
+#: Glyphs from low to high.
+_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 80) -> str:
+    """One-line density sparkline of a series, resampled to ``width``."""
+    values = np.asarray(list(values), dtype=float)
+    if len(values) == 0:
+        return ""
+    idx = np.linspace(0, len(values) - 1, min(width, len(values))).astype(int)
+    sampled = values[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo
+    if span <= 0:
+        return _LEVELS[0] * len(sampled)
+    chars = []
+    for v in sampled:
+        level = int((v - lo) / span * (len(_LEVELS) - 1))
+        chars.append(_LEVELS[level])
+    return "".join(chars)
+
+
+def strip_chart(
+    series: TimeSeries,
+    *,
+    height: int = 8,
+    width: int = 80,
+    markers: Optional[Dict[int, str]] = None,
+    title: str = "",
+) -> str:
+    """Multi-line ASCII chart of a series with labelled time markers.
+
+    Args:
+        series: The series to draw.
+        height: Chart rows.
+        width: Chart columns (the series is resampled).
+        markers: ``{timestamp: glyph}`` annotations drawn under the x axis
+            (e.g. ``{onset: '^'}``).
+        title: Optional caption.
+
+    Returns:
+        The rendered chart.
+    """
+    values = series.values
+    if len(values) == 0:
+        return title
+    columns = min(width, len(values))
+    idx = np.linspace(0, len(values) - 1, columns).astype(int)
+    sampled = values[idx]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+
+    grid = [[" "] * columns for _ in range(height)]
+    for col, value in enumerate(sampled):
+        row = int((value - lo) / span * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.1f} ┐")
+    for row in grid:
+        lines.append(" " * 11 + "│" + "".join(row))
+    lines.append(f"{lo:10.1f} ┘")
+
+    marker_row = [" "] * columns
+    legend = []
+    for time, glyph in (markers or {}).items():
+        if not series.start <= time < series.end:
+            continue
+        position = int(
+            (time - series.start) / max(1, len(values) - 1) * (columns - 1)
+        )
+        marker_row[position] = glyph[0]
+        legend.append(f"{glyph[0]}=t{time}")
+    if legend:
+        lines.append(" " * 12 + "".join(marker_row))
+        lines.append(" " * 12 + "markers: " + ", ".join(sorted(legend)))
+    lines.append(
+        " " * 12 + f"t=[{series.start}, {series.end}) "
+        f"({len(values)} samples)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Plain-text reporting of the paper's tables and figures.
+
+The benchmarks print, for every figure, the precision/recall of every
+scheme per fault (the paper's ROC points) and, for the tables, the same
+rows the paper reports. Absolute numbers differ from the paper — the
+substrate is a simulator, not the authors' Xen testbed — but the shape
+(which scheme wins, by how much, where it breaks) is the reproduction
+target; EXPERIMENTS.md records both side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.eval.metrics import PrecisionRecall, RocPoint
+
+
+def format_scheme_table(
+    title: str,
+    per_fault: Mapping[str, Mapping[str, PrecisionRecall]],
+) -> str:
+    """Render one figure's data: rows = schemes, columns = faults.
+
+    Args:
+        title: Figure caption.
+        per_fault: ``{fault: {scheme: PrecisionRecall}}``.
+    """
+    faults = list(per_fault)
+    schemes: List[str] = []
+    for results in per_fault.values():
+        for scheme in results:
+            if scheme not in schemes:
+                schemes.append(scheme)
+    lines = [title, "=" * len(title)]
+    header = f"{'scheme':<16}" + "".join(f"{fault:>24}" for fault in faults)
+    lines.append(header)
+    for scheme in schemes:
+        cells = []
+        for fault in faults:
+            pr = per_fault[fault].get(scheme)
+            cells.append(
+                f"P={pr.precision:.2f} R={pr.recall:.2f}".rjust(24)
+                if pr
+                else "-".rjust(24)
+            )
+        lines.append(f"{scheme:<16}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_roc_series(
+    title: str, series: Mapping[str, Sequence[RocPoint]]
+) -> str:
+    """Render threshold-swept ROC series (Fixed-Filtering, Histogram...)."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"{name}:")
+        for point in points:
+            lines.append(
+                f"  threshold={point.threshold:<8g} "
+                f"P={point.precision:.2f} R={point.recall:.2f}"
+            )
+    return "\n".join(lines)
+
+
+def format_sensitivity_table(
+    rows: Sequence[Tuple[str, str, PrecisionRecall]],
+) -> str:
+    """Render Table I: parameter setting x fault -> P/R."""
+    lines = [
+        "Table I — sensitivity to look-back window and concurrency threshold",
+        f"{'parameter':<28}{'fault':<24}{'P':>8}{'R':>8}",
+    ]
+    for parameter, fault, pr in rows:
+        lines.append(
+            f"{parameter:<28}{fault:<24}{pr.precision:>8.2f}{pr.recall:>8.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,280 @@
+"""Fault scenarios of the paper's evaluation (Sec. III-A).
+
+Each :class:`Scenario` bundles an application factory, a fault campaign
+(with random injection times and, for System S, random target PEs), and
+the per-application context pieces the schemes need. System S target PEs
+are drawn from the loaded middle/sink stages (PE2, PE3, PE6, PE7), where
+the injected degradations reliably breach the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application
+from repro.apps.hadoop import MAPS, HadoopApplication
+from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
+from repro.apps.systems import SystemSApplication
+from repro.faults.injector import FaultCampaign
+from repro.faults.library import (
+    BottleneckFault,
+    CpuHogFault,
+    DiskHogFault,
+    InfiniteLoopFault,
+    LBBugFault,
+    MemLeakFault,
+    NetHogFault,
+    OffloadBugFault,
+    WorkloadSurge,
+)
+
+#: System S PEs eligible as random fault targets.
+SYSTEMS_TARGETS = ("PE2", "PE3", "PE6", "PE7")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault scenario: an application plus a repeatable campaign.
+
+    Attributes:
+        name: Scenario id, e.g. ``"rubis/cpuhog"``.
+        app_name: Which benchmark application (``rubis``/``systems``/
+            ``hadoop``).
+        make_app: Application factory taking the run seed.
+        campaign: The fault campaign injected once per run.
+        slo_component: Component at which the SLO is observed.
+        look_back_window: ``W`` override (the Hadoop DiskHog uses 500 s).
+        max_wait: Longest post-injection wait for an SLO violation before
+            the run is discarded (some load-dependent faults need a
+            workload peak to bite).
+    """
+
+    name: str
+    app_name: str
+    make_app: Callable[[object], Application]
+    campaign: FaultCampaign
+    slo_component: str
+    look_back_window: Optional[int] = None
+    max_wait: int = 600
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _rubis(seed: object) -> RubisApplication:
+    return RubisApplication(seed=seed, duration=2400)
+
+
+def _systems(seed: object) -> SystemSApplication:
+    return SystemSApplication(seed=seed, duration=2400)
+
+
+def _hadoop(seed: object) -> HadoopApplication:
+    return HadoopApplication(seed=seed)
+
+
+#: Injection window: late enough for the online models to have trained,
+#: early enough that a violation fits into the run.
+RUBIS_WINDOW = (1100, 1500)
+SYSTEMS_WINDOW = (1100, 1500)
+HADOOP_WINDOW = (800, 1100)
+
+
+def rubis_scenarios() -> List[Scenario]:
+    """RUBiS faults: three single-component, two concurrent (Sec. III-A)."""
+    return [
+        Scenario(
+            "rubis/memleak",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/memleak",
+                lambda t, rng: [MemLeakFault(t, DB)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        ),
+        Scenario(
+            "rubis/cpuhog",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/cpuhog",
+                lambda t, rng: [CpuHogFault(t, DB)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        ),
+        Scenario(
+            "rubis/nethog",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/nethog",
+                lambda t, rng: [NetHogFault(t, WEB)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        ),
+        Scenario(
+            "rubis/offload_bug",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/offload_bug",
+                lambda t, rng: [OffloadBugFault(t)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        ),
+        Scenario(
+            "rubis/lb_bug",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/lb_bug",
+                lambda t, rng: [LBBugFault(t)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        ),
+    ]
+
+
+def systems_scenarios() -> List[Scenario]:
+    """System S faults: random target PEs, single and concurrent."""
+
+    def one(fault_cls):
+        def factory(t, rng):
+            return [fault_cls(t, str(rng.choice(SYSTEMS_TARGETS)))]
+
+        return factory
+
+    def two(fault_cls):
+        def factory(t, rng):
+            picks = rng.choice(SYSTEMS_TARGETS, size=2, replace=False)
+            return [fault_cls(t, str(target)) for target in picks]
+
+        return factory
+
+    return [
+        Scenario(
+            "systems/memleak",
+            "systems",
+            _systems,
+            FaultCampaign("systems/memleak", one(MemLeakFault), SYSTEMS_WINDOW),
+            slo_component="PE7",
+        ),
+        Scenario(
+            "systems/cpuhog",
+            "systems",
+            _systems,
+            FaultCampaign("systems/cpuhog", one(CpuHogFault), SYSTEMS_WINDOW),
+            slo_component="PE7",
+        ),
+        Scenario(
+            "systems/bottleneck",
+            "systems",
+            _systems,
+            FaultCampaign(
+                "systems/bottleneck", one(BottleneckFault), SYSTEMS_WINDOW
+            ),
+            slo_component="PE7",
+        ),
+        Scenario(
+            "systems/conc_memleak",
+            "systems",
+            _systems,
+            FaultCampaign(
+                "systems/conc_memleak", two(MemLeakFault), SYSTEMS_WINDOW
+            ),
+            slo_component="PE7",
+        ),
+        Scenario(
+            "systems/conc_cpuhog",
+            "systems",
+            _systems,
+            FaultCampaign(
+                "systems/conc_cpuhog", two(CpuHogFault), SYSTEMS_WINDOW
+            ),
+            slo_component="PE7",
+        ),
+    ]
+
+
+def hadoop_scenarios() -> List[Scenario]:
+    """Hadoop faults: concurrent faults in all three map nodes."""
+    return [
+        Scenario(
+            "hadoop/conc_memleak",
+            "hadoop",
+            _hadoop,
+            FaultCampaign(
+                "hadoop/conc_memleak",
+                lambda t, rng: [MemLeakFault(t, m) for m in MAPS],
+                HADOOP_WINDOW,
+            ),
+            slo_component="red1",
+        ),
+        Scenario(
+            "hadoop/conc_cpuhog",
+            "hadoop",
+            _hadoop,
+            FaultCampaign(
+                "hadoop/conc_cpuhog",
+                lambda t, rng: [InfiniteLoopFault(t, m) for m in MAPS],
+                HADOOP_WINDOW,
+            ),
+            slo_component="red1",
+        ),
+        Scenario(
+            "hadoop/conc_diskhog",
+            "hadoop",
+            _hadoop,
+            FaultCampaign(
+                "hadoop/conc_diskhog",
+                lambda t, rng: [DiskHogFault(t, list(MAPS))],
+                HADOOP_WINDOW,
+            ),
+            slo_component="red1",
+            look_back_window=500,
+        ),
+    ]
+
+
+def external_scenarios() -> List[Scenario]:
+    """External-factor scenario: a workload surge, empty ground truth."""
+    return [
+        Scenario(
+            "rubis/workload_surge",
+            "rubis",
+            _rubis,
+            FaultCampaign(
+                "rubis/workload_surge",
+                lambda t, rng: [WorkloadSurge(t)],
+                RUBIS_WINDOW,
+            ),
+            slo_component=WEB,
+        )
+    ]
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every scenario of the paper's evaluation plus the surge check."""
+    return (
+        rubis_scenarios()
+        + systems_scenarios()
+        + hadoop_scenarios()
+        + external_scenarios()
+    )
+
+
+def scenario_by_name(name: str) -> Scenario:
+    """Look a scenario up by its full name (e.g. ``"rubis/cpuhog"``)."""
+    for scenario in all_scenarios():
+        if scenario.name == name:
+            return scenario
+    raise KeyError(f"unknown scenario {name!r}")

@@ -1,0 +1,224 @@
+"""Dependency-free SVG figures for the regenerated evaluation.
+
+The offline environment has no plotting stack, so this module renders the
+paper-style figures — precision/recall scatter plots (the ROC figures
+6-11), threshold sweeps (figure 12) and time-series panels (figures 3-4)
+— as standalone SVG files with nothing but the standard library.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Distinguishable marker colors, cycled per series.
+PALETTE = (
+    "#1f77b4",
+    "#d62728",
+    "#2ca02c",
+    "#9467bd",
+    "#ff7f0e",
+    "#8c564b",
+    "#17becf",
+    "#7f7f7f",
+)
+
+#: Marker glyph cycle (drawn as small paths/shapes).
+MARKERS = ("circle", "square", "diamond", "triangle")
+
+
+class SvgCanvas:
+    """Minimal retained-mode SVG builder."""
+
+    def __init__(self, width: int = 560, height: int = 420) -> None:
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def line(self, x1, y1, x2, y2, color="#333", width=1.0, dash=None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{width}"{dash_attr}/>'
+        )
+
+    def polyline(self, points, color="#333", width=1.5) -> None:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{path}" fill="none" stroke="{color}" '
+            f'stroke-width="{width}"/>'
+        )
+
+    def marker(self, x, y, kind="circle", color="#333", size=4.5) -> None:
+        if kind == "circle":
+            self._elements.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{size:.1f}" '
+                f'fill="{color}"/>'
+            )
+        elif kind == "square":
+            self._elements.append(
+                f'<rect x="{x - size:.1f}" y="{y - size:.1f}" '
+                f'width="{2 * size:.1f}" height="{2 * size:.1f}" '
+                f'fill="{color}"/>'
+            )
+        elif kind == "diamond":
+            pts = f"{x:.1f},{y - size:.1f} {x + size:.1f},{y:.1f} " \
+                  f"{x:.1f},{y + size:.1f} {x - size:.1f},{y:.1f}"
+            self._elements.append(f'<polygon points="{pts}" fill="{color}"/>')
+        else:  # triangle
+            pts = f"{x:.1f},{y - size:.1f} {x + size:.1f},{y + size:.1f} " \
+                  f"{x - size:.1f},{y + size:.1f}"
+            self._elements.append(f'<polygon points="{pts}" fill="{color}"/>')
+
+    def text(self, x, y, content, size=11, color="#222", anchor="start",
+             rotate: Optional[float] = None) -> None:
+        transform = (
+            f' transform="rotate({rotate} {x:.1f} {y:.1f})"' if rotate else ""
+        )
+        self._elements.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'fill="{color}" text-anchor="{anchor}" '
+            f'font-family="sans-serif"{transform}>'
+            f"{html.escape(str(content))}</text>"
+        )
+
+    def render(self) -> str:
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+class _Axes:
+    """Linear axes mapping data space to a plot rectangle."""
+
+    def __init__(self, canvas, x_range, y_range, *, title, xlabel, ylabel):
+        self.canvas = canvas
+        self.x0, self.x1 = x_range
+        self.y0, self.y1 = y_range
+        self.left, self.top = 62, 34
+        self.right = canvas.width - 16
+        self.bottom = canvas.height - 44
+        canvas.text(canvas.width / 2, 18, title, size=13, anchor="middle")
+        canvas.text(
+            (self.left + self.right) / 2, canvas.height - 8, xlabel,
+            anchor="middle",
+        )
+        canvas.text(
+            16, (self.top + self.bottom) / 2, ylabel, anchor="middle",
+            rotate=-90,
+        )
+        canvas.line(self.left, self.bottom, self.right, self.bottom)
+        canvas.line(self.left, self.top, self.left, self.bottom)
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            x = self.px(self.x0 + fraction * (self.x1 - self.x0))
+            y = self.py(self.y0 + fraction * (self.y1 - self.y0))
+            canvas.line(x, self.bottom, x, self.bottom + 4)
+            canvas.line(self.left - 4, y, self.left, y)
+            canvas.text(
+                x, self.bottom + 16,
+                f"{self.x0 + fraction * (self.x1 - self.x0):g}",
+                size=9, anchor="middle",
+            )
+            canvas.text(
+                self.left - 7, y + 3,
+                f"{self.y0 + fraction * (self.y1 - self.y0):g}",
+                size=9, anchor="end",
+            )
+            canvas.line(
+                self.left, y, self.right, y, color="#eee", width=0.7
+            )
+
+    def px(self, x: float) -> float:
+        span = (self.x1 - self.x0) or 1.0
+        return self.left + (x - self.x0) / span * (self.right - self.left)
+
+    def py(self, y: float) -> float:
+        span = (self.y1 - self.y0) or 1.0
+        return self.bottom - (y - self.y0) / span * (self.bottom - self.top)
+
+
+def roc_figure(
+    per_scheme: Mapping[str, Tuple[float, float]],
+    *,
+    title: str,
+) -> str:
+    """A precision/recall scatter (one labelled point per scheme).
+
+    Args:
+        per_scheme: ``{scheme: (recall, precision)}``.
+        title: Figure caption.
+
+    Returns:
+        The SVG document text.
+    """
+    canvas = SvgCanvas()
+    axes = _Axes(
+        canvas, (0.0, 1.0), (0.0, 1.05),
+        title=title, xlabel="recall", ylabel="precision",
+    )
+    for index, (scheme, (recall, precision)) in enumerate(per_scheme.items()):
+        color = PALETTE[index % len(PALETTE)]
+        kind = MARKERS[index % len(MARKERS)]
+        x, y = axes.px(recall), axes.py(precision)
+        canvas.marker(x, y, kind=kind, color=color)
+        canvas.text(x + 7, y - 6, scheme, size=10, color=color)
+    return canvas.render()
+
+
+def line_figure(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    *,
+    title: str,
+    xlabel: str = "t (s)",
+    ylabel: str = "value",
+    markers: Optional[Mapping[float, str]] = None,
+) -> str:
+    """A multi-series line chart with optional vertical event markers.
+
+    Args:
+        series: ``{label: [(x, y), ...]}``.
+        markers: ``{x: label}`` vertical annotation lines.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("line_figure needs at least one point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    pad = 0.05 * (max(ys) - min(ys) or 1.0)
+    canvas = SvgCanvas()
+    axes = _Axes(
+        canvas,
+        (min(xs), max(xs) or 1.0),
+        (min(ys) - pad, max(ys) + pad),
+        title=title, xlabel=xlabel, ylabel=ylabel,
+    )
+    for index, (label, pts) in enumerate(series.items()):
+        color = PALETTE[index % len(PALETTE)]
+        canvas.polyline(
+            [(axes.px(x), axes.py(y)) for x, y in pts], color=color
+        )
+        last_x, last_y = pts[-1]
+        canvas.text(
+            min(axes.px(last_x) + 4, canvas.width - 60),
+            axes.py(last_y), label, size=10, color=color,
+        )
+    for x, label in (markers or {}).items():
+        canvas.line(
+            axes.px(x), axes.py(axes.y0), axes.px(x), axes.py(axes.y1),
+            color="#d62728", width=1.0, dash="4,3",
+        )
+        canvas.text(axes.px(x) + 3, axes.py(axes.y1) + 12, label, size=9,
+                    color="#d62728")
+    return canvas.render()
+
+
+def save_svg(text: str, path) -> None:
+    """Write an SVG document to disk."""
+    import pathlib
+
+    pathlib.Path(path).write_text(text)

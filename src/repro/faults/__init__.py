@@ -1,0 +1,34 @@
+"""Fault injection.
+
+Behavioural models of the faults the paper injects (Sec. III-A): common
+software bugs (memory leaks, infinite loops, real JBoss/mod_jk bugs) and
+resource interference (CPU/network/disk hogs, CPU caps), in both
+single-component and multi-component concurrent variants.
+"""
+
+from repro.faults.base import Fault
+from repro.faults.injector import FaultCampaign, schedule_fault_time
+from repro.faults.library import (
+    BottleneckFault,
+    CpuHogFault,
+    DiskHogFault,
+    LBBugFault,
+    MemLeakFault,
+    NetHogFault,
+    OffloadBugFault,
+    WorkloadSurge,
+)
+
+__all__ = [
+    "BottleneckFault",
+    "CpuHogFault",
+    "DiskHogFault",
+    "Fault",
+    "FaultCampaign",
+    "LBBugFault",
+    "MemLeakFault",
+    "NetHogFault",
+    "OffloadBugFault",
+    "WorkloadSurge",
+    "schedule_fault_time",
+]

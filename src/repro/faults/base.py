@@ -1,0 +1,68 @@
+"""Fault base class.
+
+A fault is a tick-driven mutation of the application/cloud state. It stays
+dormant until its start time, applies a one-shot activation (e.g. start a
+hog process, flip a routing table) and may then keep progressing every tick
+(e.g. a memory leak growing). Faults carry their own ground truth — the set
+of components a perfect localizer should pinpoint — which the evaluation
+harness scores against.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.common.types import ComponentId
+
+
+class Fault:
+    """Base class for injected faults.
+
+    Args:
+        start_time: Tick at which the fault begins to act.
+        targets: Component(s) the fault is considered to originate from —
+            the localization ground truth.
+    """
+
+    #: Human-readable fault kind, overridden by subclasses.
+    kind = "fault"
+
+    def __init__(self, start_time: int, targets: Iterable[ComponentId]) -> None:
+        if start_time < 0:
+            raise ValueError("start_time must be non-negative")
+        self.start_time = start_time
+        self._targets = frozenset(targets)
+        self._activated = False
+
+    @property
+    def ground_truth(self) -> FrozenSet[ComponentId]:
+        """Components a perfect localizer should pinpoint for this fault."""
+        return self._targets
+
+    @property
+    def active(self) -> bool:
+        """Whether the fault has activated yet."""
+        return self._activated
+
+    # ------------------------------------------------------------------
+    def on_tick(self, app, t: int) -> None:
+        """Advance the fault; called by the application every tick."""
+        if t < self.start_time:
+            return
+        if not self._activated:
+            self.activate(app)
+            self._activated = True
+        self.progress(app, t)
+
+    # Subclass hooks -----------------------------------------------------
+    def activate(self, app) -> None:
+        """One-shot state change when the fault first fires."""
+
+    def progress(self, app, t: int) -> None:
+        """Recurring per-tick effect while the fault is active."""
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(start={self.start_time}, "
+            f"targets={sorted(self._targets)})"
+        )

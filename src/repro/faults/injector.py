@@ -1,0 +1,66 @@
+"""Fault campaign scheduling.
+
+The paper injects one fault per application run at a random time instant to
+exercise different workload conditions, repeating 30-40 runs per fault.
+:class:`FaultCampaign` captures one such fault configuration — a factory
+that builds the fault(s) given an injection time and an RNG (some faults
+pick random target PEs) — and materializes it deterministically per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Tuple
+
+import numpy as np
+
+from repro.common.rng import spawn_rng
+from repro.common.types import ComponentId
+from repro.faults.base import Fault
+
+#: Signature of a campaign fault factory.
+FaultFactory = Callable[[int, np.random.Generator], List[Fault]]
+
+
+def schedule_fault_time(
+    rng: np.random.Generator, window: Tuple[int, int]
+) -> int:
+    """Draw a random injection tick from ``[window[0], window[1])``."""
+    lo, hi = window
+    if not 0 <= lo < hi:
+        raise ValueError(f"invalid injection window {window}")
+    return int(rng.integers(lo, hi))
+
+
+@dataclass(frozen=True)
+class FaultCampaign:
+    """One fault configuration to be repeated across runs.
+
+    Attributes:
+        name: Campaign name (e.g. ``"rubis/memleak"``).
+        factory: Builds the concrete fault list for a run; receives the
+            injection tick and a per-run RNG (used e.g. to pick random
+            target PEs in System S).
+        window: Injection-time range ``[lo, hi)`` in ticks.
+    """
+
+    name: str
+    factory: FaultFactory
+    window: Tuple[int, int] = (600, 900)
+
+    def materialize(
+        self, run_seed: object
+    ) -> Tuple[List[Fault], int, FrozenSet[ComponentId]]:
+        """Build this campaign's faults for one run.
+
+        Returns:
+            The fault list, the injection tick, and the combined ground
+            truth (union over all faults).
+        """
+        rng = spawn_rng("inject", self.name, run_seed)
+        t_inject = schedule_fault_time(rng, self.window)
+        faults = self.factory(t_inject, rng)
+        truth: FrozenSet[ComponentId] = frozenset().union(
+            *(f.ground_truth for f in faults)
+        ) if faults else frozenset()
+        return faults, t_inject, truth

@@ -1,0 +1,268 @@
+"""The fault library: every fault type from the paper's evaluation.
+
+Each class documents which paper fault it models and how the behavioural
+substitution preserves the manifestation the localization schemes see.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.common.types import ComponentId
+from repro.faults.base import Fault
+
+
+class MemLeakFault(Fault):
+    """A memory-leak bug inside one component (paper: MemLeak).
+
+    Memory grows steadily from injection; once occupancy approaches the
+    VM's limit the component starts thrashing (speed collapses, swap
+    traffic appears on disk metrics). The *memory* metric changes at the
+    injection instant, so the faulty component's abnormal-change onset
+    precedes every propagated effect — the pattern of Fig. 2.
+    """
+
+    kind = "memleak"
+
+    def __init__(
+        self, start_time: int, component: ComponentId, rate_mb_per_s: float = 8.0
+    ) -> None:
+        super().__init__(start_time, [component])
+        self.component = component
+        self.rate_mb_per_s = rate_mb_per_s
+
+    def progress(self, app, t: int) -> None:
+        app.components[self.component].leaked_mb += self.rate_mb_per_s
+
+
+class CpuHogFault(Fault):
+    """A CPU-bound program competing inside the component's VM (CpuHog).
+
+    The hog ramps up over ``ramp_seconds`` (threads spawning, caches
+    warming) rather than appearing at full intensity instantly; the
+    component's degradation is therefore gradual, and back-pressure
+    reaches its neighbours several seconds after the hog starts — the
+    propagation-delay regime the paper reports.
+    """
+
+    kind = "cpuhog"
+
+    def __init__(
+        self,
+        start_time: int,
+        component: ComponentId,
+        cores: float = 7.0,
+        ramp_seconds: int = 25,
+    ) -> None:
+        super().__init__(start_time, [component])
+        self.component = component
+        self.cores = cores
+        self.ramp_seconds = max(1, ramp_seconds)
+        self._applied = 0.0
+
+    def progress(self, app, t: int) -> None:
+        elapsed = t - self.start_time
+        level = self.cores * min(1.0, elapsed / self.ramp_seconds)
+        app.vms[self.component].extra_cpu_cores += level - self._applied
+        self._applied = level
+
+
+class InfiniteLoopFault(Fault):
+    """An infinite-loop bug inside the component itself.
+
+    Used for Hadoop's "Concurrent CpuHog" (the paper injects an infinite
+    loop into every map task): the task burns a full core while making
+    almost no forward progress.
+    """
+
+    kind = "infinite_loop"
+
+    def __init__(
+        self,
+        start_time: int,
+        component: ComponentId,
+        *,
+        residual_speed: float = 0.03,
+        loop_cores: float = 1.0,
+    ) -> None:
+        super().__init__(start_time, [component])
+        self.component = component
+        self.residual_speed = residual_speed
+        self.loop_cores = loop_cores
+
+    def activate(self, app) -> None:
+        app.components[self.component].speed_multiplier *= self.residual_speed
+        app.vms[self.component].extra_cpu_cores += self.loop_cores
+
+
+class NetHogFault(Fault):
+    """An httperf-style request flood at the web tier (NetHog).
+
+    Junk requests consume CPU at the target and show up as a surge of
+    inbound network traffic; the earliest abnormal metric is network-in.
+    """
+
+    kind = "nethog"
+
+    def __init__(
+        self,
+        start_time: int,
+        component: ComponentId,
+        *,
+        cores: float = 8.0,
+        net_kbps: float = 25000.0,
+        ramp_seconds: int = 20,
+    ) -> None:
+        super().__init__(start_time, [component])
+        self.component = component
+        self.cores = cores
+        self.net_kbps = net_kbps
+        self.ramp_seconds = max(1, ramp_seconds)
+        self._applied = 0.0
+
+    def progress(self, app, t: int) -> None:
+        elapsed = t - self.start_time
+        level = min(1.0, elapsed / self.ramp_seconds)
+        vm = app.vms[self.component]
+        vm.extra_cpu_cores += self.cores * (level - self._applied)
+        vm.extra_net_in_kbps += self.net_kbps * (level - self._applied)
+        self._applied = level
+
+
+class DiskHogFault(Fault):
+    """A disk-intensive program in Domain-0 of the targets' hosts (DiskHog).
+
+    Domain-0 I/O ramps up gradually, shrinking the disk bandwidth available
+    to disk-bound guests. This is the paper's slowest-manifesting fault —
+    the one that needs a 500-second look-back window.
+    """
+
+    kind = "diskhog"
+
+    def __init__(
+        self,
+        start_time: int,
+        components: Iterable[ComponentId],
+        *,
+        ramp_kbps_per_s: float = 180.0,
+    ) -> None:
+        super().__init__(start_time, components)
+        self.components = list(components)
+        self.ramp_kbps_per_s = ramp_kbps_per_s
+
+    def progress(self, app, t: int) -> None:
+        elapsed = t - self.start_time
+        for name in self.components:
+            host = app.vms[name].host
+            host.dom0_disk_kbps = min(
+                host.disk_bw_kbps * 0.995, elapsed * self.ramp_kbps_per_s
+            )
+
+
+class BottleneckFault(Fault):
+    """A low CPU cap set over one PE's VM (System S Bottleneck)."""
+
+    kind = "bottleneck"
+
+    def __init__(
+        self, start_time: int, component: ComponentId, cap: float = 0.10
+    ) -> None:
+        super().__init__(start_time, [component])
+        self.component = component
+        self.cap = cap
+
+    def activate(self, app) -> None:
+        app.vms[self.component].cpu_cap = self.cap
+
+
+class OffloadBugFault(Fault):
+    """JBoss remote-lookup bug JBAS-1442 (RUBiS OffloadBug).
+
+    Application server 1 tries to offload EJBs to application server 2 but
+    the broken lookup returns the local binding: app1 silently absorbs the
+    offloaded work (with lookup overhead) while app2's share collapses.
+    Both application servers manifest concurrently — the paper classes
+    this as a multi-component concurrent fault, so the ground truth is
+    both EJB servers.
+    """
+
+    kind = "offload_bug"
+
+    def __init__(
+        self,
+        start_time: int,
+        *,
+        web: ComponentId = "web",
+        app1: ComponentId = "app1",
+        app2: ComponentId = "app2",
+        skew: float = 0.92,
+        overhead: float = 0.45,
+    ) -> None:
+        super().__init__(start_time, [app1, app2])
+        self.web = web
+        self.app1 = app1
+        self.app2 = app2
+        self.skew = skew
+        self.overhead = overhead
+
+    def activate(self, app) -> None:
+        web = app.components[self.web]
+        web.weight_overrides[self.app1] = self.skew
+        web.weight_overrides[self.app2] = 1.0 - self.skew
+        # Remote lookups resolving locally: app1 also pays the lookup and
+        # the EJB work it should have shipped away.
+        app.components[self.app1].speed_multiplier *= self.overhead
+
+
+class LBBugFault(Fault):
+    """mod_jk 1.2.30 load-balancing bug (RUBiS LBBug).
+
+    The web tier's balancer dispatches requests entirely to one worker:
+    app1 saturates while app2 starves. Both application servers show
+    concurrent abnormal changes; ground truth is both EJB servers
+    (multi-component concurrent fault, as in the paper).
+    """
+
+    kind = "lb_bug"
+
+    def __init__(
+        self,
+        start_time: int,
+        *,
+        web: ComponentId = "web",
+        app1: ComponentId = "app1",
+        app2: ComponentId = "app2",
+    ) -> None:
+        super().__init__(start_time, [app1, app2])
+        self.web = web
+        self.app1 = app1
+        self.app2 = app2
+
+    def activate(self, app) -> None:
+        web = app.components[self.web]
+        web.weight_overrides[self.app1] = 1.0
+        web.weight_overrides[self.app2] = 1e-6
+        # The broken balancer hammers one worker with reconnect/retry
+        # overhead on top of the full request stream.
+        app.components[self.app1].speed_multiplier *= 0.55
+
+
+class WorkloadSurge(Fault):
+    """An external workload surge — *not* an application fault.
+
+    Used to exercise FChain's external-factor detection: every component
+    trends upward together, so a correct localizer should pinpoint nothing.
+    The ground truth is accordingly empty.
+    """
+
+    kind = "workload_surge"
+
+    def __init__(self, start_time: int, *, factor: float = 2.6) -> None:
+        super().__init__(start_time, [])
+        self.factor = factor
+        self._original = None
+
+    def activate(self, app) -> None:
+        workload = app.workload
+        self._original = workload.rates
+        workload.rates = workload.rates * self.factor

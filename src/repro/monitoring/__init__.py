@@ -1,0 +1,23 @@
+"""Metric storage and SLO detection.
+
+The FChain slaves continuously sample six system metrics per guest VM at
+1 Hz; the application side exposes an SLO signal (response time, job
+progress, or per-tuple processing time). This package holds the metric
+store both sides share and the SLO detectors that trigger diagnosis.
+"""
+
+from repro.monitoring.slo import (
+    LatencySLO,
+    ProgressSLO,
+    SLODetector,
+    SLOStatus,
+)
+from repro.monitoring.store import MetricStore
+
+__all__ = [
+    "LatencySLO",
+    "MetricStore",
+    "ProgressSLO",
+    "SLODetector",
+    "SLOStatus",
+]

@@ -1,0 +1,122 @@
+"""Service-level-objective detection.
+
+FChain is triggered by an SLO violation; it does *not* do anomaly detection
+itself (paper Sec. II-A, footnote 1). The detectors here mirror the three
+SLO definitions used in the evaluation:
+
+* RUBiS — average request response time above 100 ms;
+* Hadoop — no job progress for more than 30 seconds;
+* System S — average per-tuple processing time above 20 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+
+
+@dataclass
+class SLOStatus:
+    """Outcome of feeding one tick into a detector.
+
+    Attributes:
+        violated: Whether the SLO is currently violated.
+        first_violation: Tick of the first violation seen, if any.
+    """
+
+    violated: bool
+    first_violation: Optional[int]
+
+
+class SLODetector:
+    """Base class: feed one performance sample per tick, track violations."""
+
+    def __init__(self) -> None:
+        self.samples: List[float] = []
+        self.first_violation: Optional[int] = None
+        self.violation_ticks: List[int] = []
+        self._start = 0
+
+    def observe(self, t: int, value: float) -> SLOStatus:
+        """Record the performance sample for tick ``t`` and evaluate the SLO."""
+        if not self.samples:
+            self._start = t
+        self.samples.append(float(value))
+        violated = self._evaluate(t)
+        if violated:
+            self.violation_ticks.append(t)
+            if self.first_violation is None:
+                self.first_violation = t
+        return SLOStatus(violated=violated, first_violation=self.first_violation)
+
+    def first_violation_after(self, t_from: int) -> Optional[int]:
+        """First violating tick at or after ``t_from`` (None if none)."""
+        for tick in self.violation_ticks:
+            if tick >= t_from:
+                return tick
+        return None
+
+    def performance_series(self) -> TimeSeries:
+        """The raw performance signal as a time series."""
+        return TimeSeries(np.asarray(self.samples, dtype=float), start=self._start)
+
+    def _evaluate(self, t: int) -> bool:
+        raise NotImplementedError
+
+
+class LatencySLO(SLODetector):
+    """Latency must not stay above a threshold for a sustained period.
+
+    A violation is marked when the latency signal has exceeded the
+    threshold for ``sustain`` consecutive seconds — the standard
+    anti-flapping rule of production SLO monitors. The sustain period is
+    also what gives fault propagation time to reach neighbouring
+    components *before* diagnosis is triggered, as in the paper's testbed,
+    where the client-side detector reacted on sustained degradation.
+
+    Args:
+        threshold: Latency threshold in seconds (0.1 for RUBiS, 0.02 for
+            System S).
+        sustain: Consecutive seconds above threshold required to declare a
+            violation.
+    """
+
+    def __init__(self, threshold: float, sustain: int = 10) -> None:
+        super().__init__()
+        if threshold <= 0 or sustain <= 0:
+            raise ValueError("threshold and sustain must be positive")
+        self.threshold = threshold
+        self.sustain = sustain
+
+    def _evaluate(self, t: int) -> bool:
+        if len(self.samples) < self.sustain:
+            return False
+        recent = self.samples[-self.sustain :]
+        return all(v > self.threshold for v in recent)
+
+
+class ProgressSLO(SLODetector):
+    """A monotone progress score must keep increasing.
+
+    Marks a violation when progress has not increased by at least
+    ``min_delta`` over the last ``stall_seconds`` ticks (Hadoop: 30 s).
+    """
+
+    def __init__(self, stall_seconds: int = 30, min_delta: float = 1e-6) -> None:
+        super().__init__()
+        if stall_seconds <= 0:
+            raise ValueError("stall_seconds must be positive")
+        self.stall_seconds = stall_seconds
+        self.min_delta = min_delta
+
+    def _evaluate(self, t: int) -> bool:
+        if len(self.samples) <= self.stall_seconds:
+            return False
+        gained = self.samples[-1] - self.samples[-1 - self.stall_seconds]
+        if self.samples[-1] >= 1.0 - 1e-9:
+            return False  # job finished; stalls afterwards are not failures
+        return gained < self.min_delta

@@ -1,0 +1,104 @@
+"""In-memory store for sampled metric time series.
+
+One :class:`MetricStore` holds every (component, metric) series of one
+application run at the 1-second sampling interval. FChain slaves read
+look-back windows out of it; the evaluation harness replays the same store
+through every localization scheme so all schemes see identical data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.common.timeseries import TimeSeries
+from repro.common.types import METRIC_NAMES, ComponentId, Metric
+
+
+class MetricStore:
+    """Append-only storage of per-component metric samples.
+
+    Samples must be appended tick by tick (1 Hz); the store derives
+    timestamps from the append order and the configured start time.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self.start = start
+        self._data: Dict[Tuple[ComponentId, Metric], List[float]] = {}
+        self._length = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record(self, component: ComponentId, values: Mapping[Metric, float]) -> None:
+        """Append one tick of samples for a component.
+
+        Every monitored component must be recorded once per tick; the store
+        checks series stay aligned when reading.
+        """
+        for metric, value in values.items():
+            self._data.setdefault((component, metric), []).append(float(value))
+
+    def advance(self) -> None:
+        """Mark the end of a tick (all components recorded)."""
+        self._length += 1
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> List[ComponentId]:
+        """All component ids present, sorted."""
+        return sorted({comp for comp, _ in self._data})
+
+    @property
+    def length(self) -> int:
+        """Number of completed ticks."""
+        return self._length
+
+    @property
+    def end(self) -> int:
+        """Timestamp one past the newest complete sample."""
+        return self.start + self._length
+
+    def series(self, component: ComponentId, metric: Metric) -> TimeSeries:
+        """Full series for one (component, metric), as a :class:`TimeSeries`."""
+        key = (component, metric)
+        if key not in self._data:
+            raise KeyError(f"no samples for {component}/{metric}")
+        values = np.asarray(self._data[key][: self._length], dtype=float)
+        return TimeSeries(values, start=self.start)
+
+    def window(
+        self, component: ComponentId, metric: Metric, t_from: int, t_to: int
+    ) -> TimeSeries:
+        """Clipped sub-series covering ``[t_from, t_to)``."""
+        return self.series(component, metric).window(t_from, t_to)
+
+    def metrics_for(self, component: ComponentId) -> List[Metric]:
+        """Metrics recorded for a component, in canonical order."""
+        present = {metric for comp, metric in self._data if comp == component}
+        return [m for m in METRIC_NAMES if m in present]
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        data: Mapping[ComponentId, Mapping[Metric, Iterable[float]]],
+        start: int = 0,
+    ) -> "MetricStore":
+        """Build a store from complete per-series arrays (tests, examples)."""
+        store = cls(start=start)
+        lengths = set()
+        for component, metrics in data.items():
+            for metric, values in metrics.items():
+                arr = [float(v) for v in values]
+                store._data[(component, metric)] = arr
+                lengths.add(len(arr))
+        if len(lengths) > 1:
+            raise ValueError(f"series lengths differ: {sorted(lengths)}")
+        store._length = lengths.pop() if lengths else 0
+        return store

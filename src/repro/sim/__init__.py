@@ -1,0 +1,23 @@
+"""Discrete-time simulation substrate.
+
+The paper evaluates FChain on a Xen-based cloud testbed. This package is the
+laptop-scale stand-in: a 1-second-tick queueing simulation of distributed
+applications whose components run inside guest VMs on shared hosts. It emits
+exactly the signals FChain consumes — the six per-VM system metrics at 1 Hz —
+with realistic saturation, propagation and back-pressure behaviour.
+"""
+
+from repro.sim.component import ComponentSpec, QueueComponent
+from repro.sim.engine import SimulationEngine, Tickable
+from repro.sim.metrics import MetricSynthesizer
+from repro.sim.queueing import mm1_sojourn, utilization
+
+__all__ = [
+    "ComponentSpec",
+    "MetricSynthesizer",
+    "QueueComponent",
+    "SimulationEngine",
+    "Tickable",
+    "mm1_sojourn",
+    "utilization",
+]

@@ -1,0 +1,264 @@
+"""Fluid queueing model of one application component.
+
+Each component runs inside one guest VM (FChain's unit of diagnosis). Work
+is modelled as a fluid: fractional *items* (requests, tuples, blocks) arrive
+in an input queue with finite capacity, are processed at an effective rate
+derived from the resources the VM is granted, and are emitted downstream.
+Finite buffers produce the *back-pressure* effect that is central to the
+paper's argument against purely dependency-based localization: a slow
+component fills its buffer and forces its upstream neighbours to stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+
+
+@dataclass
+class ComponentSpec:
+    """Static description of a component's behaviour and resource profile.
+
+    Attributes:
+        name: Component id (also the guest VM name).
+        capacity: Items/s the component completes when its VM receives its
+            full CPU allocation.
+        service_time: Nominal per-item processing time in seconds at full
+            speed; the latency floor used in sojourn estimates.
+        buffer_limit: Maximum queued items; arrivals beyond it are refused
+            (upstream back-pressure) or dropped at the application entry.
+        kb_in_per_item: Network bytes received per input item (KB).
+        kb_out_per_item: Network bytes sent per emitted item (KB).
+        disk_read_kb_per_item: Disk read volume per processed item (KB).
+        disk_write_kb_per_item: Disk write volume per processed item (KB).
+        base_memory_mb: Resident memory with an empty queue.
+        memory_per_item_mb: Additional working memory per queued item.
+        disk_bound: Whether the processing rate scales with the VM's disk
+            bandwidth share in addition to CPU (true for Hadoop map tasks).
+        output_amplification: Items emitted per item processed.
+    """
+
+    name: str
+    capacity: float
+    service_time: float = 0.005
+    buffer_limit: float = 400.0
+    kb_in_per_item: float = 4.0
+    kb_out_per_item: float = 4.0
+    disk_read_kb_per_item: float = 0.0
+    disk_write_kb_per_item: float = 0.0
+    base_memory_mb: float = 300.0
+    memory_per_item_mb: float = 0.2
+    disk_bound: bool = False
+    output_amplification: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError(f"{self.name}: capacity must be positive")
+        if self.buffer_limit <= 0:
+            raise SimulationError(f"{self.name}: buffer_limit must be positive")
+
+
+class QueueComponent:
+    """Runtime state of one component.
+
+    The owning application wires components together with
+    :meth:`connect` and drives them once per tick via :meth:`process`.
+    """
+
+    def __init__(self, spec: ComponentSpec) -> None:
+        self.spec = spec
+        self.queue: float = 0.0
+        self.backlog: float = 0.0
+        #: Downstream edges as (component, routing weight) pairs. Weights are
+        #: renormalized at processing time so faults may rebalance them.
+        self.outputs: List[Tuple["QueueComponent", float]] = []
+        # --- fault hooks -------------------------------------------------
+        #: Multiplier on the effective service rate (< 1 slows the
+        #: component; used by application-level bugs like infinite loops).
+        self.speed_multiplier: float = 1.0
+        #: Memory leaked by an injected bug, in MB (grows over time).
+        self.leaked_mb: float = 0.0
+        #: Extra per-tick routing weight overrides {downstream name: weight}.
+        self.weight_overrides: Dict[str, float] = {}
+        # --- per-tick observations (consumed by metric synthesis) --------
+        self.arrived: float = 0.0
+        self.processed: float = 0.0
+        self.emitted: float = 0.0
+        self.dropped: float = 0.0
+        self.blocked: bool = False
+        self.effective_rate: float = 0.0
+        self.cpu_share_granted: float = 1.0
+        self.disk_share_granted: float = 1.0
+        self.memory_penalty: float = 1.0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def connect(self, downstream: "QueueComponent", weight: float = 1.0) -> None:
+        """Route a fraction of this component's output to ``downstream``."""
+        if weight <= 0:
+            raise SimulationError("routing weight must be positive")
+        self.outputs.append((downstream, weight))
+
+    def routing(self) -> List[Tuple["QueueComponent", float]]:
+        """Current normalized routing table, honouring fault overrides."""
+        if not self.outputs:
+            return []
+        weights = [
+            self.weight_overrides.get(comp.name, weight)
+            for comp, weight in self.outputs
+        ]
+        total = sum(weights)
+        if total <= 0:
+            return [(comp, 0.0) for comp, _ in self.outputs]
+        return [
+            (comp, w / total) for (comp, _), w in zip(self.outputs, weights)
+        ]
+
+    # ------------------------------------------------------------------
+    # Per-tick dynamics
+    # ------------------------------------------------------------------
+    def begin_tick(self) -> None:
+        """Reset per-tick observation fields."""
+        self.arrived = 0.0
+        self.processed = 0.0
+        self.emitted = 0.0
+        self.dropped = 0.0
+        self.blocked = False
+
+    def enqueue(self, items: float, *, drop_overflow: bool = True) -> float:
+        """Add arrivals to the input queue.
+
+        Args:
+            items: Item count to enqueue (fluid, may be fractional).
+            drop_overflow: Drop items beyond the buffer limit (entry
+                components) instead of raising.
+
+        Returns:
+            The number of items actually accepted.
+        """
+        accepted = min(items, self.free_space())
+        self.queue += accepted
+        self.arrived += accepted
+        overflow = items - accepted
+        if overflow > 1e-12:
+            if not drop_overflow:
+                raise SimulationError(f"{self.name}: buffer overflow")
+            self.dropped += overflow
+        return accepted
+
+    def free_space(self) -> float:
+        """Remaining congestion headroom for back-pressure checks.
+
+        Measured against the *backlog* (work still unserved after a full
+        service tick) rather than the raw queue, which between ticks also
+        holds the pipeline's ordinary one-tick input batch. The buffer
+        limit therefore expresses how much congestion a component absorbs
+        before stalling its upstream neighbours.
+        """
+        return max(0.0, self.spec.buffer_limit - self.backlog)
+
+    def desired_cpu_demand(self) -> float:
+        """Fraction of the VM's full allocation this component wants now.
+
+        Used by the host scheduler to apportion CPU before processing.
+        """
+        desired_items = min(self.queue, self.spec.capacity)
+        return min(1.0, desired_items / self.spec.capacity)
+
+    def process(
+        self,
+        dt: float = 1.0,
+        *,
+        cpu_share: float = 1.0,
+        disk_share: float = 1.0,
+        memory_penalty: float = 1.0,
+    ) -> float:
+        """Process queued items for one tick and emit downstream.
+
+        The effective rate is the nominal capacity scaled by the CPU share
+        the VM scheduler granted, the disk share for disk-bound components,
+        the memory-pressure penalty (thrashing), and any fault-injected
+        speed multiplier. Emission is limited by downstream buffer space;
+        when space runs out the component stalls (back-pressure) and the
+        unprocessed work remains queued.
+
+        Returns:
+            The number of items processed this tick.
+        """
+        self.cpu_share_granted = cpu_share
+        self.disk_share_granted = disk_share
+        self.memory_penalty = memory_penalty
+        rate = (
+            self.spec.capacity
+            * max(0.0, cpu_share)
+            * max(0.0, memory_penalty)
+            * max(0.0, self.speed_multiplier)
+        )
+        if self.spec.disk_bound:
+            rate *= max(0.0, disk_share)
+        self.effective_rate = rate
+
+        processable = min(self.queue, rate * dt)
+        routing = self.routing()
+        if routing:
+            # Honour downstream buffer space: the component cannot emit more
+            # than its neighbours can absorb, which throttles processing.
+            amplification = self.spec.output_amplification
+            limit = processable
+            for downstream, fraction in routing:
+                if fraction <= 0:
+                    continue
+                per_item_out = fraction * amplification
+                if per_item_out > 0:
+                    limit = min(limit, downstream.free_space() / per_item_out)
+            if limit < processable - 1e-9:
+                self.blocked = True
+            processable = max(0.0, limit)
+
+        self.queue -= processable
+        self.processed = processable
+        # Backlog is the work left over after a full tick of service —
+        # the true congestion signal. Deliveries from upstream components
+        # later in the same tick refill ``queue`` but are not backlog:
+        # they simply have not had their service tick yet.
+        self.backlog = self.queue
+        if routing:
+            out_items = processable * self.spec.output_amplification
+            for downstream, fraction in routing:
+                if fraction > 0:
+                    downstream.enqueue(out_items * fraction)
+            self.emitted = out_items
+        return processable
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    def memory_mb(self) -> float:
+        """Current resident memory: base + queue working set + leaks."""
+        return (
+            self.spec.base_memory_mb
+            + self.queue * self.spec.memory_per_item_mb
+            + self.leaked_mb
+        )
+
+    def sojourn_time(self) -> float:
+        """Estimated time a newly arriving item spends in this component.
+
+        Uses the post-service backlog (congestion) rather than the raw
+        queue, which between ticks also holds the ordinary one-tick input
+        batch of the pipeline.
+        """
+        if self.effective_rate <= 0:
+            return float("inf")
+        slowdown = self.spec.capacity / self.effective_rate
+        return self.backlog / self.effective_rate + self.spec.service_time * slowdown
+
+    def __repr__(self) -> str:
+        return f"QueueComponent({self.name!r}, queue={self.queue:.1f})"

@@ -1,0 +1,157 @@
+"""Synthesis of the six per-VM system metrics from component state.
+
+This is the "guest OS / hypervisor view" of the simulation: at every tick
+the Domain-0 monitor asks the synthesizer for the six metric values of one
+VM, derived from what its component actually did that tick plus realistic
+measurement texture — sensor noise, benign transient spikes (the random
+peaks visible in the paper's Fig. 3), and slow sawtooth patterns such as
+garbage-collection cycles. The benign texture recurs throughout a run, so
+FChain's online prediction model can learn it; fault manifestations push
+metrics into regimes the model has never seen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cloud.host import Host
+from repro.cloud.vm import VirtualMachine
+from repro.common.rng import spawn_rng
+from repro.common.types import Metric
+from repro.sim.component import QueueComponent
+
+
+@dataclass
+class NoiseProfile:
+    """Measurement texture of one metric.
+
+    Attributes:
+        relative_sigma: Std-dev of multiplicative gaussian noise.
+        spike_prob: Per-tick probability of starting a benign spike.
+        spike_scale: Maximum multiplicative amplitude of a spike.
+        floor: Additive noise floor so idle metrics are not exactly zero.
+    """
+
+    relative_sigma: float = 0.03
+    spike_prob: float = 0.008
+    spike_scale: float = 2.0
+    floor: float = 0.5
+
+
+#: Default texture per metric. Disk metrics are intentionally the noisiest
+#: (cf. the Hadoop DiskWrite series in Fig. 3); memory is the smoothest.
+DEFAULT_PROFILES: Dict[Metric, NoiseProfile] = {
+    Metric.CPU_USAGE: NoiseProfile(0.04, 0.010, 1.6, 0.8),
+    Metric.MEMORY_USAGE: NoiseProfile(0.004, 0.002, 1.05, 0.0),
+    Metric.NETWORK_IN: NoiseProfile(0.08, 0.010, 2.0, 1.0),
+    Metric.NETWORK_OUT: NoiseProfile(0.08, 0.010, 2.0, 1.0),
+    Metric.DISK_READ: NoiseProfile(0.15, 0.015, 2.5, 0.5),
+    Metric.DISK_WRITE: NoiseProfile(0.20, 0.020, 3.0, 0.5),
+}
+
+
+class MetricSynthesizer:
+    """Produces the six metric samples of one VM each tick.
+
+    Args:
+        component_name: Used to derive an independent noise stream.
+        seed: Base seed label so different runs differ deterministically.
+        profiles: Optional per-metric noise overrides.
+        gc_period: Period (ticks) of the memory sawtooth; 0 disables it.
+    """
+
+    def __init__(
+        self,
+        component_name: str,
+        seed: object = 0,
+        profiles: Dict[Metric, NoiseProfile] = None,
+        gc_period: int = 150,
+    ) -> None:
+        self._rng = spawn_rng("metrics", component_name, seed)
+        self.profiles = dict(DEFAULT_PROFILES)
+        if profiles:
+            self.profiles.update(profiles)
+        self.gc_period = gc_period
+        # Remaining spike ticks and amplitude, per metric.
+        self._spike_left: Dict[Metric, int] = {m: 0 for m in self.profiles}
+        self._spike_amp: Dict[Metric, float] = {m: 1.0 for m in self.profiles}
+        self._gc_phase = int(self._rng.integers(0, max(1, gc_period)))
+
+    # ------------------------------------------------------------------
+    def _textured(self, metric: Metric, base: float) -> float:
+        """Apply noise, spikes and the floor to a raw metric value."""
+        prof = self.profiles[metric]
+        if self._spike_left[metric] > 0:
+            self._spike_left[metric] -= 1
+        elif self._rng.random() < prof.spike_prob:
+            self._spike_left[metric] = int(self._rng.integers(1, 4))
+            self._spike_amp[metric] = 1.0 + self._rng.random() * (
+                prof.spike_scale - 1.0
+            )
+        amp = self._spike_amp[metric] if self._spike_left[metric] > 0 else 1.0
+        noisy = base * amp * (1.0 + self._rng.normal(0.0, prof.relative_sigma))
+        noisy += self._rng.random() * prof.floor
+        return max(0.0, noisy)
+
+    def _gc_sawtooth(self, t: int) -> float:
+        """Slow repeating memory sawtooth (MB), a learnable benign pattern."""
+        if self.gc_period <= 0:
+            return 0.0
+        phase = (t + self._gc_phase) % self.gc_period
+        return 12.0 * phase / self.gc_period
+
+    # ------------------------------------------------------------------
+    def sample(
+        self, t: int, component: QueueComponent, vm: VirtualMachine, host: Host
+    ) -> Dict[Metric, float]:
+        """Compute the six metric values for tick ``t``.
+
+        Returns:
+            Metric values: CPU in percent of the VM allocation, memory in
+            MB, network and disk rates in KB/s.
+        """
+        spec = component.spec
+        # CPU: cores the component actually burned plus any in-VM hog load
+        # the host grant covered, as a percentage of the VM's current size.
+        # A fault-injected speed multiplier models software inefficiency
+        # (retry storms, broken lookups, infinite loops): the component
+        # burns the cycles without the throughput, so the *demand* side of
+        # the division shrinks accordingly.
+        effective_capacity = spec.capacity * max(component.speed_multiplier, 1e-3)
+        comp_cores = (
+            component.processed / effective_capacity * vm.vcpus_baseline
+        )
+        hog_cores = vm.hog_cpu_cores()
+        cpu_pct = 100.0 * min(vm.vcpus, comp_cores + hog_cores) / vm.vcpus
+
+        memory = (
+            component.memory_mb() + vm.extra_memory_mb + self._gc_sawtooth(t)
+        )
+        swap = vm.swap_rate_kbps(memory)
+
+        net_in = component.arrived * spec.kb_in_per_item + vm.extra_net_in_kbps
+        net_out = component.emitted * spec.kb_out_per_item
+        disk_read = (
+            component.processed * spec.disk_read_kb_per_item
+            + 0.5 * swap
+            + 0.5 * vm.extra_disk_kbps
+        )
+        disk_write = (
+            component.processed * spec.disk_write_kb_per_item
+            + 0.5 * swap
+            + 0.5 * vm.extra_disk_kbps
+        )
+
+        return {
+            Metric.CPU_USAGE: min(
+                100.0, self._textured(Metric.CPU_USAGE, cpu_pct)
+            ),
+            Metric.MEMORY_USAGE: min(
+                vm.memory_limit_mb, self._textured(Metric.MEMORY_USAGE, memory)
+            ),
+            Metric.NETWORK_IN: self._textured(Metric.NETWORK_IN, net_in),
+            Metric.NETWORK_OUT: self._textured(Metric.NETWORK_OUT, net_out),
+            Metric.DISK_READ: self._textured(Metric.DISK_READ, disk_read),
+            Metric.DISK_WRITE: self._textured(Metric.DISK_WRITE, disk_write),
+        }

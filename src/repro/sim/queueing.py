@@ -1,0 +1,63 @@
+"""Small queueing-theory helpers used by the component model.
+
+The simulation advances in 1-second ticks with fluid (fractional) items, so
+per-request latency is estimated analytically from the queue state rather
+than by tracking individual requests. These helpers keep that math in one
+place and well tested.
+"""
+
+from __future__ import annotations
+
+
+def utilization(arrival_rate: float, service_rate: float) -> float:
+    """Offered utilization ``rho = lambda / mu``, clamped to ``[0, inf)``.
+
+    Args:
+        arrival_rate: Items arriving per second.
+        service_rate: Items the server can complete per second.
+
+    Returns:
+        The utilization. A saturated or stopped server yields ``inf``.
+    """
+    if arrival_rate < 0 or service_rate < 0:
+        raise ValueError("rates must be non-negative")
+    if service_rate == 0:
+        return float("inf") if arrival_rate > 0 else 0.0
+    return arrival_rate / service_rate
+
+
+def mm1_sojourn(arrival_rate: float, service_rate: float) -> float:
+    """Mean M/M/1 sojourn time ``1 / (mu - lambda)`` in seconds.
+
+    Saturated servers (``lambda >= mu``) return ``inf``; callers combine this
+    with the explicit backlog term instead.
+    """
+    if service_rate <= arrival_rate:
+        return float("inf")
+    return 1.0 / (service_rate - arrival_rate)
+
+
+def queue_sojourn(
+    backlog: float, service_rate: float, service_time: float
+) -> float:
+    """Estimated sojourn for a new item given the current backlog.
+
+    The item waits for ``backlog`` items to drain at ``service_rate`` and is
+    then served, taking ``service_time`` itself. This is the latency formula
+    the applications use to produce their SLO signal (response time or
+    per-tuple processing time).
+
+    Args:
+        backlog: Items currently queued.
+        service_rate: Current effective throughput (items/s).
+        service_time: Nominal per-item processing time (seconds) at the
+            current effective speed.
+
+    Returns:
+        Sojourn time in seconds (``inf`` when the server is fully stopped).
+    """
+    if backlog < 0:
+        raise ValueError("backlog must be non-negative")
+    if service_rate <= 0:
+        return float("inf")
+    return backlog / service_rate + service_time

@@ -1,0 +1,20 @@
+"""Workload traces and client generators.
+
+The paper modulates request/data rates with real web traces (NASA and
+ClarkNet from the IRCache archive) to create realistic normal fluctuations.
+Those archives are not available offline, so this package synthesizes
+traces with the same statistical character — diurnal cycles, self-similar
+bursts, heavy-tailed noise — which exercise the identical code path: the
+normal fluctuation patterns FChain must learn and filter out.
+"""
+
+from repro.workloads.generator import ClientWorkload
+from repro.workloads.traces import TraceSpec, clarknet_like, diurnal_trace, nasa_like
+
+__all__ = [
+    "ClientWorkload",
+    "TraceSpec",
+    "clarknet_like",
+    "diurnal_trace",
+    "nasa_like",
+]

@@ -1,0 +1,113 @@
+"""Synthetic web-server workload traces.
+
+Each trace is a per-second request-rate series combining:
+
+* a diurnal (sinusoidal) cycle, compressed so a laptop-scale run of a few
+  thousand simulated seconds sweeps through meaningful load variation, as
+  an hour of the real NASA/ClarkNet traces does;
+* a slow mean-reverting random walk (day-to-day drift);
+* recurring multiplicative bursts (flash-crowd texture) — these are the
+  benign change points FChain must learn to ignore;
+* heavy-tailed per-second noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import spawn_rng
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of a synthetic rate trace.
+
+    Attributes:
+        base_rate: Mean request rate (items/s).
+        diurnal_amplitude: Relative amplitude of the daily cycle (0..1).
+        period: Length of one compressed "day" in seconds.
+        walk_sigma: Step size of the mean-reverting drift.
+        burst_prob: Per-second probability of a flash burst starting.
+        burst_scale: Peak multiplicative amplitude of a burst.
+        burst_length: Mean burst duration in seconds.
+        noise_sigma: Relative per-second gaussian noise.
+    """
+
+    base_rate: float = 60.0
+    diurnal_amplitude: float = 0.35
+    period: int = 1200
+    walk_sigma: float = 0.004
+    burst_prob: float = 0.01
+    burst_scale: float = 1.8
+    burst_length: float = 8.0
+    noise_sigma: float = 0.06
+
+
+def diurnal_trace(length: int, spec: TraceSpec, seed: object = 0) -> np.ndarray:
+    """Generate a rate series of ``length`` seconds from ``spec``.
+
+    Returns:
+        Non-negative request rates, one per second.
+    """
+    rng = spawn_rng("trace", seed, spec.base_rate, spec.period)
+    t = np.arange(length, dtype=float)
+    phase = rng.random() * 2 * np.pi
+    cycle = 1.0 + spec.diurnal_amplitude * np.sin(2 * np.pi * t / spec.period + phase)
+
+    # Mean-reverting random walk in log space.
+    steps = rng.normal(0.0, spec.walk_sigma, size=length)
+    walk = np.empty(length)
+    level = 0.0
+    for i in range(length):
+        level = 0.995 * level + steps[i]
+        walk[i] = level
+    drift = np.exp(walk)
+
+    # Recurring flash bursts with exponential decay shape.
+    bursts = np.ones(length)
+    starts = np.nonzero(rng.random(length) < spec.burst_prob)[0]
+    for s in starts:
+        duration = max(2, int(rng.exponential(spec.burst_length)))
+        peak = 1.0 + rng.random() * (spec.burst_scale - 1.0)
+        end = min(length, s + duration)
+        shape = np.exp(-np.arange(end - s) / max(1.0, duration / 3.0))
+        bursts[s:end] *= 1.0 + (peak - 1.0) * shape
+
+    noise = 1.0 + rng.normal(0.0, spec.noise_sigma, size=length)
+    rates = spec.base_rate * cycle * drift * bursts * noise
+    return np.clip(rates, 0.0, None)
+
+
+def nasa_like(length: int, seed: object = 0, base_rate: float = 60.0) -> np.ndarray:
+    """NASA-July-1995-like trace: pronounced diurnal swing, moderate bursts.
+
+    Used to modulate the RUBiS request rate (paper Sec. III-A).
+    """
+    spec = TraceSpec(
+        base_rate=base_rate,
+        diurnal_amplitude=0.40,
+        period=1200,
+        burst_prob=0.010,
+        burst_scale=1.9,
+        noise_sigma=0.07,
+    )
+    return diurnal_trace(length, spec, seed=("nasa", seed))
+
+
+def clarknet_like(length: int, seed: object = 0, base_rate: float = 80.0) -> np.ndarray:
+    """ClarkNet-August-1995-like trace: denser traffic, burstier texture.
+
+    Used to modulate the System S data arrival rate (paper Sec. III-A).
+    """
+    spec = TraceSpec(
+        base_rate=base_rate,
+        diurnal_amplitude=0.30,
+        period=1000,
+        burst_prob=0.016,
+        burst_scale=2.1,
+        burst_length=6.0,
+        noise_sigma=0.09,
+    )
+    return diurnal_trace(length, spec, seed=("clarknet", seed))

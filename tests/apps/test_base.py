@@ -1,0 +1,98 @@
+"""Tests for the Application base class machinery."""
+
+import copy
+
+import pytest
+
+from repro.apps.base import Application
+from repro.apps.rubis import DB, RubisApplication
+from repro.common.errors import SimulationError
+from repro.common.types import Metric
+from repro.sim.component import ComponentSpec
+
+
+class TinyApp(Application):
+    """Two-component pipeline for base-class behaviour tests."""
+
+    def __init__(self, seed=0):
+        super().__init__("tiny", seed)
+        host = self.new_host("h", cores=2.0)
+        self.add_component(ComponentSpec("front", capacity=50.0), host)
+        self.add_component(ComponentSpec("back", capacity=50.0), host)
+        self.connect("front", "back")
+        self.add_entry("front")
+        from repro.monitoring.slo import LatencySLO
+        from repro.workloads.generator import ClientWorkload
+        import numpy as np
+
+        self.workload = ClientWorkload(np.full(600, 20.0), seed=seed)
+        self.slo = LatencySLO(0.5, sustain=3)
+        self.finalize()
+
+    def _measure_performance(self, t):
+        return self.path_sojourn(["front", "back"])
+
+
+class TestConstruction:
+    def test_duplicate_component_rejected(self):
+        app = TinyApp()
+        with pytest.raises(SimulationError):
+            app.add_component(ComponentSpec("front", capacity=1.0), app.hosts[0])
+
+    def test_cycle_rejected(self):
+        app = TinyApp()
+        app.connect("back", "front")
+        with pytest.raises(SimulationError):
+            app.finalize()
+
+    def test_component_names_topological(self):
+        app = TinyApp()
+        assert app.component_names() == ["front", "back"]
+
+
+class TestTick:
+    def test_run_advances_and_records(self):
+        app = TinyApp()
+        app.run(50)
+        assert app.time == 50
+        assert app.store.length == 50
+
+    def test_work_flows_through_pipeline(self):
+        app = TinyApp()
+        app.run(30)
+        back_cpu = app.store.series("back", Metric.CPU_USAGE)
+        assert back_cpu.values[5:].mean() > 10
+
+    def test_fault_hooks_called(self):
+        app = TinyApp()
+        calls = []
+
+        class Probe:
+            ground_truth = frozenset()
+
+            def on_tick(self, a, t):
+                calls.append(t)
+
+        app.inject(Probe())
+        app.run(3)
+        assert calls == [0, 1, 2]
+
+
+class TestForkability:
+    def test_deepcopy_diverges(self):
+        app = TinyApp(seed=5)
+        app.run(20)
+        fork = copy.deepcopy(app)
+        fork.run(20)
+        assert app.store.length == 20
+        assert fork.store.length == 40
+
+    def test_rubis_deepcopy_preserves_determinism(self):
+        a = RubisApplication(seed=9, duration=200)
+        a.run(50)
+        b = copy.deepcopy(a)
+        a.run(50)
+        b.run(50)
+        sa = a.store.series(DB, Metric.CPU_USAGE).values
+        sb = b.store.series(DB, Metric.CPU_USAGE).values
+        assert (sa == sb).all()

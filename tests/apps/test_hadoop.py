@@ -1,0 +1,76 @@
+"""Tests for the Hadoop application model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hadoop import MAPS, REDUCES, HadoopApplication
+from repro.common.types import Metric
+from repro.faults.library import DiskHogFault, InfiniteLoopFault
+
+
+class TestTopology:
+    def test_three_maps_six_reduces(self):
+        app = HadoopApplication(seed=0)
+        assert set(app.components) == set(MAPS) | set(REDUCES)
+
+    def test_full_shuffle_edges(self):
+        app = HadoopApplication(seed=0)
+        assert app.topology.number_of_edges() == 18
+
+    def test_five_hosts_two_vms_each(self):
+        app = HadoopApplication(seed=0)
+        assert len(app.hosts) == 5
+        assert max(len(h.vms) for h in app.hosts) <= 2
+
+
+class TestNormalOperation:
+    @pytest.fixture(scope="class")
+    def run(self, hadoop_idle_run):
+        return hadoop_idle_run
+
+    def test_progress_monotone(self, run):
+        perf = run.slo.performance_series().values
+        assert (np.diff(perf) >= -1e-12).all()
+
+    def test_no_violation(self, run):
+        assert run.slo.first_violation is None
+
+    def test_progress_rate_plausible(self, run):
+        perf = run.slo.performance_series().values
+        # 90 records/s over 240k items, map+reduce halves.
+        expected = 0.5 * (2 * 90.0 * 800) / 240_000.0
+        assert perf[850] == pytest.approx(expected, rel=0.3)
+
+    def test_spill_traffic_is_bursty(self, run):
+        red_in = run.store.series("red1", Metric.NETWORK_IN).values[200:800]
+        assert np.percentile(red_in, 95) > 4 * max(np.median(red_in), 1.0)
+
+    def test_map_disk_read_active(self, run):
+        dr = run.store.series("map1", Metric.DISK_READ).values[200:800]
+        assert dr.mean() > 1000
+
+
+class TestFaults:
+    def test_infinite_loop_stalls_progress(self):
+        app = HadoopApplication(seed=7)
+        for m in MAPS:
+            app.inject(InfiniteLoopFault(400, m))
+        app.run(600)
+        violation = app.slo.first_violation_after(400)
+        assert violation is not None
+        assert violation <= 480
+        cpu = app.store.series("map1", Metric.CPU_USAGE)
+        assert cpu.values[420:480].mean() > 85
+
+    def test_diskhog_manifests_slowly(self):
+        app = HadoopApplication(seed=8)
+        app.inject(DiskHogFault(300, list(MAPS)))
+        app.run(900)
+        violation = app.slo.first_violation_after(300)
+        assert violation is not None
+        # The paper's slow fault: hundreds of seconds to violation.
+        assert violation - 300 > 150
+        dr = app.store.series("map1", Metric.DISK_READ)
+        assert dr.values[violation : violation + 20].mean() < 0.3 * dr.values[
+            200:290
+        ].mean()

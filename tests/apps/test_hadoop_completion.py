@@ -1,0 +1,32 @@
+"""Tests for Hadoop job completion semantics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.hadoop import MAPS, HadoopApplication
+
+
+class TestJobCompletion:
+    @pytest.fixture(scope="class")
+    def finished(self):
+        # A tiny job: 9000 records at 90 records/s -> maps drain in ~100 s,
+        # reduces shortly after.
+        app = HadoopApplication(seed=17, total_input_items=9_000.0)
+        app.run(400)
+        return app
+
+    def test_progress_reaches_one(self, finished):
+        assert finished.slo.samples[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_violation_after_finish(self, finished):
+        """A finished job stalling is not an SLO violation."""
+        assert finished.slo.first_violation is None
+
+    def test_input_exhausted(self, finished):
+        assert all(
+            finished.remaining_input[m] == pytest.approx(0.0) for m in MAPS
+        )
+
+    def test_components_idle_after_finish(self, finished):
+        for name, comp in finished.components.items():
+            assert comp.queue == pytest.approx(0.0, abs=1.0), name

@@ -1,0 +1,113 @@
+"""Tests for the RUBiS application model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
+from repro.common.types import Metric
+from repro.faults.library import CpuHogFault
+
+
+@pytest.fixture(scope="module")
+def idle_run():
+    app = RubisApplication(seed=11, duration=700)
+    app.run(600)
+    return app
+
+
+class TestTopology:
+    def test_components(self):
+        app = RubisApplication(seed=0, duration=60)
+        assert set(app.components) == {WEB, APP1, APP2, DB}
+
+    def test_edges(self):
+        app = RubisApplication(seed=0, duration=60)
+        assert set(app.topology.edges) == {
+            (WEB, APP1),
+            (WEB, APP2),
+            (APP1, DB),
+            (APP2, DB),
+        }
+
+    def test_two_hosts(self):
+        app = RubisApplication(seed=0, duration=60)
+        assert len(app.hosts) == 2
+
+
+class TestNormalOperation:
+    def test_no_violation_without_fault(self, idle_run):
+        assert idle_run.slo.first_violation is None
+
+    def test_latency_well_under_slo(self, idle_run):
+        perf = idle_run.slo.performance_series()
+        assert np.median(perf.values[100:]) < 0.06
+
+    def test_all_metrics_recorded(self, idle_run):
+        assert idle_run.store.length == 600
+        for comp in (WEB, APP1, APP2, DB):
+            assert len(idle_run.store.metrics_for(comp)) == 6
+
+    def test_load_balanced_evenly(self, idle_run):
+        a = idle_run.store.series(APP1, Metric.NETWORK_IN).values[100:].mean()
+        b = idle_run.store.series(APP2, Metric.NETWORK_IN).values[100:].mean()
+        assert abs(a - b) / max(a, b) < 0.25
+
+    def test_db_sees_all_traffic(self, idle_run):
+        web_in = idle_run.store.series(WEB, Metric.NETWORK_IN).values[100:].mean()
+        db_cpu = idle_run.store.series(DB, Metric.CPU_USAGE).values[100:].mean()
+        assert web_in > 0
+        assert 5 < db_cpu < 80
+
+
+class TestFaultBehaviour:
+    def test_db_cpuhog_causes_violation_and_backpressure(self):
+        app = RubisApplication(seed=12, duration=1000)
+        app.inject(CpuHogFault(600, DB))
+        app.run(900)
+        violation = app.slo.first_violation_after(600)
+        assert violation is not None
+        assert violation >= 600
+        # The database saturates...
+        db_cpu = app.store.series(DB, Metric.CPU_USAGE)
+        assert db_cpu.values[660:760].mean() > 80
+        # ...and the app tier's throughput collapses (back-pressure).
+        app_out = app.store.series(APP1, Metric.NETWORK_OUT)
+        assert app_out.values[700:800].mean() < 0.7 * app_out.values[400:590].mean()
+
+    def test_deterministic_runs(self):
+        a = RubisApplication(seed=33, duration=300)
+        a.run(200)
+        b = RubisApplication(seed=33, duration=300)
+        b.run(200)
+        sa = a.store.series(WEB, Metric.CPU_USAGE).values
+        sb = b.store.series(WEB, Metric.CPU_USAGE).values
+        assert (sa == sb).all()
+
+    def test_scale_resource_cpu(self):
+        app = RubisApplication(seed=1, duration=60)
+        before = app.vms[DB].vcpus
+        app.scale_resource(DB, Metric.CPU_USAGE, 2.0)
+        assert app.vms[DB].vcpus == pytest.approx(2 * before)
+
+    def test_scale_resource_memory(self):
+        app = RubisApplication(seed=1, duration=60)
+        before = app.vms[DB].memory_limit_mb
+        app.scale_resource(DB, Metric.MEMORY_USAGE, 2.0)
+        assert app.vms[DB].memory_limit_mb == pytest.approx(2 * before)
+
+    def test_scale_resource_disk(self):
+        app = RubisApplication(seed=1, duration=60)
+        before = app.vms[DB].host.disk_bw_kbps
+        app.scale_resource(DB, Metric.DISK_READ, 2.0)
+        assert app.vms[DB].host.disk_bw_kbps == pytest.approx(2 * before)
+
+
+class TestPacketRecording:
+    def test_packets_recorded_when_enabled(self):
+        app = RubisApplication(seed=2, duration=30, record_packets=True)
+        app.run(30)
+        assert len(app.packet_trace) > 100
+
+    def test_no_trace_by_default(self):
+        app = RubisApplication(seed=2, duration=30)
+        assert app.packet_trace is None

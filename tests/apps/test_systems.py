@@ -1,0 +1,69 @@
+"""Tests for the System S application model."""
+
+import numpy as np
+import pytest
+
+from repro.apps.systems import EDGES, PES, SystemSApplication
+from repro.common.types import Metric
+from repro.faults.library import BottleneckFault, MemLeakFault
+
+
+class TestTopology:
+    def test_seven_pes(self):
+        app = SystemSApplication(seed=0, duration=60)
+        assert set(app.components) == set(PES)
+
+    def test_figure2_relations(self):
+        """PE3 feeds PE6 (downstream propagation) and PE2 feeds PE6
+        (back-pressure to an upstream neighbour), per paper Fig. 2."""
+        assert ("PE3", "PE6") in EDGES
+        assert ("PE2", "PE6") in EDGES
+
+    def test_dag(self):
+        import networkx as nx
+
+        app = SystemSApplication(seed=0, duration=60)
+        assert nx.is_directed_acyclic_graph(app.topology)
+
+    def test_streaming_flag(self):
+        assert SystemSApplication.streaming is True
+
+
+class TestNormalOperation:
+    def test_no_violation_without_fault(self):
+        app = SystemSApplication(seed=21, duration=700)
+        app.run(600)
+        assert app.slo.first_violation is None
+
+    def test_latency_under_threshold(self):
+        app = SystemSApplication(seed=22, duration=400)
+        app.run(300)
+        perf = app.slo.performance_series()
+        assert np.median(perf.values[60:]) < app.SLO_THRESHOLD
+
+
+class TestFaultPropagation:
+    def test_memleak_at_pe3_propagates(self):
+        """Fig. 2 scenario: a leak at PE3 eventually disturbs PE6."""
+        app = SystemSApplication(seed=23, duration=1200)
+        app.inject(MemLeakFault(600, "PE3"))
+        app.run(1100)
+        violation = app.slo.first_violation_after(600)
+        assert violation is not None
+        mem = app.store.series("PE3", Metric.MEMORY_USAGE)
+        assert mem.values[700] > mem.values[580] + 300
+        pe6_in = app.store.series("PE6", Metric.NETWORK_IN)
+        before = pe6_in.values[400:590].mean()
+        after = pe6_in.values[violation - 5 : violation + 20].mean()
+        assert after < 0.8 * before
+
+    def test_bottleneck_backpressure_upstream(self):
+        """A capped PE6 stalls its upstream feeder PE2 within seconds."""
+        app = SystemSApplication(seed=24, duration=1000)
+        app.inject(BottleneckFault(600, "PE6"))
+        app.run(800)
+        assert app.slo.first_violation_after(600) is not None
+        pe2_out = app.store.series("PE2", Metric.NETWORK_OUT)
+        before = pe2_out.values[400:590].mean()
+        after = pe2_out.values[615:660].mean()
+        assert after < 0.8 * before

@@ -1,0 +1,46 @@
+"""Tests for the Fixed-Filtering baseline."""
+
+import pytest
+
+from repro.baselines.base import LocalizationContext
+from repro.baselines.fixed_filtering import FixedFilteringLocalizer
+
+
+class TestFixedFiltering:
+    def test_well_chosen_threshold_finds_fault(
+        self, rubis_cpuhog_run, rubis_dependency_graph
+    ):
+        app, violation = rubis_cpuhog_run
+        context = LocalizationContext(
+            dependency_graph=rubis_dependency_graph, seed=101
+        )
+        result = FixedFilteringLocalizer(threshold=0.6).localize(
+            app.store, violation, context
+        )
+        assert "db" in result
+
+    def test_huge_threshold_finds_nothing(
+        self, rubis_cpuhog_run, rubis_dependency_graph
+    ):
+        app, violation = rubis_cpuhog_run
+        context = LocalizationContext(
+            dependency_graph=rubis_dependency_graph, seed=101
+        )
+        result = FixedFilteringLocalizer(threshold=50.0).localize(
+            app.store, violation, context
+        )
+        assert result == frozenset()
+
+    def test_threshold_sensitivity(self, rubis_cpuhog_run, rubis_dependency_graph):
+        """Fig. 12's point: the fixed scheme is threshold-sensitive."""
+        app, violation = rubis_cpuhog_run
+        context = LocalizationContext(
+            dependency_graph=rubis_dependency_graph, seed=101
+        )
+        results = {
+            th: FixedFilteringLocalizer(threshold=th).localize(
+                app.store, violation, context
+            )
+            for th in (0.02, 0.3, 50.0)
+        }
+        assert len(set(map(frozenset, results.values()))) >= 2

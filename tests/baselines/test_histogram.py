@@ -1,0 +1,79 @@
+"""Tests for the Histogram (KL divergence) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import LocalizationContext
+from repro.baselines.histogram import HistogramLocalizer, kl_divergence
+from repro.common.rng import spawn_rng
+from repro.common.types import Metric
+from repro.monitoring.store import MetricStore
+
+
+class TestKLDivergence:
+    def test_identical_distributions_near_zero(self):
+        rng = spawn_rng("kl")
+        sample = rng.normal(10, 2, 2000)
+        assert kl_divergence(sample[:1000], sample) < 0.05
+
+    def test_shifted_distribution_large(self):
+        rng = spawn_rng("kl2")
+        reference = rng.normal(10, 2, 2000)
+        shifted = rng.normal(30, 2, 200)
+        assert kl_divergence(shifted, reference) > 1.0
+
+    def test_nonnegative(self):
+        rng = spawn_rng("kl3")
+        for i in range(5):
+            a = rng.normal(0, 1, 100)
+            b = rng.normal(0, 1, 500)
+            assert kl_divergence(a, b) >= 0.0
+
+    def test_degenerate_inputs(self):
+        assert kl_divergence(np.array([]), np.array([1.0])) == 0.0
+        assert kl_divergence(np.array([5.0] * 3), np.array([5.0] * 9)) == 0.0
+
+
+def store_with_shift(shift_component="bad", length=800, shift_at=700):
+    """Two components; one shifts its CPU level near the end."""
+    rng = spawn_rng("hist-store")
+    data = {}
+    for name in ("good", "bad"):
+        cpu = 30 + rng.normal(0, 2, length)
+        if name == shift_component:
+            cpu[shift_at:] += 50
+        data[name] = {Metric.CPU_USAGE: cpu}
+    return MetricStore.from_arrays(data)
+
+
+class TestLocalizer:
+    def test_gradual_shift_detected(self):
+        store = store_with_shift()
+        context = LocalizationContext()
+        scheme = HistogramLocalizer(threshold=0.5)
+        result = scheme.localize(store, 790, context)
+        assert result == frozenset({"bad"})
+
+    def test_fast_fault_missed(self):
+        """The paper's point: a shift only a few seconds old has not
+        changed the window histogram enough by detection time."""
+        store = store_with_shift(shift_at=788)
+        context = LocalizationContext()
+        scheme = HistogramLocalizer(threshold=0.5)
+        assert scheme.localize(store, 790, context) == frozenset()
+
+    def test_threshold_sweep_monotone(self):
+        store = store_with_shift()
+        context = LocalizationContext()
+        sizes = [
+            len(HistogramLocalizer(threshold=th).localize(store, 790, context))
+            for th in (0.05, 0.5, 5.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_score_accessor(self):
+        store = store_with_shift()
+        scheme = HistogramLocalizer()
+        good = scheme.score(store, "good", 790, LocalizationContext())
+        bad = scheme.score(store, "bad", 790, LocalizationContext())
+        assert bad > good

@@ -1,0 +1,58 @@
+"""Tests for the PAL baseline."""
+
+import pytest
+
+from repro.baselines.base import LocalizationContext
+from repro.baselines.pal import PALLocalizer, pal_component_report
+from repro.core.config import FChainConfig
+
+
+class TestPALReport:
+    def test_detects_faulty_db(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        report = pal_component_report(
+            app.store, "db", violation, FChainConfig(), seed=1
+        )
+        assert report.is_abnormal
+
+    def test_changes_carry_no_prediction_errors(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        report = pal_component_report(
+            app.store, "db", violation, FChainConfig(), seed=1
+        )
+        import math
+
+        assert all(
+            math.isnan(c.prediction_error) for c in report.abnormal_changes
+        )
+
+
+class TestPALLocalizer:
+    def test_pinpoints_some_abnormal_chain_source(self, rubis_cpuhog_run):
+        """PAL pinpoints the earliest-onset abnormal component. Without
+        the predictability filter that source is often a benign change on
+        a victim tier rather than the culprit — the fragility FChain's
+        filtering fixes — so the contract is only that PAL outputs the
+        source of its own chain."""
+        app, violation = rubis_cpuhog_run
+        result = PALLocalizer().localize(
+            app.store, violation, LocalizationContext(seed=101)
+        )
+        assert result
+        for component in result:
+            report = pal_component_report(
+                app.store, component, violation, FChainConfig(), seed=101
+            )
+            assert report.is_abnormal
+
+    def test_no_dependency_information_used(self, rubis_cpuhog_run):
+        """PAL ignores the dependency graph entirely."""
+        app, violation = rubis_cpuhog_run
+        with_graph = PALLocalizer().localize(
+            app.store, violation, LocalizationContext(seed=101)
+        )
+        import networkx as nx
+
+        context = LocalizationContext(seed=101, dependency_graph=nx.DiGraph())
+        without = PALLocalizer().localize(app.store, violation, context)
+        assert with_graph == without

@@ -1,0 +1,84 @@
+"""Tests for the Topology and Dependency baselines."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines.base import LocalizationContext
+from repro.baselines.dependency_only import DependencyLocalizer
+from repro.baselines.topology import TopologyLocalizer, most_upstream_abnormal
+
+
+def rubis_graph():
+    g = nx.DiGraph()
+    g.add_edges_from(
+        [("web", "app1"), ("web", "app2"), ("app1", "db"), ("app2", "db")]
+    )
+    return g
+
+
+class TestMostUpstream:
+    def test_single_abnormal(self):
+        assert most_upstream_abnormal(frozenset({"db"}), rubis_graph()) == {
+            "db"
+        }
+
+    def test_backpressure_blames_head(self):
+        """All tiers abnormal (fault at db): the scheme blames the web
+        tier — the paper's documented failure mode."""
+        abnormal = frozenset({"web", "app1", "db"})
+        assert most_upstream_abnormal(abnormal, rubis_graph()) == {"web"}
+
+    def test_independent_branches_both_blamed(self):
+        abnormal = frozenset({"app1", "app2"})
+        assert most_upstream_abnormal(abnormal, rubis_graph()) == {
+            "app1",
+            "app2",
+        }
+
+    def test_component_outside_graph(self):
+        assert most_upstream_abnormal(frozenset({"ghost"}), rubis_graph()) == {
+            "ghost"
+        }
+
+
+class TestTopologyLocalizer:
+    def test_requires_topology(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        with pytest.raises(ValueError):
+            TopologyLocalizer().localize(
+                app.store, violation, LocalizationContext(topology=None)
+            )
+
+    def test_runs_on_real_data(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        context = LocalizationContext(topology=app.topology, seed=101)
+        result = TopologyLocalizer().localize(app.store, violation, context)
+        assert isinstance(result, frozenset)
+
+
+class TestDependencyLocalizer:
+    def test_empty_graph_blames_all_abnormal(self, rubis_cpuhog_run):
+        """Discovery failure (System S mode): every abnormal component is
+        output as faulty."""
+        app, violation = rubis_cpuhog_run
+        context = LocalizationContext(dependency_graph=nx.DiGraph(), seed=101)
+        result = DependencyLocalizer().localize(app.store, violation, context)
+        assert "db" in result  # plus any back-pressure victims
+
+    def test_with_graph_prunes_downstream(
+        self, rubis_cpuhog_run, rubis_dependency_graph
+    ):
+        app, violation = rubis_cpuhog_run
+        with_graph = DependencyLocalizer().localize(
+            app.store,
+            violation,
+            LocalizationContext(
+                dependency_graph=rubis_dependency_graph, seed=101
+            ),
+        )
+        without_graph = DependencyLocalizer().localize(
+            app.store,
+            violation,
+            LocalizationContext(dependency_graph=nx.DiGraph(), seed=101),
+        )
+        assert with_graph <= without_graph

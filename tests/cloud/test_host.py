@@ -1,0 +1,82 @@
+"""Tests for the host scheduler."""
+
+import pytest
+
+from repro.cloud.host import Host
+from repro.cloud.vm import VirtualMachine
+from repro.common.errors import SimulationError
+
+
+def build(n_vms=2, cores=2.0):
+    host = Host("h", cores=cores)
+    vms = [VirtualMachine(f"v{i}") for i in range(n_vms)]
+    for vm in vms:
+        host.attach(vm)
+    return host, vms
+
+
+class TestAttach:
+    def test_attach_sets_host(self):
+        host, vms = build()
+        assert all(vm.host is host for vm in vms)
+
+    def test_double_attach_rejected(self):
+        host, vms = build()
+        with pytest.raises(SimulationError):
+            host.attach(vms[0])
+
+    def test_bad_resources_rejected(self):
+        with pytest.raises(SimulationError):
+            Host("h", cores=0)
+
+
+class TestCpuAllocation:
+    def test_undersubscribed_full_grant(self):
+        host, vms = build()
+        host.allocate_cpu({"v0": 0.5, "v1": 0.5})
+        assert vms[0].granted_cpu == pytest.approx(0.5)
+
+    def test_oversubscribed_proportional(self):
+        host, vms = build(cores=1.0)
+        vms[0].extra_cpu_cores = 1.0
+        vms[1].extra_cpu_cores = 1.0
+        host.allocate_cpu({"v0": 0.0, "v1": 0.0})
+        # Each asks for 1 core (cap), host has 1 -> half each.
+        assert vms[0].granted_cpu == pytest.approx(0.5)
+        assert vms[1].granted_cpu == pytest.approx(0.5)
+
+    def test_unlisted_vm_demands_only_hog(self):
+        host, vms = build()
+        vms[1].extra_cpu_cores = 0.3
+        host.allocate_cpu({"v0": 0.5})
+        assert vms[1].granted_cpu == pytest.approx(0.3)
+
+
+class TestDiskAllocation:
+    def test_full_share_when_light(self):
+        host, _ = build()
+        shares = host.allocate_disk({"v0": 1000.0, "v1": 2000.0})
+        assert shares == {"v0": 1.0, "v1": 1.0}
+
+    def test_proportional_when_saturated(self):
+        host, _ = build()
+        host.disk_bw_kbps = 3000.0
+        shares = host.allocate_disk({"v0": 3000.0, "v1": 3000.0})
+        assert shares["v0"] == pytest.approx(0.5)
+
+    def test_dom0_served_first(self):
+        host, _ = build()
+        host.disk_bw_kbps = 3000.0
+        host.dom0_disk_kbps = 2400.0
+        shares = host.allocate_disk({"v0": 1200.0})
+        assert shares["v0"] == pytest.approx(0.5)
+
+    def test_share_floor(self):
+        host, _ = build()
+        host.dom0_disk_kbps = host.disk_bw_kbps
+        shares = host.allocate_disk({"v0": 1000.0})
+        assert shares["v0"] >= 1e-3
+
+    def test_zero_demand(self):
+        host, _ = build()
+        assert host.allocate_disk({}) == {}

@@ -1,0 +1,39 @@
+"""Tests for the Domain-0 monitor."""
+
+from repro.cloud.host import Host
+from repro.cloud.monitor import DomainZeroMonitor
+from repro.cloud.vm import VirtualMachine
+from repro.common.types import METRIC_NAMES
+from repro.monitoring.store import MetricStore
+from repro.sim.component import ComponentSpec, QueueComponent
+
+
+def build():
+    store = MetricStore()
+    monitor = DomainZeroMonitor(store, seed=1)
+    host = Host("h")
+    comp = QueueComponent(ComponentSpec("c", capacity=10.0))
+    vm = VirtualMachine("c")
+    host.attach(vm)
+    monitor.register(comp, vm, host)
+    return store, monitor, comp
+
+
+def test_sample_all_records_six_metrics():
+    store, monitor, comp = build()
+    monitor.sample_all(0)
+    assert store.length == 1
+    assert store.metrics_for("c") == list(METRIC_NAMES)
+
+
+def test_series_grow_per_tick():
+    store, monitor, comp = build()
+    for t in range(5):
+        monitor.sample_all(t)
+    for metric in METRIC_NAMES:
+        assert len(store.series("c", metric)) == 5
+
+
+def test_monitored_names():
+    _, monitor, _ = build()
+    assert monitor.monitored == ("c",)

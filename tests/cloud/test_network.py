@@ -1,0 +1,82 @@
+"""Tests for packet trace synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.network import PacketEvent, PacketTrace, SyntheticPacketizer
+
+
+class TestTrace:
+    def test_record_and_sort(self):
+        trace = PacketTrace()
+        trace.record(PacketEvent(2.0, "a", "b"))
+        trace.record(PacketEvent(1.0, "a", "b"))
+        assert [e.time for e in trace.events] == [1.0, 2.0]
+
+    def test_edges(self):
+        trace = PacketTrace()
+        trace.extend(
+            [PacketEvent(0.0, "a", "b"), PacketEvent(1.0, "b", "c")]
+        )
+        assert trace.edges() == [("a", "b"), ("b", "c")]
+
+    def test_edge_events_filtered_sorted(self):
+        trace = PacketTrace()
+        trace.extend(
+            [
+                PacketEvent(3.0, "a", "b", flow=2),
+                PacketEvent(1.0, "a", "b", flow=1),
+                PacketEvent(2.0, "x", "y", flow=9),
+            ]
+        )
+        events = trace.edge_events("a", "b")
+        assert events == [(1.0, 1), (3.0, 2)]
+
+
+class TestPacketizer:
+    def test_request_mode_distinct_flows(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, streaming=False, seed_parts=("t", 1))
+        for t in range(10):
+            pkt.emit(t, "a", "b", 5.0)
+        flows = {e.flow for e in trace.events}
+        assert len(flows) >= 40  # ~5 requests/tick, each its own flow
+
+    def test_streaming_mode_single_flow(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, streaming=True, seed_parts=("t", 2))
+        for t in range(10):
+            pkt.emit(t, "a", "b", 20.0)
+        assert {e.flow for e in trace.events} == {0}
+
+    def test_streaming_mode_gapless(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, streaming=True, seed_parts=("t", 3))
+        for t in range(20):
+            pkt.emit(t, "a", "b", 30.0)
+        times = np.array([e.time for e in trace.events])
+        gaps = np.diff(np.sort(times))
+        assert gaps.max() < 0.1
+
+    def test_zero_messages_no_packets(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, seed_parts=("t", 4))
+        pkt.emit(0, "a", "b", 0.0)
+        assert len(trace) == 0
+
+    def test_emit_path_correlates_hops(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, seed_parts=("t", 5))
+        pkt.emit_path(0, [("a", "b"), ("b", "c")], 10.0, hop_delay=0.004)
+        ab = trace.edge_times("a", "b")
+        bc = trace.edge_times("b", "c")
+        assert len(ab) and len(bc)
+        # Every b->c burst follows an a->b burst within ~10 ms.
+        for t in bc:
+            assert np.min(np.abs(ab - t)) < 0.02
+
+    def test_message_cap(self):
+        trace = PacketTrace()
+        pkt = SyntheticPacketizer(trace, packets_per_message=1, seed_parts=("t", 6))
+        pkt.emit(0, "a", "b", 100000.0)
+        assert len(trace) <= 200

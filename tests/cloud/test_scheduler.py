@@ -1,0 +1,64 @@
+"""Tests for per-tick resource scheduling."""
+
+import pytest
+
+from repro.cloud.host import Host
+from repro.cloud.scheduler import schedule_tick
+from repro.cloud.vm import VirtualMachine
+from repro.sim.component import ComponentSpec, QueueComponent
+
+
+def deployment(disk_bound=False):
+    host = Host("h", cores=2.0, disk_bw_kbps=10000.0)
+    comps, vms = {}, {}
+    for name in ("a", "b"):
+        vm = VirtualMachine(name)
+        host.attach(vm)
+        comps[name] = QueueComponent(
+            ComponentSpec(
+                name,
+                capacity=100.0,
+                disk_read_kb_per_item=50.0 if disk_bound else 0.0,
+                disk_bound=disk_bound,
+            )
+        )
+        vms[name] = vm
+    return host, comps, vms
+
+
+class TestScheduleTick:
+    def test_idle_components_full_shares(self):
+        host, comps, vms = deployment()
+        cpu, disk, mem = schedule_tick([host], comps, vms)
+        assert cpu["a"] == pytest.approx(1.0)
+        assert disk["a"] == pytest.approx(1.0)
+        assert mem["a"] == pytest.approx(1.0)
+
+    def test_hog_reduces_share(self):
+        host, comps, vms = deployment()
+        comps["a"].enqueue(100)
+        vms["a"].extra_cpu_cores = 7.0
+        cpu, _, _ = schedule_tick([host], comps, vms)
+        assert cpu["a"] < 0.2
+
+    def test_memory_pressure_penalty(self):
+        host, comps, vms = deployment()
+        comps["a"].leaked_mb = 5000.0
+        _, _, mem = schedule_tick([host], comps, vms)
+        assert mem["a"] < 1.0
+        assert mem["b"] == pytest.approx(1.0)
+
+    def test_disk_contention(self):
+        host, comps, vms = deployment(disk_bound=True)
+        comps["a"].enqueue(100)
+        comps["b"].enqueue(100)
+        host.dom0_disk_kbps = 9000.0
+        _, disk, _ = schedule_tick([host], comps, vms)
+        assert disk["a"] < 1.0
+
+    def test_bottleneck_cap_respected(self):
+        host, comps, vms = deployment()
+        comps["a"].enqueue(100)
+        vms["a"].cpu_cap = 0.1
+        cpu, _, _ = schedule_tick([host], comps, vms)
+        assert cpu["a"] == pytest.approx(0.1, abs=0.01)

@@ -1,0 +1,82 @@
+"""Tests for multi-tenant shared deployments."""
+
+import pytest
+
+from repro.apps.rubis import DB, RubisApplication
+from repro.apps.systems import SystemSApplication
+from repro.cloud.tenancy import SharedDeployment
+from repro.common.errors import SimulationError
+from repro.core import FChain
+from repro.faults.library import CpuHogFault
+
+
+def build(seed=5, **kwargs):
+    rubis = RubisApplication(seed=seed, duration=1800)
+    systems = SystemSApplication(seed=seed, duration=1800)
+    return rubis, systems, SharedDeployment([rubis, systems], **kwargs)
+
+
+class TestConstruction:
+    def test_vms_replaced_onto_shared_hosts(self):
+        rubis, systems, cloud = build()
+        assert len(cloud.vms) == 11  # 4 RUBiS + 7 PEs
+        assert len(cloud.hosts) == 6
+        for vm in cloud.vms.values():
+            assert vm.host in cloud.hosts
+
+    def test_tenants_interleaved(self):
+        """Round-robin placement mixes tenants on hosts."""
+        rubis, systems, cloud = build()
+        mixed = 0
+        for host in cloud.hosts:
+            owners = {cloud.tenant_of(vm.name).name for vm in host.vms}
+            if len(owners) > 1:
+                mixed += 1
+        assert mixed >= 1
+
+    def test_duplicate_names_rejected(self):
+        a = RubisApplication(seed=1, duration=60)
+        b = RubisApplication(seed=2, duration=60)
+        with pytest.raises(SimulationError):
+            SharedDeployment([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            SharedDeployment([])
+
+    def test_tenant_of(self):
+        rubis, systems, cloud = build()
+        assert cloud.tenant_of("db") is rubis
+        assert cloud.tenant_of("PE3") is systems
+        with pytest.raises(KeyError):
+            cloud.tenant_of("ghost")
+
+
+class TestExecution:
+    def test_healthy_consolidated_run(self):
+        rubis, systems, cloud = build()
+        cloud.run(400)
+        assert rubis.slo.first_violation is None
+        assert systems.slo.first_violation is None
+        assert rubis.store.length == 400
+        assert systems.store.length == 400
+
+    def test_fault_in_one_tenant_localized(self):
+        rubis, systems, cloud = build()
+        rubis.inject(CpuHogFault(600, DB))
+        cloud.run(1100)
+        violation = rubis.slo.first_violation_after(600)
+        assert violation is not None
+        result = FChain(seed=5).localize(rubis.store, violation)
+        assert result.faulty == frozenset({DB})
+
+    def test_dense_packing_creates_interference(self):
+        """Oversubscribed hosts: one tenant's hog visibly slows the other."""
+        rubis, systems, cloud = build(seed=9, vms_per_host=4, hosts_cores=2.0)
+        cloud.run(400)
+        baseline = systems.slo.performance_series().values[300:400].mean()
+        rubis.inject(CpuHogFault(400, DB, cores=7.0))
+        cloud.run(200)
+        disturbed = systems.slo.performance_series().values[500:600].mean()
+        # The co-located stream tenant pays for RUBiS's noisy neighbour.
+        assert disturbed > baseline

@@ -1,0 +1,107 @@
+"""Tests for the guest VM model."""
+
+import pytest
+
+from repro.cloud.vm import VirtualMachine
+from repro.common.errors import SimulationError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        vm = VirtualMachine("v")
+        assert vm.vcpus == 1.0
+        assert vm.vcpus_baseline == 1.0
+        assert vm.cpu_cap == 1.0
+
+    def test_rejects_bad_resources(self):
+        with pytest.raises(SimulationError):
+            VirtualMachine("v", vcpus=0)
+        with pytest.raises(SimulationError):
+            VirtualMachine("v", memory_limit_mb=0)
+        with pytest.raises(SimulationError):
+            VirtualMachine("v", cpu_cap=1.5)
+
+
+class TestCpuScheduling:
+    def test_request_capped_by_cap(self):
+        vm = VirtualMachine("v", cpu_cap=0.2)
+        assert vm.cpu_request(1.0) == pytest.approx(0.2)
+
+    def test_uncontended_full_speed(self):
+        vm = VirtualMachine("v")
+        vm.cpu_request(0.5)
+        vm.granted_cpu = 0.5
+        assert vm.component_cpu_share() == pytest.approx(1.0)
+
+    def test_hog_competes_proportionally(self):
+        vm = VirtualMachine("v")
+        vm.extra_cpu_cores = 7.0
+        vm.cpu_request(1.0)  # component wants a full core
+        vm.granted_cpu = 1.0  # host grants the cap
+        assert vm.component_cpu_share() == pytest.approx(1.0 / 8.0)
+        assert vm.hog_cpu_cores() == pytest.approx(7.0 / 8.0)
+
+    def test_scale_up_dilutes_hog(self):
+        vm = VirtualMachine("v")
+        vm.extra_cpu_cores = 7.0
+        vm.scale_cpu(8.0)
+        vm.cpu_request(1.0)
+        vm.granted_cpu = 8.0
+        # Uncontended after the scale-up: at least nominal speed again.
+        assert vm.component_cpu_share() >= 1.0
+
+    def test_bottleneck_cap(self):
+        vm = VirtualMachine("v", cpu_cap=0.1)
+        vm.cpu_request(1.0)
+        vm.granted_cpu = 0.1
+        assert vm.component_cpu_share() == pytest.approx(0.1)
+
+    def test_max_component_fraction_scales(self):
+        vm = VirtualMachine("v")
+        vm.scale_cpu(2.0)
+        assert vm.max_component_fraction() == pytest.approx(2.0)
+
+    def test_zero_demand_share_is_max(self):
+        vm = VirtualMachine("v")
+        vm.cpu_request(0.0)
+        vm.granted_cpu = 0.0
+        assert vm.component_cpu_share() == pytest.approx(1.0)
+
+
+class TestMemory:
+    def test_no_pressure_below_85pct(self):
+        vm = VirtualMachine("v", memory_limit_mb=1000)
+        assert vm.memory_pressure(800) == 1.0
+        assert vm.swap_rate_kbps(800) == 0.0
+
+    def test_pressure_grows(self):
+        vm = VirtualMachine("v", memory_limit_mb=1000)
+        assert vm.memory_pressure(999) < vm.memory_pressure(900) < 1.0
+
+    def test_pressure_floor(self):
+        vm = VirtualMachine("v", memory_limit_mb=1000)
+        assert vm.memory_pressure(5000) == pytest.approx(0.05)
+
+    def test_swap_appears_under_pressure(self):
+        vm = VirtualMachine("v", memory_limit_mb=1000)
+        assert vm.swap_rate_kbps(950) > 0
+
+    def test_scale_memory(self):
+        vm = VirtualMachine("v", memory_limit_mb=1000)
+        vm.scale_memory(2.0)
+        assert vm.memory_pressure(900) == 1.0
+
+
+class TestValidationLevers:
+    def test_scale_cpu_lifts_cap(self):
+        vm = VirtualMachine("v", cpu_cap=0.1)
+        vm.scale_cpu(2.0)
+        assert vm.cpu_cap == 1.0
+        assert vm.vcpus == 2.0
+
+    def test_scale_rejects_nonpositive(self):
+        vm = VirtualMachine("v")
+        with pytest.raises(SimulationError):
+            vm.scale_cpu(0)
+        with pytest.raises(SimulationError):
+            vm.scale_memory(-1)

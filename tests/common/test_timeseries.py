@@ -1,0 +1,126 @@
+"""Tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeseries import TimeSeries, require_same_grid
+
+
+class TestConstruction:
+    def test_from_values(self):
+        ts = TimeSeries.from_values([1.0, 2.0, 3.0], start=5)
+        assert len(ts) == 3
+        assert ts.start == 5
+        assert ts.end == 8
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.zeros((2, 2)))
+
+    def test_values_coerced_to_float(self):
+        ts = TimeSeries(np.array([1, 2, 3]))
+        assert ts.values.dtype == float
+
+    def test_iteration(self):
+        ts = TimeSeries.from_values([1, 2, 3])
+        assert list(ts) == [1.0, 2.0, 3.0]
+
+    def test_times_align(self):
+        ts = TimeSeries.from_values([4, 5], start=10)
+        assert list(ts.times) == [10, 11]
+
+    def test_extended(self):
+        ts = TimeSeries.from_values([1, 2], start=3)
+        longer = ts.extended([4, 5])
+        assert list(longer.values) == [1, 2, 4, 5]
+        assert longer.start == 3
+        assert len(ts) == 2  # original untouched
+
+
+class TestAccess:
+    def test_at(self):
+        ts = TimeSeries.from_values([10, 20, 30], start=100)
+        assert ts.at(101) == 20
+
+    def test_at_out_of_range(self):
+        ts = TimeSeries.from_values([10], start=0)
+        with pytest.raises(IndexError):
+            ts.at(5)
+
+    def test_index_of(self):
+        ts = TimeSeries.from_values([0, 1, 2], start=7)
+        assert ts.index_of(8) == 1
+
+    def test_index_of_out_of_range(self):
+        ts = TimeSeries.from_values([0], start=7)
+        with pytest.raises(IndexError):
+            ts.index_of(6)
+
+
+class TestWindowing:
+    def test_window_basic(self):
+        ts = TimeSeries.from_values(list(range(10)), start=0)
+        piece = ts.window(3, 6)
+        assert list(piece.values) == [3, 4, 5]
+        assert piece.start == 3
+
+    def test_window_clips_left(self):
+        ts = TimeSeries.from_values(list(range(5)), start=10)
+        piece = ts.window(0, 12)
+        assert piece.start == 10
+        assert len(piece) == 2
+
+    def test_window_clips_right(self):
+        ts = TimeSeries.from_values(list(range(5)), start=0)
+        piece = ts.window(3, 99)
+        assert list(piece.values) == [3, 4]
+
+    def test_empty_window(self):
+        ts = TimeSeries.from_values(list(range(5)))
+        assert len(ts.window(7, 9)) == 0
+
+    def test_around(self):
+        ts = TimeSeries.from_values(list(range(20)))
+        piece = ts.around(10, 2)
+        assert list(piece.values) == [8, 9, 10, 11, 12]
+
+    def test_around_clipped_at_edges(self):
+        ts = TimeSeries.from_values(list(range(5)))
+        piece = ts.around(0, 3)
+        assert piece.start == 0
+        assert len(piece) == 4
+
+
+class TestStatistics:
+    def test_mean_std(self):
+        ts = TimeSeries.from_values([2.0, 4.0])
+        assert ts.mean() == pytest.approx(3.0)
+        assert ts.std() == pytest.approx(1.0)
+
+    def test_empty_mean(self):
+        assert TimeSeries(np.empty(0)).mean() == 0.0
+
+    def test_slope_of_line(self):
+        ts = TimeSeries.from_values([2 * i for i in range(20)])
+        assert ts.slope_at(10) == pytest.approx(2.0)
+
+    def test_slope_of_constant(self):
+        ts = TimeSeries.from_values([5.0] * 20)
+        assert ts.slope_at(10) == pytest.approx(0.0)
+
+    def test_slope_short_series(self):
+        ts = TimeSeries.from_values([1.0])
+        assert ts.slope_at(0) == 0.0
+
+
+class TestGrid:
+    def test_same_grid_ok(self):
+        a = TimeSeries.from_values([1, 2], start=0)
+        b = TimeSeries.from_values([3, 4], start=0)
+        require_same_grid(a, b)
+
+    def test_different_grid_raises(self):
+        a = TimeSeries.from_values([1, 2], start=0)
+        b = TimeSeries.from_values([3, 4], start=1)
+        with pytest.raises(ValueError):
+            require_same_grid(a, b)

@@ -1,0 +1,22 @@
+"""Tests for shared types."""
+
+from repro.common.types import METRIC_NAMES, Metric, MetricSample
+
+
+def test_six_metrics():
+    assert len(METRIC_NAMES) == 6
+
+
+def test_metric_str():
+    assert str(Metric.CPU_USAGE) == "cpu_usage"
+
+
+def test_metric_names_order_stable():
+    assert METRIC_NAMES[0] is Metric.CPU_USAGE
+    assert METRIC_NAMES[-1] is Metric.DISK_WRITE
+
+
+def test_metric_sample_frozen():
+    sample = MetricSample("web", Metric.CPU_USAGE, 3, 42.0)
+    assert sample.component == "web"
+    assert sample.value == 42.0

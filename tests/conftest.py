@@ -1,0 +1,69 @@
+"""Shared fixtures.
+
+Full application runs are the expensive part of this suite, so the runs
+that several test modules need (a faulty RUBiS run, a System S run, a
+Hadoop run, and the offline dependency profiling runs) are session-scoped
+and computed once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.hadoop import MAPS, HadoopApplication
+from repro.apps.rubis import DB, RubisApplication
+from repro.apps.systems import SystemSApplication
+from repro.core.dependency import discover_dependencies
+from repro.faults.library import CpuHogFault, MemLeakFault
+
+
+@pytest.fixture(scope="session")
+def rubis_cpuhog_run():
+    """A RUBiS run with a CpuHog injected at the database at t=1300."""
+    app = RubisApplication(seed=101, duration=2400)
+    app.inject(CpuHogFault(1300, DB))
+    app.run(1400)
+    violation = app.slo.first_violation_after(1300)
+    assert violation is not None
+    return app, violation
+
+
+@pytest.fixture(scope="session")
+def systems_memleak_run():
+    """A System S run with a memory leak injected at PE3 at t=1300."""
+    app = SystemSApplication(seed=202, duration=2400)
+    app.inject(MemLeakFault(1300, "PE3"))
+    app.run(1600)
+    violation = app.slo.first_violation_after(1300)
+    assert violation is not None
+    return app, violation
+
+
+@pytest.fixture(scope="session")
+def hadoop_idle_run():
+    """A fault-free Hadoop run (900 simulated seconds)."""
+    app = HadoopApplication(seed=303)
+    app.run(900)
+    return app
+
+
+@pytest.fixture(scope="session")
+def rubis_dependency_graph():
+    """Black-box discovered dependency graph for RUBiS."""
+    app = RubisApplication(seed=999, duration=240, record_packets=True)
+    app.run(240)
+    return discover_dependencies(app.packet_trace).graph
+
+
+@pytest.fixture(scope="session")
+def systems_discovery():
+    """Discovery result for System S (expected to find nothing)."""
+    app = SystemSApplication(seed=999, duration=180, record_packets=True)
+    app.run(180)
+    return discover_dependencies(app.packet_trace)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,80 @@
+"""Tests for the adaptive extensions (paper's stated future work)."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.common.timeseries import TimeSeries
+from repro.common.types import Metric
+from repro.core.adaptive import (
+    adaptive_config,
+    adaptive_look_back_window,
+    adaptive_smoothing_window,
+)
+from repro.core.config import FChainConfig
+from repro.monitoring.store import MetricStore
+
+
+def store_with(cpu_values):
+    return MetricStore.from_arrays({"c": {Metric.CPU_USAGE: cpu_values}})
+
+
+class TestAdaptiveWindow:
+    def test_fast_fault_keeps_base_window(self):
+        rng = spawn_rng("aw1")
+        values = 30 + rng.normal(0, 1, 1000)
+        values[950:] = 90  # sharp step well inside W=100
+        store = store_with(values)
+        assert adaptive_look_back_window(store, 990) == 100
+
+    def test_slow_manifestation_grows_window(self):
+        rng = spawn_rng("aw2")
+        values = 30 + rng.normal(0, 1, 1000)
+        # Ramp starting 400 s before the violation: W=100's head is still
+        # climbing, so the window must grow to cover the onset.
+        values[590:] += np.linspace(0, 200, 410)
+        store = store_with(values)
+        window = adaptive_look_back_window(store, 990, max_window=600)
+        assert window >= 400
+
+    def test_respects_max_window(self):
+        values = np.linspace(0, 500, 1000)  # trending everywhere
+        store = store_with(values)
+        assert adaptive_look_back_window(store, 990, max_window=300) == 300
+
+    def test_short_history_stops_growth(self):
+        rng = spawn_rng("aw3")
+        values = 30 + rng.normal(0, 1, 150)
+        store = store_with(values)
+        assert adaptive_look_back_window(store, 140) <= 200
+
+    def test_adaptive_config_carries_window(self):
+        rng = spawn_rng("aw4")
+        values = 30 + rng.normal(0, 1, 1000)
+        store = store_with(values)
+        config = adaptive_config(store, 990, FChainConfig())
+        assert isinstance(config, FChainConfig)
+        assert config.look_back_window >= 100
+
+
+class TestAdaptiveSmoothing:
+    def test_quiet_series_minimal_smoothing(self):
+        values = TimeSeries(np.linspace(100, 200, 120))
+        assert adaptive_smoothing_window(values) <= 3
+
+    def test_noisy_series_full_smoothing(self):
+        rng = spawn_rng("as1")
+        base = np.full(120, 50.0)
+        noisy = TimeSeries(base + rng.normal(0, 25, 120))
+        assert adaptive_smoothing_window(noisy) >= 7
+
+    def test_window_is_odd_and_bounded(self):
+        rng = spawn_rng("as2")
+        for scale in (0.1, 1.0, 10.0, 100.0):
+            series = TimeSeries(50 + rng.normal(0, scale, 120))
+            window = adaptive_smoothing_window(series)
+            assert 1 <= window <= 9
+            assert window == 1 or window % 2 == 1
+
+    def test_short_series(self):
+        assert adaptive_smoothing_window(TimeSeries(np.zeros(3))) == 1

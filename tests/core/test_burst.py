@@ -1,0 +1,74 @@
+"""Tests for FFT burst extraction and the dynamic error threshold."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.common.timeseries import TimeSeries
+from repro.core.burst import (
+    burst_signal,
+    expected_error_profile,
+    expected_prediction_error,
+)
+
+
+class TestBurstSignal:
+    def test_flat_signal_zero_burst(self):
+        burst = burst_signal(np.full(40, 10.0))
+        assert np.abs(burst).max() < 1e-9
+
+    def test_slow_trend_mostly_removed(self):
+        t = np.linspace(0, 1, 64)
+        slow = 100 * t  # one very low-frequency ramp
+        burst = burst_signal(slow, high_frequency_fraction=0.5)
+        assert np.abs(burst[10:-10]).max() < 20
+
+    def test_high_frequency_preserved(self):
+        t = np.arange(64)
+        fast = 10 * np.sin(2 * np.pi * t / 4)
+        burst = burst_signal(fast, high_frequency_fraction=0.9)
+        assert np.abs(burst).max() > 7
+
+    def test_short_window_zero(self):
+        assert (burst_signal(np.array([1.0, 2.0])) == 0).all()
+
+    def test_length_preserved(self):
+        assert len(burst_signal(np.arange(41.0))) == 41
+
+
+class TestExpectedError:
+    def test_bursty_window_higher_threshold(self):
+        """Fig. 4: the expected error tracks the local burstiness."""
+        rng = spawn_rng("fig4")
+        quiet = 50 + rng.normal(0, 0.5, 200)
+        bursty = 50 + rng.normal(0, 0.5, 200)
+        bursty[80:120] += 25 * np.sin(np.arange(40) * 1.3)
+        quiet_threshold = expected_prediction_error(TimeSeries(quiet), 100)
+        bursty_threshold = expected_prediction_error(TimeSeries(bursty), 100)
+        assert bursty_threshold > 3 * quiet_threshold
+
+    def test_nonnegative_and_floored(self):
+        series = TimeSeries(np.full(100, 40.0))
+        threshold = expected_prediction_error(series, 50)
+        assert threshold > 0  # level-based floor
+
+    def test_edge_positions_clip(self):
+        series = TimeSeries(np.arange(50.0))
+        assert expected_prediction_error(series, 0) >= 0
+        assert expected_prediction_error(series, 49) >= 0
+
+    def test_percentile_monotone(self):
+        rng = spawn_rng("pct")
+        series = TimeSeries(50 + rng.normal(0, 5, 200))
+        low = expected_prediction_error(series, 100, percentile=50)
+        high = expected_prediction_error(series, 100, percentile=99)
+        assert high >= low
+
+    def test_profile_matches_pointwise(self):
+        rng = spawn_rng("profile")
+        series = TimeSeries(10 + rng.normal(0, 1, 60))
+        profile = expected_error_profile(series)
+        assert len(profile) == 60
+        assert profile[30] == pytest.approx(
+            expected_prediction_error(series, 30)
+        )

@@ -1,0 +1,47 @@
+"""Tests for FChainConfig validation."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.config import FChainConfig
+
+
+def test_defaults_match_paper():
+    config = FChainConfig()
+    assert config.look_back_window == 100
+    assert config.concurrency_threshold == 2.0
+    assert config.burst_window == 20
+    assert config.high_frequency_fraction == pytest.approx(0.9)
+    assert config.burst_percentile == pytest.approx(90.0)
+    assert config.tangent_tolerance == pytest.approx(0.1)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"look_back_window": 0},
+        {"concurrency_threshold": -1},
+        {"burst_window": 1},
+        {"high_frequency_fraction": 0.0},
+        {"high_frequency_fraction": 1.5},
+        {"burst_percentile": 0},
+        {"smoothing_window": 0},
+        {"markov_bins": 1},
+        {"cusum_confidence": 1.0},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        FChainConfig(**kwargs)
+
+
+def test_with_window():
+    config = FChainConfig().with_window(500)
+    assert config.look_back_window == 500
+    assert config.burst_window == 20
+
+
+def test_frozen():
+    config = FChainConfig()
+    with pytest.raises(Exception):
+        config.look_back_window = 5

@@ -1,0 +1,105 @@
+"""Tests for the online Markov prediction model."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.common.timeseries import TimeSeries
+from repro.core.prediction import MarkovPredictor, prediction_errors
+
+
+class TestWarmup:
+    def test_not_ready_before_warmup(self):
+        model = MarkovPredictor(warmup=10)
+        for v in range(9):
+            assert model.update(float(v)) is None
+        assert not model.ready
+
+    def test_ready_after_warmup(self):
+        model = MarkovPredictor(warmup=10)
+        for v in range(10):
+            model.update(float(v))
+        assert model.ready
+
+    def test_predict_none_pre_warmup(self):
+        assert MarkovPredictor().predict() is None
+
+    def test_rejects_too_few_bins(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor(bins=1)
+
+
+class TestLearning:
+    def test_periodic_pattern_learned(self):
+        # Unambiguous cycle: each value determines its successor.
+        model = MarkovPredictor(bins=20, warmup=21)
+        pattern = [10.0, 20.0, 30.0] * 100
+        errors = [model.update(v) for v in pattern]
+        late = [e for e in errors[200:] if e is not None]
+        assert np.mean(late) < 3.0
+
+    def test_constant_series_near_zero_error(self):
+        model = MarkovPredictor(warmup=10)
+        errors = [model.update(5.0) for _ in range(200)]
+        late = [e for e in errors[50:] if e is not None]
+        assert np.mean(late) < 0.5
+
+    def test_unseen_regime_large_error(self):
+        model = MarkovPredictor(bins=20, warmup=20)
+        for _ in range(300):
+            model.update(10.0 + float(spawn_rng("a").normal(0, 0.5)))
+        error = model.update(100.0)
+        assert error is not None and error > 50
+
+    def test_unseen_row_falls_back_to_marginal(self):
+        model = MarkovPredictor(bins=20, warmup=20)
+        for v in [10.0] * 100:
+            model.update(v)
+        model.update(100.0)  # clamp into an unvisited edge bin
+        prediction = model.predict()
+        assert prediction == pytest.approx(10.0, abs=15.0)
+
+    def test_transition_matrix_rows_sum_to_one(self):
+        model = MarkovPredictor(bins=10, warmup=10)
+        rng = spawn_rng("tm")
+        for _ in range(500):
+            model.update(float(rng.normal(50, 10)))
+        matrix = model.transition_matrix()
+        assert matrix.shape == (10, 10)
+        assert matrix.sum(axis=1) == pytest.approx(np.ones(10))
+
+    def test_transition_matrix_requires_warmup(self):
+        with pytest.raises(RuntimeError):
+            MarkovPredictor().transition_matrix()
+
+    def test_halflife_decay_applied(self):
+        model = MarkovPredictor(bins=5, warmup=5, halflife=50)
+        for _ in range(200):
+            model.update(1.0)
+        assert model._counts.max() < 200
+
+
+class TestBatchErrors:
+    def test_length_matches_series(self):
+        series = TimeSeries(np.full(100, 3.0))
+        errors = prediction_errors(series, warmup=10)
+        assert len(errors) == 100
+
+    def test_warmup_entries_nan(self):
+        series = TimeSeries(np.full(100, 3.0))
+        errors = prediction_errors(series, warmup=10)
+        assert np.isnan(errors[:10]).all()
+        assert np.isfinite(errors[20:]).all()
+
+    def test_signed_errors_signed(self):
+        values = np.concatenate([np.full(100, 50.0), np.full(5, 200.0)])
+        errors = prediction_errors(TimeSeries(values), warmup=20, signed=True)
+        assert errors[100] > 0  # jump above prediction
+        down = np.concatenate([np.full(100, 50.0), np.full(5, 1.0)])
+        errors = prediction_errors(TimeSeries(down), warmup=20, signed=True)
+        assert errors[100] < 0
+
+    def test_step_has_error_spike(self):
+        values = np.concatenate([np.full(150, 10.0), np.full(20, 40.0)])
+        errors = prediction_errors(TimeSeries(values), warmup=20)
+        assert errors[150] > 10

@@ -1,0 +1,97 @@
+"""Tests for propagation chain construction."""
+
+import pytest
+
+from repro.common.types import Metric
+from repro.core.cusum import ChangePoint
+from repro.core.propagation import ComponentReport, PropagationChain, build_chain
+from repro.core.selection import AbnormalChange
+
+
+def change(metric, onset, direction=1):
+    point = ChangePoint(onset, onset, 1.0, 10.0, direction)
+    return AbnormalChange(
+        metric=metric,
+        change_point=point,
+        onset_time=onset,
+        prediction_error=5.0,
+        expected_error=1.0,
+        direction=direction,
+    )
+
+
+def report(name, *onsets, direction=1):
+    return ComponentReport(
+        component=name,
+        abnormal_changes=[
+            change(Metric.CPU_USAGE, onset, direction) for onset in onsets
+        ],
+    )
+
+
+class TestComponentReport:
+    def test_onset_is_earliest(self):
+        r = report("c", 30, 10, 20)
+        assert r.onset_time == 10
+
+    def test_empty_report_normal(self):
+        r = ComponentReport("c")
+        assert not r.is_abnormal
+        assert r.onset_time is None
+        assert r.trend is None
+
+    def test_trend_from_earliest_change(self):
+        r = ComponentReport(
+            "c",
+            abnormal_changes=[
+                change(Metric.CPU_USAGE, 20, direction=1),
+                change(Metric.MEMORY_USAGE, 10, direction=-1),
+            ],
+        )
+        assert r.trend == -1
+
+    def test_implicated_metrics_ordered_deduped(self):
+        r = ComponentReport(
+            "c",
+            abnormal_changes=[
+                change(Metric.CPU_USAGE, 20),
+                change(Metric.MEMORY_USAGE, 10),
+                change(Metric.CPU_USAGE, 30),
+            ],
+        )
+        assert r.implicated_metrics == [Metric.MEMORY_USAGE, Metric.CPU_USAGE]
+
+
+class TestChain:
+    def test_sorted_by_onset(self):
+        chain = build_chain(
+            [report("b", 20), report("a", 10), report("c", 30)]
+        )
+        assert chain.components == ["a", "b", "c"]
+
+    def test_fig2_example(self):
+        """PE3 (t1) -> PE6 (t2) -> PE2 (t3): PE3 leads the chain."""
+        chain = build_chain(
+            [report("PE6", 200), report("PE2", 210), report("PE3", 190)]
+        )
+        assert chain.components[0] == "PE3"
+        assert chain.edges() == [("PE3", "PE6"), ("PE6", "PE2")]
+
+    def test_normal_components_excluded(self):
+        chain = build_chain([report("a", 10), ComponentReport("idle")])
+        assert chain.components == ["a"]
+
+    def test_ties_ordered_by_name(self):
+        chain = build_chain([report("z", 10), report("a", 10)])
+        assert chain.components == ["a", "z"]
+
+    def test_onset_lookup(self):
+        chain = build_chain([report("a", 10)])
+        assert chain.onset_of("a") == 10
+        with pytest.raises(KeyError):
+            chain.onset_of("missing")
+
+    def test_empty(self):
+        chain = build_chain([])
+        assert chain.components == []
+        assert chain.edges() == []

@@ -1,0 +1,102 @@
+"""Robustness tests: degenerate inputs the pipeline must survive.
+
+Production diagnosis code sees ugly data — components with dead-flat
+metrics, violations right at the edge of recorded history, look-back
+windows larger than everything recorded. None of these may crash the
+pipeline or produce nonsensical output.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.common.types import METRIC_NAMES, Metric
+from repro.core.config import FChainConfig
+from repro.core.dependency import load_graph, save_graph
+from repro.core.fchain import FChain, FChainSlave
+from repro.monitoring.store import MetricStore
+
+
+def make_store(length=400, components=("a", "b"), seed=0):
+    rng = spawn_rng("robust", seed)
+    data = {}
+    for name in components:
+        data[name] = {
+            metric: 30 + rng.normal(0, 2, length) for metric in METRIC_NAMES
+        }
+    return MetricStore.from_arrays(data)
+
+
+class TestDegenerateStores:
+    def test_constant_zero_metrics(self):
+        store = MetricStore.from_arrays(
+            {"dead": {m: np.zeros(400) for m in METRIC_NAMES}}
+        )
+        report = FChainSlave().analyze(store, "dead", 390)
+        assert not report.is_abnormal
+
+    def test_single_metric_component(self):
+        store = MetricStore.from_arrays(
+            {"one": {Metric.CPU_USAGE: np.full(400, 30.0)}}
+        )
+        report = FChainSlave().analyze(store, "one", 390)
+        assert report.abnormal_changes == []
+
+    def test_violation_at_history_edge(self):
+        store = make_store(length=400)
+        result = FChain().localize(store, 399)
+        assert isinstance(result.faulty, frozenset)
+
+    def test_violation_early_in_history(self):
+        """t_v barely past warmup: no model, no crash, no findings."""
+        store = make_store(length=50)
+        result = FChain().localize(store, 30)
+        assert result.faulty == frozenset()
+
+    def test_window_larger_than_history(self):
+        store = make_store(length=200)
+        config = FChainConfig(look_back_window=500)
+        result = FChain(config).localize(store, 190)
+        assert isinstance(result.faulty, frozenset)
+
+    def test_no_warmup_data_at_all(self):
+        store = make_store(length=12)
+        result = FChain().localize(store, 11)
+        assert result.faulty == frozenset()
+
+    def test_nan_free_output_on_spiky_data(self):
+        rng = spawn_rng("spiky")
+        values = 10 + rng.normal(0, 1, 400)
+        values[::20] *= 8
+        store = MetricStore.from_arrays(
+            {"s": {m: values.copy() for m in METRIC_NAMES}}
+        )
+        report = FChainSlave().analyze(store, "s", 390)
+        for change in report.abnormal_changes:
+            assert np.isfinite(change.prediction_error)
+            assert np.isfinite(change.expected_error)
+
+
+class TestGraphPersistence:
+    def test_round_trip(self, tmp_path, rubis_dependency_graph):
+        path = tmp_path / "deps.json"
+        save_graph(rubis_dependency_graph, path)
+        loaded = load_graph(path)
+        assert set(loaded.edges) == set(rubis_dependency_graph.edges)
+        assert set(loaded.nodes) == set(rubis_dependency_graph.nodes)
+
+    def test_empty_graph_round_trip(self, tmp_path):
+        import networkx as nx
+
+        path = tmp_path / "empty.json"
+        save_graph(nx.DiGraph(), path)
+        assert load_graph(path).number_of_edges() == 0
+
+    def test_loaded_graph_usable_for_diagnosis(
+        self, tmp_path, rubis_cpuhog_run, rubis_dependency_graph
+    ):
+        app, violation = rubis_cpuhog_run
+        path = tmp_path / "deps.json"
+        save_graph(rubis_dependency_graph, path)
+        fchain = FChain(dependency_graph=load_graph(path), seed=101)
+        assert "db" in fchain.localize(app.store, violation).faulty

@@ -1,0 +1,231 @@
+"""Tests for abnormal change point selection and onset identification."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.common.timeseries import TimeSeries
+from repro.common.types import Metric
+from repro.core.config import FChainConfig
+from repro.core.cusum import ChangePoint, detect_change_points
+from repro.core.selection import (
+    actual_prediction_error,
+    censored_onset,
+    history_error_reference,
+    reference_change_magnitudes,
+    rollback_onset,
+    select_abnormal_changes,
+    shift_persists,
+)
+from repro.core.smoothing import smooth_series
+
+
+def cp(time, magnitude=10.0, direction=1, index=None):
+    return ChangePoint(
+        time=time,
+        index=index if index is not None else time,
+        confidence=1.0,
+        magnitude=magnitude,
+        direction=direction,
+    )
+
+
+class TestReferenceMagnitudes:
+    def test_flat_history_small_reference(self):
+        history = TimeSeries(np.full(200, 10.0))
+        reference = reference_change_magnitudes(history)
+        assert reference.max() == pytest.approx(0.0)
+
+    def test_fluctuating_history_larger(self):
+        rng = spawn_rng("ref")
+        noisy = TimeSeries(10 + rng.normal(0, 3, 200))
+        flat = TimeSeries(np.full(200, 10.0))
+        assert reference_change_magnitudes(noisy).mean() > (
+            reference_change_magnitudes(flat).mean()
+        )
+
+    def test_short_history_empty(self):
+        assert len(reference_change_magnitudes(TimeSeries(np.zeros(5)))) == 0
+
+
+class TestActualError:
+    def test_forward_window_catches_spike(self):
+        errors = np.array([1.0, 1.0, 1.0, 50.0, 1.0, 1.0, 1.0])
+        series = TimeSeries(np.zeros(7))
+        assert actual_prediction_error(errors, series, 2) == 50.0
+
+    def test_direction_filtering(self):
+        errors = np.array([0.0, -40.0, 30.0, 0.0, 0.0])
+        series = TimeSeries(np.zeros(5))
+        assert actual_prediction_error(errors, series, 0, direction=-1) == 40.0
+        assert actual_prediction_error(errors, series, 0, direction=1) == 30.0
+
+    def test_direction_fallback_when_none_match(self):
+        errors = np.array([0.0, 25.0, 0.0])
+        series = TimeSeries(np.zeros(3))
+        assert actual_prediction_error(errors, series, 0, direction=-1) == 25.0
+
+    def test_nan_ignored(self):
+        errors = np.array([np.nan, np.nan, 5.0])
+        series = TimeSeries(np.zeros(3))
+        assert actual_prediction_error(errors, series, 0) == 5.0
+
+
+class TestHistoryReference:
+    def test_directional_split(self):
+        errors = np.concatenate([np.full(50, 100.0), np.full(50, -1.0)])
+        up = history_error_reference(errors, 1, 99.0)
+        down = history_error_reference(errors, -1, 99.0)
+        assert up == pytest.approx(100.0)
+        assert down == pytest.approx(1.0)
+
+    def test_too_few_samples_zero(self):
+        assert history_error_reference(np.array([1.0] * 5), 1, 99.0) == 0.0
+
+
+class TestShiftPersists:
+    def test_lasting_step_persists(self):
+        values = np.concatenate([np.full(40, 10.0), np.full(40, 30.0)])
+        assert shift_persists(values, 40, 20.0)
+
+    def test_transient_spike_rejected(self):
+        values = np.full(80, 10.0)
+        values[40:43] = 50.0
+        assert not shift_persists(values, 40, 25.0)
+
+    def test_decaying_burst_rejected(self):
+        values = np.full(80, 10.0)
+        values[40:52] = 10 + 30 * np.exp(-np.arange(12) / 3.0)
+        assert not shift_persists(values, 40, 20.0)
+
+    def test_edge_points_accepted(self):
+        values = np.full(50, 10.0)
+        assert shift_persists(values, 47, 99.0)
+
+
+class TestRollback:
+    def test_single_point_no_rollback(self):
+        values = np.concatenate([np.full(50, 10.0), np.full(50, 30.0)])
+        smoothed = TimeSeries(values)
+        point = cp(50)
+        assert rollback_onset(smoothed, [point], point) == 50
+
+    def test_rolls_back_along_ramp(self):
+        # A long ramp detected as several change points with equal slope.
+        ramp = np.concatenate([np.full(40, 10.0), 10 + np.arange(60) * 2.0])
+        smoothed = TimeSeries(ramp)
+        points = [cp(48, 5.0), cp(58, 10.0), cp(68, 10.0)]
+        onset = rollback_onset(smoothed, points, points[-1])
+        assert onset <= 58
+
+    def test_stops_at_direction_flip(self):
+        values = np.concatenate(
+            [np.full(30, 20.0), np.full(30, 5.0), np.full(40, 50.0)]
+        )
+        smoothed = TimeSeries(values)
+        points = [cp(30, 15.0, direction=-1), cp(60, 45.0, direction=1)]
+        assert rollback_onset(smoothed, points, points[1]) == 60
+
+    def test_stops_at_large_gap(self):
+        values = np.arange(200.0)
+        smoothed = TimeSeries(values)
+        points = [cp(50, 5.0), cp(120, 5.0)]
+        assert rollback_onset(smoothed, points, points[1], max_step_gap=12) == 120
+
+    def test_unknown_point_returned_as_is(self):
+        smoothed = TimeSeries(np.zeros(100))
+        assert rollback_onset(smoothed, [], cp(40)) == 40
+
+
+class TestCensoredOnset:
+    def test_trending_head_censors(self):
+        values = TimeSeries(np.arange(120.0) * 5.0, start=1000)
+        assert censored_onset(values, 1050, 1, 100.0) == 1000
+
+    def test_flat_head_not_censored(self):
+        values = np.concatenate([np.full(60, 10.0), np.arange(60) * 5.0])
+        series = TimeSeries(values, start=1000)
+        assert censored_onset(series, 1080, 1, 100.0) == 1080
+
+    def test_wrong_direction_not_censored(self):
+        values = TimeSeries(np.arange(120.0) * 5.0, start=1000)
+        assert censored_onset(values, 1050, -1, 100.0) == 1050
+
+    def test_noisy_insignificant_head_not_censored(self):
+        rng = spawn_rng("head")
+        values = TimeSeries(10 + rng.normal(0, 5, 120), start=0)
+        assert censored_onset(values, 50, 1, 3.0) == 50
+
+
+class TestSelectAbnormalChanges:
+    def _history(self, rng, n=600):
+        return 50 + rng.normal(0, 1.5, n)
+
+    def test_fault_step_selected(self):
+        rng = spawn_rng("sel1")
+        history = self._history(rng)
+        window = np.concatenate(
+            [50 + rng.normal(0, 1.5, 70), 110 + rng.normal(0, 1.5, 38)]
+        )
+        changes = select_abnormal_changes(
+            TimeSeries(window, start=600),
+            TimeSeries(history, start=0),
+            Metric.CPU_USAGE,
+            FChainConfig(),
+        )
+        assert changes
+        assert abs(changes[0].onset_time - 670) <= 4
+
+    def test_normal_window_nothing_selected(self):
+        rng = spawn_rng("sel2")
+        history = self._history(rng)
+        window = 50 + rng.normal(0, 1.5, 108)
+        changes = select_abnormal_changes(
+            TimeSeries(window, start=600),
+            TimeSeries(history, start=0),
+            Metric.CPU_USAGE,
+            FChainConfig(),
+        )
+        assert changes == []
+
+    def test_recurring_spikes_filtered(self):
+        """Spikes the model saw in history do not become abnormal changes."""
+        rng = spawn_rng("sel3")
+        history = self._history(rng)
+        history[::50] += 40  # recurring spikes throughout history
+        window = 50 + rng.normal(0, 1.5, 108)
+        window[40:42] += 40  # one more spike in the window
+        changes = select_abnormal_changes(
+            TimeSeries(window, start=600),
+            TimeSeries(history, start=0),
+            Metric.CPU_USAGE,
+            FChainConfig(),
+        )
+        assert changes == []
+
+    def test_short_window_no_changes(self):
+        changes = select_abnormal_changes(
+            TimeSeries(np.arange(4.0), start=0),
+            TimeSeries(np.zeros(0), start=0),
+            Metric.CPU_USAGE,
+            FChainConfig(),
+        )
+        assert changes == []
+
+    def test_records_errors_and_direction(self):
+        rng = spawn_rng("sel4")
+        history = self._history(rng)
+        window = np.concatenate(
+            [50 + rng.normal(0, 1.5, 70), 5 + rng.normal(0, 0.5, 38)]
+        )
+        changes = select_abnormal_changes(
+            TimeSeries(window, start=600),
+            TimeSeries(history, start=0),
+            Metric.MEMORY_USAGE,
+            FChainConfig(),
+        )
+        assert changes
+        change = changes[0]
+        assert change.direction == -1
+        assert change.prediction_error > change.expected_error
+        assert change.metric is Metric.MEMORY_USAGE

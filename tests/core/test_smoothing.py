@@ -1,0 +1,50 @@
+"""Tests for moving-average smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeseries import TimeSeries
+from repro.core.smoothing import moving_average, smooth_series
+
+
+class TestMovingAverage:
+    def test_constant_unchanged(self):
+        values = np.full(20, 3.0)
+        assert moving_average(values, 5) == pytest.approx(values)
+
+    def test_window_one_is_identity(self):
+        values = np.arange(10.0)
+        assert moving_average(values, 1) == pytest.approx(values)
+
+    def test_reduces_noise(self):
+        rng = np.random.default_rng(0)
+        noisy = 10 + rng.normal(0, 1, 500)
+        smoothed = moving_average(noisy, 7)
+        assert smoothed.std() < noisy.std()
+
+    def test_preserves_linear_trend(self):
+        values = np.arange(30.0)
+        smoothed = moving_average(values, 5)
+        assert smoothed[5:-5] == pytest.approx(values[5:-5])
+
+    def test_edges_use_shrunken_window(self):
+        values = np.array([0.0, 10.0, 0.0, 10.0, 0.0])
+        smoothed = moving_average(values, 5)
+        assert smoothed[0] == pytest.approx(values[0])  # radius 0 at edge
+        assert smoothed[-1] == pytest.approx(values[-1])
+
+    def test_length_preserved(self):
+        assert len(moving_average(np.arange(13.0), 5)) == 13
+
+    def test_does_not_mutate_input(self):
+        values = np.arange(10.0)
+        moving_average(values, 5)
+        assert values == pytest.approx(np.arange(10.0))
+
+
+class TestSmoothSeries:
+    def test_grid_preserved(self):
+        ts = TimeSeries(np.arange(10.0), start=42)
+        out = smooth_series(ts, 5)
+        assert out.start == 42
+        assert len(out) == 10

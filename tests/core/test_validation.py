@@ -1,0 +1,92 @@
+"""Tests for online pinpointing validation."""
+
+import pytest
+
+from repro.apps.rubis import APP1, DB, RubisApplication
+from repro.common.types import Metric
+from repro.core.config import FChainConfig
+from repro.core.pinpoint import PinpointResult
+from repro.core.propagation import ComponentReport, PropagationChain
+from repro.core.validation import (
+    apply_validation,
+    validate_component,
+    validate_pinpointing,
+)
+from repro.faults.library import BottleneckFault, CpuHogFault
+
+
+def make_result(faulty, reports=None):
+    return PinpointResult(
+        faulty=frozenset(faulty),
+        external_factor=False,
+        chain=PropagationChain(links=()),
+        reports=reports or {},
+    )
+
+
+@pytest.fixture(scope="module")
+def hogged_app():
+    app = RubisApplication(seed=61, duration=1600)
+    app.inject(CpuHogFault(900, DB))
+    app.run(1000)
+    assert app.slo.first_violation_after(900) is not None
+    return app
+
+
+CONFIG = FChainConfig(validation_horizon=30)
+
+
+class TestValidateComponent:
+    def test_true_positive_confirmed(self, hogged_app):
+        outcome = validate_component(
+            hogged_app, DB, Metric.CPU_USAGE, CONFIG
+        )
+        assert outcome.confirmed
+        assert outcome.improvement > 0.3
+
+    def test_false_alarm_rejected(self, hogged_app):
+        outcome = validate_component(
+            hogged_app, APP1, Metric.CPU_USAGE, CONFIG
+        )
+        assert not outcome.confirmed
+
+    def test_app_not_mutated(self, hogged_app):
+        before = hogged_app.vms[DB].vcpus
+        validate_component(hogged_app, DB, Metric.CPU_USAGE, CONFIG)
+        assert hogged_app.vms[DB].vcpus == before
+        assert hogged_app.time == 1000
+
+
+class TestValidatePinpointing:
+    def test_filters_false_alarm_keeps_culprit(self, hogged_app):
+        result = make_result(
+            {DB, APP1},
+            reports={
+                DB: ComponentReport(DB),
+                APP1: ComponentReport(APP1),
+            },
+        )
+        outcomes = validate_pinpointing(hogged_app, result, CONFIG)
+        assert outcomes[DB].confirmed
+        assert not outcomes[APP1].confirmed
+        validated = apply_validation(result, outcomes)
+        assert validated.faulty == frozenset({DB})
+
+    def test_bottleneck_validation(self):
+        app = RubisApplication(seed=62, duration=1600)
+        app.inject(BottleneckFault(900, DB, cap=0.1))
+        app.run(1000)
+        assert app.slo.first_violation_after(900) is not None
+        result = make_result({DB}, reports={DB: ComponentReport(DB)})
+        outcomes = validate_pinpointing(app, result, CONFIG)
+        assert outcomes[DB].confirmed
+
+    def test_empty_result_no_outcomes(self, hogged_app):
+        outcomes = validate_pinpointing(hogged_app, make_result(set()), CONFIG)
+        assert outcomes == {}
+
+
+class TestApplyValidation:
+    def test_unvalidated_components_kept(self):
+        result = make_result({"a"})
+        assert apply_validation(result, {}).faulty == frozenset({"a"})

@@ -1,0 +1,67 @@
+"""Tests for precision/recall accounting."""
+
+import pytest
+
+from repro.eval.metrics import PrecisionRecall, RocPoint
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        pr = PrecisionRecall()
+        pr.update({"a"}, {"a"})
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.f1 == 1.0
+
+    def test_false_positive(self):
+        pr = PrecisionRecall()
+        pr.update({"a", "b"}, {"a"})
+        assert pr.precision == pytest.approx(0.5)
+        assert pr.recall == 1.0
+
+    def test_false_negative(self):
+        pr = PrecisionRecall()
+        pr.update({"a"}, {"a", "b"})
+        assert pr.precision == 1.0
+        assert pr.recall == pytest.approx(0.5)
+
+    def test_empty_pinpointing(self):
+        pr = PrecisionRecall()
+        pr.update(set(), {"a"})
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+
+    def test_empty_ground_truth_fp_only(self):
+        pr = PrecisionRecall()
+        pr.update({"a"}, set())
+        assert pr.false_positives == 1
+        assert pr.recall == 0.0
+
+    def test_accumulates_over_runs(self):
+        pr = PrecisionRecall()
+        pr.update({"a"}, {"a"})
+        pr.update({"b"}, {"a"})
+        assert pr.runs == 2
+        assert pr.true_positives == 1
+        assert pr.false_positives == 1
+        assert pr.false_negatives == 1
+
+    def test_merged(self):
+        a = PrecisionRecall(1, 2, 3, 4)
+        b = PrecisionRecall(10, 20, 30, 40)
+        merged = a.merged(b)
+        assert merged.true_positives == 11
+        assert merged.runs == 44
+
+    def test_str(self):
+        pr = PrecisionRecall()
+        pr.update({"a"}, {"a"})
+        assert "P=1.00" in str(pr)
+
+    def test_f1_zero_when_both_zero(self):
+        assert PrecisionRecall().f1 == 0.0
+
+
+def test_roc_point():
+    point = RocPoint(0.5, 0.9, 0.8)
+    assert point.threshold == 0.5

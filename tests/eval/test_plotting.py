@@ -1,0 +1,55 @@
+"""Tests for the ASCII plotting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.common.timeseries import TimeSeries
+from repro.eval.plotting import sparkline, strip_chart
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        assert len(sparkline(range(500), width=80)) == 80
+
+    def test_short_series_full_length(self):
+        assert len(sparkline([1, 2, 3], width=80)) == 3
+
+    def test_flat_series_low_glyphs(self):
+        line = sparkline([5.0] * 20)
+        assert set(line) == {" "}
+
+    def test_monotone_series_increases(self):
+        line = sparkline(np.linspace(0, 1, 40))
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestStripChart:
+    def test_contains_extremes_and_axis(self):
+        series = TimeSeries(np.linspace(10, 90, 200), start=100)
+        chart = strip_chart(series, title="ramp")
+        assert "ramp" in chart
+        assert "90.0" in chart and "10.0" in chart
+        assert "t=[100, 300)" in chart
+
+    def test_markers_rendered(self):
+        series = TimeSeries(np.zeros(100), start=0)
+        chart = strip_chart(series, markers={50: "^"})
+        assert "^=t50" in chart
+
+    def test_out_of_range_marker_ignored(self):
+        series = TimeSeries(np.zeros(100), start=0)
+        chart = strip_chart(series, markers={500: "^"})
+        assert "^" not in chart
+
+    def test_empty_series(self):
+        assert strip_chart(TimeSeries(np.empty(0)), title="x") == "x"
+
+    def test_row_count(self):
+        series = TimeSeries(np.arange(50.0))
+        chart = strip_chart(series, height=6)
+        rows = [l for l in chart.splitlines() if l.strip().startswith("│")]
+        assert len(rows) == 6

@@ -1,0 +1,42 @@
+"""Tests for report formatting."""
+
+from repro.eval.metrics import PrecisionRecall, RocPoint
+from repro.eval.report import (
+    format_roc_series,
+    format_scheme_table,
+    format_sensitivity_table,
+)
+
+
+def pr(tp, fp, fn):
+    return PrecisionRecall(tp, fp, fn, runs=1)
+
+
+def test_scheme_table_contains_all_cells():
+    table = format_scheme_table(
+        "Fig. X",
+        {
+            "memleak": {"FChain": pr(9, 1, 1), "PAL": pr(5, 5, 5)},
+            "cpuhog": {"FChain": pr(8, 0, 2)},
+        },
+    )
+    assert "Fig. X" in table
+    assert "FChain" in table and "PAL" in table
+    assert "P=0.90" in table
+    assert table.count("-") >= 1  # missing PAL cell rendered as dash
+
+
+def test_roc_series_lists_thresholds():
+    text = format_roc_series(
+        "Fig. 12", {"Fixed": [RocPoint(0.1, 0.5, 0.6), RocPoint(0.2, 0.7, 0.4)]}
+    )
+    assert "threshold=0.1" in text
+    assert "P=0.70" in text
+
+
+def test_sensitivity_table():
+    text = format_sensitivity_table(
+        [("W=100", "rubis/nethog", pr(10, 0, 0))]
+    )
+    assert "W=100" in text
+    assert "1.00" in text

@@ -1,0 +1,87 @@
+"""Tests for the campaign runner (kept small: runs are expensive)."""
+
+import pytest
+
+from repro.baselines import PALLocalizer
+from repro.eval.metrics import PrecisionRecall
+from repro.eval.runner import (
+    FChainLocalizer,
+    dependency_graph_for,
+    evaluate_schemes,
+    execute_run,
+    generate_runs,
+    sweep_thresholds,
+)
+from repro.eval.scenarios import scenario_by_name
+
+
+@pytest.fixture(scope="module")
+def cpuhog_records():
+    return generate_runs(scenario_by_name("rubis/cpuhog"), 2, base_seed="t")
+
+
+class TestExecuteRun:
+    def test_produces_violation_after_injection(self, cpuhog_records):
+        assert len(cpuhog_records) == 2
+        for record in cpuhog_records:
+            assert record.violation_time >= record.injection_time
+            assert record.ground_truth == frozenset({"db"})
+            assert record.store.length > record.violation_time
+
+    def test_deterministic(self):
+        scenario = scenario_by_name("rubis/cpuhog")
+        a = execute_run(scenario, ("t", scenario.name, 0))
+        b = execute_run(scenario, ("t", scenario.name, 0))
+        assert a.violation_time == b.violation_time
+
+
+class TestDependencyGraphCache:
+    def test_rubis_graph_complete(self):
+        graph = dependency_graph_for("rubis")
+        assert set(graph.edges) == {
+            ("web", "app1"),
+            ("web", "app2"),
+            ("app1", "db"),
+            ("app2", "db"),
+        }
+
+    def test_systems_graph_empty(self):
+        assert dependency_graph_for("systems").number_of_edges() == 0
+
+    def test_cached_instance(self):
+        assert dependency_graph_for("rubis") is dependency_graph_for("rubis")
+
+
+class TestEvaluateSchemes:
+    def test_scores_all_schemes_on_shared_runs(self, cpuhog_records):
+        scenario = scenario_by_name("rubis/cpuhog")
+        results = evaluate_schemes(
+            scenario,
+            [FChainLocalizer(), PALLocalizer()],
+            records=cpuhog_records,
+        )
+        assert set(results) == {"FChain", "PAL"}
+        assert all(isinstance(v, PrecisionRecall) for v in results.values())
+        assert results["FChain"].runs == 2
+
+    def test_fchain_finds_db(self, cpuhog_records):
+        scenario = scenario_by_name("rubis/cpuhog")
+        results = evaluate_schemes(
+            scenario, [FChainLocalizer()], records=cpuhog_records
+        )
+        assert results["FChain"].recall > 0.4
+
+
+class TestSweep:
+    def test_threshold_sweep(self, cpuhog_records):
+        from repro.baselines import HistogramLocalizer
+
+        scenario = scenario_by_name("rubis/cpuhog")
+        points = sweep_thresholds(
+            scenario,
+            lambda th: HistogramLocalizer(threshold=th),
+            [0.05, 5.0],
+            records=cpuhog_records,
+        )
+        assert len(points) == 2
+        assert points[0].threshold == 0.05

@@ -1,0 +1,70 @@
+"""Edge-case tests for the campaign runner."""
+
+import numpy as np
+import pytest
+
+from repro.apps.rubis import RubisApplication
+from repro.eval.runner import POST_VIOLATION_MARGIN, execute_run, generate_runs
+from repro.eval.scenarios import Scenario
+from repro.faults.injector import FaultCampaign
+from repro.faults.library import CpuHogFault, WorkloadSurge
+
+
+def harmless_scenario():
+    """A 'fault' that never violates the SLO (surge factor 1.0)."""
+    return Scenario(
+        "test/harmless",
+        "rubis",
+        lambda seed: RubisApplication(seed=seed, duration=1200),
+        FaultCampaign(
+            "test/harmless",
+            lambda t, rng: [WorkloadSurge(t, factor=1.0)],
+            (600, 700),
+        ),
+        slo_component="web",
+        max_wait=120,
+    )
+
+
+def violent_scenario(max_wait=400):
+    return Scenario(
+        "test/violent",
+        "rubis",
+        lambda seed: RubisApplication(seed=seed, duration=1600),
+        FaultCampaign(
+            "test/violent",
+            lambda t, rng: [CpuHogFault(t, "db")],
+            (600, 700),
+        ),
+        slo_component="web",
+        max_wait=max_wait,
+    )
+
+
+class TestExecuteRun:
+    def test_no_violation_returns_none(self):
+        assert execute_run(harmless_scenario(), 0) is None
+
+    def test_post_violation_margin_recorded(self):
+        record = execute_run(violent_scenario(), 0)
+        assert record is not None
+        assert (
+            record.store.length
+            >= record.violation_time + POST_VIOLATION_MARGIN
+        )
+
+    def test_max_wait_respected(self):
+        scenario = harmless_scenario()
+        record = execute_run(scenario, 1)
+        assert record is None  # gave up within max_wait
+
+
+class TestGenerateRuns:
+    def test_gives_up_on_hopeless_scenario(self):
+        runs = generate_runs(harmless_scenario(), 2, base_seed="x")
+        assert runs == []
+
+    def test_collects_requested_count(self):
+        runs = generate_runs(violent_scenario(), 2, base_seed="x")
+        assert len(runs) == 2
+        assert runs[0].seed != runs[1].seed

@@ -1,0 +1,66 @@
+"""Tests for scenario definitions."""
+
+import pytest
+
+from repro.eval.scenarios import (
+    SYSTEMS_TARGETS,
+    all_scenarios,
+    hadoop_scenarios,
+    rubis_scenarios,
+    scenario_by_name,
+    systems_scenarios,
+)
+
+
+def test_paper_scenario_counts():
+    assert len(rubis_scenarios()) == 5  # 3 single + 2 concurrent
+    assert len(systems_scenarios()) == 5  # 3 single + 2 concurrent
+    assert len(hadoop_scenarios()) == 3  # 3 concurrent
+
+
+def test_all_scenarios_unique_names():
+    names = [s.name for s in all_scenarios()]
+    assert len(names) == len(set(names))
+
+
+def test_lookup():
+    scenario = scenario_by_name("rubis/cpuhog")
+    assert scenario.app_name == "rubis"
+    with pytest.raises(KeyError):
+        scenario_by_name("nope")
+
+
+def test_diskhog_uses_long_window():
+    scenario = scenario_by_name("hadoop/conc_diskhog")
+    assert scenario.look_back_window == 500
+
+
+def test_campaigns_materialize():
+    for scenario in all_scenarios():
+        faults, t_inject, truth = scenario.campaign.materialize("seed")
+        assert faults
+        lo, hi = scenario.campaign.window
+        assert lo <= t_inject < hi
+
+
+def test_systems_targets_randomized():
+    scenario = scenario_by_name("systems/memleak")
+    targets = set()
+    for seed in range(12):
+        _, _, truth = scenario.campaign.materialize(seed)
+        targets |= set(truth)
+    assert len(targets) >= 3
+    assert targets <= set(SYSTEMS_TARGETS)
+
+
+def test_concurrent_campaigns_two_distinct_targets():
+    scenario = scenario_by_name("systems/conc_memleak")
+    for seed in range(5):
+        _, _, truth = scenario.campaign.materialize(seed)
+        assert len(truth) == 2
+
+
+def test_app_factories_build():
+    for scenario in all_scenarios():
+        app = scenario.make_app(0)
+        assert scenario.slo_component in app.components

@@ -1,0 +1,75 @@
+"""Tests for the dependency-free SVG figure renderer."""
+
+import pytest
+
+from repro.eval.svgfig import SvgCanvas, line_figure, roc_figure, save_svg
+
+
+class TestCanvas:
+    def test_render_is_valid_svg_envelope(self):
+        canvas = SvgCanvas(width=100, height=80)
+        text = canvas.render()
+        assert text.startswith("<svg")
+        assert 'width="100"' in text
+        assert text.rstrip().endswith("</svg>")
+
+    def test_elements_rendered(self):
+        canvas = SvgCanvas()
+        canvas.line(0, 0, 10, 10)
+        canvas.marker(5, 5, kind="square", color="#123456")
+        canvas.text(1, 2, "hello <&>")
+        text = canvas.render()
+        assert "<line" in text
+        assert "<rect" in text and "#123456" in text
+        assert "hello &lt;&amp;&gt;" in text  # escaped
+
+    def test_all_marker_kinds(self):
+        canvas = SvgCanvas()
+        for kind in ("circle", "square", "diamond", "triangle"):
+            canvas.marker(10, 10, kind=kind)
+        text = canvas.render()
+        assert text.count("<circle") == 1
+        assert text.count("<polygon") == 2
+
+
+class TestRocFigure:
+    def test_schemes_labelled(self):
+        svg = roc_figure(
+            {"FChain": (0.9, 0.95), "PAL": (0.5, 0.4)},
+            title="Fig test",
+        )
+        assert "FChain" in svg and "PAL" in svg
+        assert "recall" in svg and "precision" in svg
+        assert "Fig test" in svg
+
+    def test_distinct_colors(self):
+        svg = roc_figure(
+            {"a": (0.1, 0.1), "b": (0.2, 0.2)}, title="t"
+        )
+        assert "#1f77b4" in svg and "#d62728" in svg
+
+
+class TestLineFigure:
+    def test_series_and_markers(self):
+        svg = line_figure(
+            {"cpu": [(0, 1.0), (1, 2.0), (2, 1.5)]},
+            title="series",
+            markers={1: "onset"},
+        )
+        assert "<polyline" in svg
+        assert "onset" in svg
+        assert "stroke-dasharray" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_figure({}, title="x")
+
+    def test_flat_series_no_crash(self):
+        svg = line_figure({"flat": [(0, 5.0), (10, 5.0)]}, title="flat")
+        assert "<polyline" in svg
+
+
+def test_save_svg(tmp_path):
+    path = tmp_path / "f.svg"
+    save_svg(roc_figure({"x": (0.5, 0.5)}, title="t"), path)
+    assert path.read_text().startswith("<svg")

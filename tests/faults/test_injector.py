@@ -1,0 +1,61 @@
+"""Tests for fault campaign scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import spawn_rng
+from repro.faults.injector import FaultCampaign, schedule_fault_time
+from repro.faults.library import CpuHogFault, MemLeakFault
+
+
+class TestScheduleFaultTime:
+    def test_within_window(self):
+        rng = spawn_rng("t")
+        for _ in range(50):
+            t = schedule_fault_time(rng, (100, 200))
+            assert 100 <= t < 200
+
+    def test_invalid_window(self):
+        rng = spawn_rng("t")
+        with pytest.raises(ValueError):
+            schedule_fault_time(rng, (200, 100))
+        with pytest.raises(ValueError):
+            schedule_fault_time(rng, (-5, 10))
+
+
+class TestCampaign:
+    def test_materialize_deterministic(self):
+        campaign = FaultCampaign(
+            "c", lambda t, rng: [CpuHogFault(t, "db")], (100, 300)
+        )
+        a = campaign.materialize("run-1")
+        b = campaign.materialize("run-1")
+        assert a[1] == b[1]
+
+    def test_different_runs_differ(self):
+        campaign = FaultCampaign(
+            "c", lambda t, rng: [CpuHogFault(t, "db")], (100, 1000)
+        )
+        times = {campaign.materialize(i)[1] for i in range(20)}
+        assert len(times) > 5
+
+    def test_ground_truth_union(self):
+        campaign = FaultCampaign(
+            "c",
+            lambda t, rng: [MemLeakFault(t, "a"), MemLeakFault(t, "b")],
+            (0, 10),
+        )
+        _, _, truth = campaign.materialize(0)
+        assert truth == frozenset({"a", "b"})
+
+    def test_rng_passed_to_factory(self):
+        seen = []
+
+        def factory(t, rng):
+            seen.append(float(rng.random()))
+            return [MemLeakFault(t, "x")]
+
+        campaign = FaultCampaign("c", factory, (0, 10))
+        campaign.materialize(1)
+        campaign.materialize(2)
+        assert seen[0] != seen[1]

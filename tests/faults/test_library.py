@@ -1,0 +1,133 @@
+"""Tests for the fault library."""
+
+import pytest
+
+from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
+from repro.common.types import Metric
+from repro.faults.base import Fault
+from repro.faults.library import (
+    BottleneckFault,
+    CpuHogFault,
+    DiskHogFault,
+    InfiniteLoopFault,
+    LBBugFault,
+    MemLeakFault,
+    NetHogFault,
+    OffloadBugFault,
+    WorkloadSurge,
+)
+
+
+def fresh_app(seed=1):
+    return RubisApplication(seed=seed, duration=400)
+
+
+class TestBase:
+    def test_dormant_before_start(self):
+        app = fresh_app()
+        fault = CpuHogFault(100, DB)
+        fault.on_tick(app, 50)
+        assert not fault.active
+        assert app.vms[DB].extra_cpu_cores == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            MemLeakFault(-1, DB)
+
+    def test_repr(self):
+        assert "db" in repr(MemLeakFault(5, DB))
+
+
+class TestMemLeak:
+    def test_memory_grows(self):
+        app = fresh_app()
+        fault = MemLeakFault(0, DB, rate_mb_per_s=10.0)
+        for t in range(5):
+            fault.on_tick(app, t)
+        assert app.components[DB].leaked_mb == pytest.approx(50.0)
+
+    def test_ground_truth(self):
+        assert MemLeakFault(0, DB).ground_truth == frozenset({DB})
+
+
+class TestCpuHog:
+    def test_ramp(self):
+        app = fresh_app()
+        fault = CpuHogFault(0, DB, cores=10.0, ramp_seconds=10)
+        for t in range(6):
+            fault.on_tick(app, t)
+        assert app.vms[DB].extra_cpu_cores == pytest.approx(5.0)
+        for t in range(6, 20):
+            fault.on_tick(app, t)
+        assert app.vms[DB].extra_cpu_cores == pytest.approx(10.0)
+
+
+class TestNetHog:
+    def test_adds_cpu_and_traffic(self):
+        app = fresh_app()
+        fault = NetHogFault(0, WEB, cores=4.0, net_kbps=1000.0, ramp_seconds=1)
+        fault.on_tick(app, 0)
+        fault.on_tick(app, 1)
+        assert app.vms[WEB].extra_cpu_cores == pytest.approx(4.0)
+        assert app.vms[WEB].extra_net_in_kbps == pytest.approx(1000.0)
+
+
+class TestBottleneck:
+    def test_caps_vm(self):
+        app = fresh_app()
+        BottleneckFault(0, DB, cap=0.1).on_tick(app, 0)
+        assert app.vms[DB].cpu_cap == pytest.approx(0.1)
+
+
+class TestDiskHog:
+    def test_dom0_ramp_bounded(self):
+        app = fresh_app()
+        fault = DiskHogFault(0, [DB], ramp_kbps_per_s=1e9)
+        fault.on_tick(app, 0)
+        fault.on_tick(app, 500)
+        host = app.vms[DB].host
+        assert host.dom0_disk_kbps <= host.disk_bw_kbps
+
+    def test_multi_target_ground_truth(self):
+        fault = DiskHogFault(0, ["a", "b"])
+        assert fault.ground_truth == frozenset({"a", "b"})
+
+
+class TestInfiniteLoop:
+    def test_slows_and_burns(self):
+        app = fresh_app()
+        InfiniteLoopFault(0, APP1, residual_speed=0.1, loop_cores=1.0).on_tick(
+            app, 0
+        )
+        assert app.components[APP1].speed_multiplier == pytest.approx(0.1)
+        assert app.vms[APP1].extra_cpu_cores == pytest.approx(1.0)
+
+
+class TestApplicationBugs:
+    def test_offload_bug_skews_and_slows(self):
+        app = fresh_app()
+        OffloadBugFault(0).on_tick(app, 0)
+        web = app.components[WEB]
+        routing = dict((c.name, f) for c, f in web.routing())
+        assert routing[APP1] > 0.85
+        assert app.components[APP1].speed_multiplier < 1.0
+
+    def test_offload_ground_truth_both_servers(self):
+        assert OffloadBugFault(0).ground_truth == frozenset({APP1, APP2})
+
+    def test_lb_bug_starves_app2(self):
+        app = fresh_app()
+        LBBugFault(0).on_tick(app, 0)
+        routing = dict(
+            (c.name, f) for c, f in app.components[WEB].routing()
+        )
+        assert routing[APP2] < 0.01
+
+    def test_workload_surge_scales_rates(self):
+        app = fresh_app()
+        before = app.workload.rate(100)
+        WorkloadSurge(0, factor=2.0).on_tick(app, 0)
+        assert app.workload.rate(100) == pytest.approx(2 * before)
+
+    def test_workload_surge_empty_truth(self):
+        assert WorkloadSurge(0).ground_truth == frozenset()

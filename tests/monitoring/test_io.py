@@ -1,0 +1,109 @@
+"""Tests for metric store CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ReproError
+from repro.common.rng import spawn_rng
+from repro.common.types import METRIC_NAMES, Metric
+from repro.monitoring.io import load_store_csv, save_store_csv
+from repro.monitoring.store import MetricStore
+
+
+def sample_store(length=50, start=100):
+    rng = spawn_rng("io")
+    return MetricStore.from_arrays(
+        {
+            "web": {m: 10 + rng.random(length) for m in METRIC_NAMES},
+            "db": {Metric.CPU_USAGE: rng.random(length)},
+        },
+        start=start,
+    )
+
+
+class TestRoundTrip:
+    def test_values_preserved(self, tmp_path):
+        store = sample_store()
+        path = tmp_path / "m.csv"
+        save_store_csv(store, path)
+        loaded = load_store_csv(path)
+        assert loaded.components == store.components
+        assert loaded.length == store.length
+        for component in store.components:
+            for metric in store.metrics_for(component):
+                np.testing.assert_allclose(
+                    loaded.series(component, metric).values,
+                    store.series(component, metric).values,
+                )
+
+    def test_start_time_preserved(self, tmp_path):
+        store = sample_store(start=777)
+        path = tmp_path / "m.csv"
+        save_store_csv(store, path)
+        assert load_store_csv(path).start == 777
+
+    def test_row_order_irrelevant(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "time,component,metric,value\n"
+            "1,a,cpu_usage,2.0\n"
+            "0,a,cpu_usage,1.0\n"
+        )
+        store = load_store_csv(path)
+        assert list(store.series("a", Metric.CPU_USAGE).values) == [1.0, 2.0]
+
+
+class TestValidation:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("t,c,m,v\n0,a,cpu_usage,1.0\n")
+        with pytest.raises(ReproError, match="header"):
+            load_store_csv(path)
+
+    def test_unknown_metric(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("time,component,metric,value\n0,a,nope,1.0\n")
+        with pytest.raises(ReproError, match="bad row"):
+            load_store_csv(path)
+
+    def test_gap_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "time,component,metric,value\n"
+            "0,a,cpu_usage,1.0\n"
+            "2,a,cpu_usage,3.0\n"
+        )
+        with pytest.raises(ReproError, match="gaps"):
+            load_store_csv(path)
+
+    def test_ragged_ranges_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "time,component,metric,value\n"
+            "0,a,cpu_usage,1.0\n"
+            "0,b,cpu_usage,1.0\n"
+            "1,b,cpu_usage,2.0\n"
+        )
+        with pytest.raises(ReproError, match="time ranges"):
+            load_store_csv(path)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("time,component,metric,value\n")
+        with pytest.raises(ReproError, match="no samples"):
+            load_store_csv(path)
+
+
+class TestAnalyzeCli:
+    def test_analyze_pinpoints_fault(self, tmp_path, rubis_cpuhog_run, capsys):
+        from repro.cli import main
+
+        app, violation = rubis_cpuhog_run
+        path = tmp_path / "metrics.csv"
+        save_store_csv(app.store, path)
+        code = main(
+            ["analyze", str(path), "--violation", str(violation)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "db" in out and "FAULTY" in out

@@ -1,0 +1,89 @@
+"""Tests for SLO detectors."""
+
+import pytest
+
+from repro.monitoring.slo import LatencySLO, ProgressSLO
+
+
+class TestLatencySLO:
+    def test_no_violation_below_threshold(self):
+        slo = LatencySLO(0.1, sustain=3)
+        for t in range(10):
+            status = slo.observe(t, 0.05)
+        assert not status.violated
+        assert slo.first_violation is None
+
+    def test_sustained_breach_required(self):
+        slo = LatencySLO(0.1, sustain=3)
+        slo.observe(0, 0.5)
+        slo.observe(1, 0.5)
+        assert not slo.observe(2, 0.05).violated  # broken streak
+        slo.observe(3, 0.5)
+        slo.observe(4, 0.5)
+        assert slo.observe(5, 0.5).violated
+        assert slo.first_violation == 5
+
+    def test_infinite_latency_counts(self):
+        slo = LatencySLO(0.1, sustain=2)
+        slo.observe(0, float("inf"))
+        assert slo.observe(1, float("inf")).violated
+
+    def test_violation_ticks_recorded(self):
+        slo = LatencySLO(0.1, sustain=1)
+        slo.observe(0, 0.05)
+        slo.observe(1, 0.5)
+        slo.observe(2, 0.5)
+        assert slo.violation_ticks == [1, 2]
+
+    def test_first_violation_after(self):
+        slo = LatencySLO(0.1, sustain=1)
+        for t, v in enumerate([0.5, 0.05, 0.5]):
+            slo.observe(t, v)
+        assert slo.first_violation_after(1) == 2
+        assert slo.first_violation_after(3) is None
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LatencySLO(0.0)
+        with pytest.raises(ValueError):
+            LatencySLO(0.1, sustain=0)
+
+    def test_performance_series(self):
+        slo = LatencySLO(0.1)
+        slo.observe(5, 0.01)
+        slo.observe(6, 0.02)
+        series = slo.performance_series()
+        assert series.start == 5
+        assert list(series.values) == [0.01, 0.02]
+
+
+class TestProgressSLO:
+    def test_steady_progress_ok(self):
+        slo = ProgressSLO(stall_seconds=5, min_delta=0.001)
+        for t in range(20):
+            status = slo.observe(t, t * 0.01)
+        assert not status.violated
+
+    def test_stall_detected(self):
+        slo = ProgressSLO(stall_seconds=5, min_delta=0.001)
+        for t in range(10):
+            slo.observe(t, t * 0.01)
+        violated = False
+        for t in range(10, 20):
+            violated = slo.observe(t, 0.09).violated or violated
+        assert violated
+
+    def test_no_violation_before_window_full(self):
+        slo = ProgressSLO(stall_seconds=30)
+        for t in range(20):
+            assert not slo.observe(t, 0.0).violated
+
+    def test_finished_job_not_violating(self):
+        slo = ProgressSLO(stall_seconds=3, min_delta=0.001)
+        for t in range(10):
+            status = slo.observe(t, 1.0)
+        assert not status.violated
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ProgressSLO(stall_seconds=0)

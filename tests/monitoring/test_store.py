@@ -1,0 +1,79 @@
+"""Tests for the metric store."""
+
+import pytest
+
+from repro.common.types import Metric
+from repro.monitoring.store import MetricStore
+
+
+def test_record_and_read():
+    store = MetricStore()
+    for t in range(3):
+        store.record("web", {Metric.CPU_USAGE: float(t)})
+        store.advance()
+    series = store.series("web", Metric.CPU_USAGE)
+    assert list(series.values) == [0.0, 1.0, 2.0]
+    assert series.start == 0
+
+
+def test_length_counts_completed_ticks_only():
+    store = MetricStore()
+    store.record("web", {Metric.CPU_USAGE: 1.0})
+    assert store.length == 0
+    store.advance()
+    assert store.length == 1
+    assert store.end == 1
+
+
+def test_unknown_series_raises():
+    store = MetricStore()
+    with pytest.raises(KeyError):
+        store.series("nope", Metric.CPU_USAGE)
+
+
+def test_components_sorted():
+    store = MetricStore()
+    store.record("b", {Metric.CPU_USAGE: 1.0})
+    store.record("a", {Metric.CPU_USAGE: 1.0})
+    store.advance()
+    assert store.components == ["a", "b"]
+
+
+def test_metrics_for_canonical_order():
+    store = MetricStore()
+    store.record("c", {Metric.DISK_WRITE: 1.0, Metric.CPU_USAGE: 2.0})
+    store.advance()
+    assert store.metrics_for("c") == [Metric.CPU_USAGE, Metric.DISK_WRITE]
+
+
+def test_window():
+    store = MetricStore()
+    for t in range(10):
+        store.record("c", {Metric.CPU_USAGE: float(t)})
+        store.advance()
+    window = store.window("c", Metric.CPU_USAGE, 4, 7)
+    assert list(window.values) == [4.0, 5.0, 6.0]
+
+
+def test_from_arrays():
+    store = MetricStore.from_arrays(
+        {"c": {Metric.CPU_USAGE: [1, 2, 3], Metric.MEMORY_USAGE: [4, 5, 6]}},
+        start=100,
+    )
+    assert store.length == 3
+    assert store.series("c", Metric.MEMORY_USAGE).start == 100
+
+
+def test_from_arrays_rejects_ragged():
+    with pytest.raises(ValueError):
+        MetricStore.from_arrays(
+            {"c": {Metric.CPU_USAGE: [1], Metric.MEMORY_USAGE: [1, 2]}}
+        )
+
+
+def test_custom_start():
+    store = MetricStore(start=50)
+    store.record("c", {Metric.CPU_USAGE: 1.0})
+    store.advance()
+    assert store.series("c", Metric.CPU_USAGE).start == 50
+    assert store.end == 51

@@ -1,0 +1,45 @@
+"""Property-based tests for the CSV metric-store round trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.types import METRIC_NAMES, Metric
+from repro.monitoring.io import load_store_csv, save_store_csv
+from repro.monitoring.store import MetricStore
+
+values = arrays(
+    dtype=float,
+    shape=st.shared(st.integers(2, 40), key="len"),
+    elements=st.floats(0, 1e6, allow_nan=False),
+)
+
+stores = st.fixed_dictionaries(
+    {
+        "a": st.fixed_dictionaries(
+            {Metric.CPU_USAGE: values, Metric.MEMORY_USAGE: values}
+        ),
+        "b": st.fixed_dictionaries({Metric.NETWORK_IN: values}),
+    }
+).map(lambda data: MetricStore.from_arrays(data, start=5))
+
+
+class TestCsvRoundTripProperties:
+    @given(store=stores)
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_exact(self, store, tmp_path_factory):
+        path = tmp_path_factory.mktemp("io") / "m.csv"
+        save_store_csv(store, path)
+        loaded = load_store_csv(path)
+        assert loaded.components == store.components
+        assert loaded.start == store.start
+        assert loaded.length == store.length
+        for component in store.components:
+            for metric in store.metrics_for(component):
+                np.testing.assert_allclose(
+                    loaded.series(component, metric).values,
+                    store.series(component, metric).values,
+                    rtol=1e-12,
+                )

@@ -1,0 +1,109 @@
+"""Property-based tests for the integrated pinpointing algorithm."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import Metric
+from repro.core.config import FChainConfig
+from repro.core.cusum import ChangePoint
+from repro.core.pinpoint import pinpoint_faulty_components
+from repro.core.propagation import ComponentReport, build_chain
+from repro.core.selection import AbnormalChange
+
+COMPONENTS = ["web", "app1", "app2", "db"]
+
+CONFIG = FChainConfig()
+
+
+def _change(onset, direction):
+    point = ChangePoint(onset, onset, 1.0, 10.0, direction)
+    return AbnormalChange(Metric.CPU_USAGE, point, onset, 5.0, 1.0, direction)
+
+
+reports_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(COMPONENTS),
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=0, max_value=300),
+                st.sampled_from([-1, 1]),
+            ),
+        ),
+    ),
+    min_size=1,
+    max_size=4,
+    unique_by=lambda item: item[0],
+).map(
+    lambda items: [
+        ComponentReport(
+            name, [] if payload is None else [_change(*payload)]
+        )
+        for name, payload in items
+    ]
+)
+
+
+def rubis_graph():
+    return nx.DiGraph(
+        [("web", "app1"), ("web", "app2"), ("app1", "db"), ("app2", "db")]
+    )
+
+
+class TestPinpointInvariants:
+    @given(reports=reports_strategy)
+    def test_faulty_subset_of_abnormal(self, reports):
+        result = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        abnormal = {r.component for r in reports if r.is_abnormal}
+        assert result.faulty <= abnormal
+
+    @given(reports=reports_strategy)
+    def test_chain_source_faulty_unless_external(self, reports):
+        result = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        if result.chain.links and not result.external_factor:
+            assert result.chain.components[0] in result.faulty
+
+    @given(reports=reports_strategy)
+    def test_external_factor_means_empty(self, reports):
+        result = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        if result.external_factor:
+            assert result.faulty == frozenset()
+
+    @given(reports=reports_strategy)
+    def test_dependency_filter_only_adds_to_core(self, reports):
+        """The chain-source + concurrency core is graph-independent; the
+        dependency filter can only *add* independently faulty components
+        on top of it."""
+        core = pinpoint_faulty_components(reports, CONFIG, None)
+        with_graph = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        if not core.external_factor and not with_graph.external_factor:
+            assert core.faulty <= with_graph.faulty
+
+    @given(reports=reports_strategy)
+    def test_complete_graph_equals_no_graph(self, reports):
+        """With every pair connected, every propagation is explainable, so
+        the result collapses to the propagation-only core."""
+        complete = nx.complete_graph(COMPONENTS, create_using=nx.DiGraph)
+        with_complete = pinpoint_faulty_components(reports, CONFIG, complete)
+        core = pinpoint_faulty_components(reports, CONFIG, None)
+        assert with_complete.faulty == core.faulty
+
+    @given(reports=reports_strategy)
+    def test_deterministic(self, reports):
+        a = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        b = pinpoint_faulty_components(reports, CONFIG, rubis_graph())
+        assert a.faulty == b.faulty
+        assert a.external_factor == b.external_factor
+
+
+class TestChainProperties:
+    @given(reports=reports_strategy)
+    def test_chain_sorted_and_complete(self, reports):
+        chain = build_chain(reports)
+        onsets = [onset for _, onset in chain.links]
+        assert onsets == sorted(onsets)
+        assert set(chain.components) == {
+            r.component for r in reports if r.is_abnormal
+        }

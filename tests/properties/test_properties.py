@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.common.timeseries import TimeSeries
+from repro.core.burst import burst_signal
+from repro.core.cusum import detect_change_points
+from repro.core.outliers import outlier_change_points
+from repro.core.prediction import MarkovPredictor
+from repro.core.smoothing import moving_average
+from repro.eval.metrics import PrecisionRecall
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+value_arrays = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=120),
+    elements=finite_floats,
+)
+
+
+class TestTimeSeriesProperties:
+    @given(values=value_arrays, start=st.integers(0, 1000))
+    def test_window_within_bounds(self, values, start):
+        ts = TimeSeries(values, start=start)
+        piece = ts.window(start + 3, start + 50)
+        assert piece.start >= ts.start
+        assert piece.end <= ts.end
+        assert len(piece) == max(0, min(start + 50, ts.end) - max(start + 3, ts.start))
+
+    @given(values=value_arrays, radius=st.integers(0, 50))
+    def test_around_symmetric_within_data(self, values, radius):
+        ts = TimeSeries(values)
+        centre = len(values) // 2
+        piece = ts.around(centre, radius)
+        assert len(piece) <= 2 * radius + 1
+        assert all(v in values for v in piece.values) or len(piece) > 0
+
+
+class TestSmoothingProperties:
+    @given(values=value_arrays, window=st.integers(1, 15))
+    def test_length_preserved(self, values, window):
+        assert len(moving_average(values, window)) == len(values)
+
+    @given(values=value_arrays, window=st.integers(1, 15))
+    def test_bounded_by_extremes(self, values, window):
+        out = moving_average(values, window)
+        scale = 1e-9 * (1.0 + np.abs(values).max())
+        assert out.min() >= values.min() - scale
+        assert out.max() <= values.max() + scale
+
+    @given(
+        level=finite_floats,
+        n=st.integers(3, 60),
+        window=st.integers(1, 9),
+    )
+    def test_constant_fixed_point(self, level, n, window):
+        values = np.full(n, level)
+        assert moving_average(values, window) == pytest.approx(values)
+
+
+class TestCusumProperties:
+    @given(values=arrays(dtype=float, shape=st.integers(10, 80),
+                         elements=finite_floats))
+    @settings(max_examples=25, deadline=None)
+    def test_points_inside_series(self, values):
+        ts = TimeSeries(values, start=100)
+        for point in detect_change_points(ts, bootstraps=30, seed=1):
+            assert 100 <= point.time < 100 + len(values)
+            assert point.magnitude >= 0
+            assert point.direction in (-1, 1)
+            assert 0 <= point.confidence <= 1
+
+    @given(level=finite_floats, n=st.integers(10, 60))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_series_no_points(self, level, n):
+        ts = TimeSeries(np.full(n, level))
+        assert detect_change_points(ts, bootstraps=30, seed=1) == []
+
+
+class TestMarkovProperties:
+    @given(
+        values=arrays(
+            dtype=float,
+            shape=st.integers(80, 200),
+            elements=st.floats(0, 1000, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_rows_remain_distributions(self, values):
+        model = MarkovPredictor(bins=10, warmup=20)
+        for v in values:
+            model.update(float(v))
+        if model.ready:
+            matrix = model.transition_matrix()
+            assert matrix.shape == (10, 10)
+            assert np.all(matrix >= 0)
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0, rtol=1e-9)
+
+    @given(
+        values=arrays(
+            dtype=float,
+            shape=st.integers(80, 160),
+            elements=st.floats(0, 1000, allow_nan=False),
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_errors_nonnegative(self, values):
+        model = MarkovPredictor(bins=10, warmup=20)
+        for v in values:
+            error = model.update(float(v))
+            assert error is None or error >= 0
+
+
+class TestBurstProperties:
+    @given(values=arrays(dtype=float, shape=st.integers(4, 100),
+                         elements=finite_floats))
+    def test_burst_zero_mean_high_pass(self, values):
+        burst = burst_signal(values)
+        assert len(burst) == len(values)
+        # The burst signal excludes DC: its mean is ~0.
+        assert abs(burst.mean()) < 1e-6 * (1 + np.abs(values).max())
+
+    @given(
+        values=arrays(dtype=float, shape=st.integers(8, 80),
+                      elements=finite_floats),
+        lo=st.floats(0.2, 0.5),
+        hi=st.floats(0.6, 1.0),
+    )
+    def test_more_frequencies_more_energy(self, values, lo, hi):
+        small = burst_signal(values, high_frequency_fraction=lo)
+        large = burst_signal(values, high_frequency_fraction=hi)
+        assert np.sum(large**2) >= np.sum(small**2) - 1e-6
+
+
+class TestPrecisionRecallProperties:
+    sets = st.sets(st.sampled_from(["a", "b", "c", "d", "e"]))
+
+    @given(runs=st.lists(st.tuples(sets, sets), min_size=1, max_size=20))
+    def test_metrics_in_unit_interval(self, runs):
+        pr = PrecisionRecall()
+        for pinpointed, truth in runs:
+            pr.update(pinpointed, truth)
+        assert 0.0 <= pr.precision <= 1.0
+        assert 0.0 <= pr.recall <= 1.0
+        assert 0.0 <= pr.f1 <= 1.0
+
+    @given(runs=st.lists(st.tuples(sets, sets), min_size=1, max_size=20))
+    def test_counts_consistent(self, runs):
+        pr = PrecisionRecall()
+        expected_tp = 0
+        for pinpointed, truth in runs:
+            pr.update(pinpointed, truth)
+            expected_tp += len(pinpointed & truth)
+        assert pr.true_positives == expected_tp
+        assert pr.runs == len(runs)
+
+    @given(a=st.tuples(sets, sets), b=st.tuples(sets, sets))
+    def test_merge_equals_joint(self, a, b):
+        separate_a, separate_b, joint = (
+            PrecisionRecall(),
+            PrecisionRecall(),
+            PrecisionRecall(),
+        )
+        separate_a.update(*a)
+        separate_b.update(*b)
+        joint.update(*a)
+        joint.update(*b)
+        merged = separate_a.merged(separate_b)
+        assert merged.true_positives == joint.true_positives
+        assert merged.false_positives == joint.false_positives
+        assert merged.false_negatives == joint.false_negatives

@@ -1,0 +1,118 @@
+"""Property-based tests for the queueing simulation's conservation laws."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.component import ComponentSpec, QueueComponent
+
+rates = st.floats(min_value=1.0, max_value=500.0)
+arrivals_lists = st.lists(
+    st.floats(min_value=0.0, max_value=300.0), min_size=1, max_size=60
+)
+
+
+class TestSingleComponentConservation:
+    @given(capacity=rates, buffer_limit=rates, arrivals=arrivals_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_mass_conserved(self, capacity, buffer_limit, arrivals):
+        """accepted arrivals == processed + still queued, exactly."""
+        comp = QueueComponent(
+            ComponentSpec("c", capacity=capacity, buffer_limit=buffer_limit)
+        )
+        accepted_total = 0.0
+        processed_total = 0.0
+        for amount in arrivals:
+            comp.begin_tick()
+            accepted_total += comp.enqueue(amount)
+            processed_total += comp.process()
+        assert accepted_total == pytest.approx(
+            processed_total + comp.queue, rel=1e-9, abs=1e-6
+        )
+
+    @given(capacity=rates, buffer_limit=rates, arrivals=arrivals_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_rates_and_queues_bounded(self, capacity, buffer_limit, arrivals):
+        comp = QueueComponent(
+            ComponentSpec("c", capacity=capacity, buffer_limit=buffer_limit)
+        )
+        for amount in arrivals:
+            comp.begin_tick()
+            comp.enqueue(amount)
+            processed = comp.process()
+            assert 0.0 <= processed <= capacity + 1e-9
+            assert comp.queue >= -1e-9
+            assert comp.backlog >= -1e-9
+
+    @given(
+        capacity=rates,
+        arrivals=arrivals_lists,
+        share=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_share_monotone(self, capacity, arrivals, share):
+        """Less CPU never processes more work in total."""
+        def run(cpu_share):
+            comp = QueueComponent(
+                ComponentSpec("c", capacity=capacity, buffer_limit=1e9)
+            )
+            total = 0.0
+            for amount in arrivals:
+                comp.begin_tick()
+                comp.enqueue(amount)
+                total += comp.process(cpu_share=cpu_share)
+            return total
+
+        assert run(share) <= run(1.0) + 1e-6
+
+
+class TestPipelineConservation:
+    @given(arrivals=arrivals_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_two_stage_mass_conserved(self, arrivals):
+        up = QueueComponent(
+            ComponentSpec("up", capacity=80.0, buffer_limit=1e9)
+        )
+        down = QueueComponent(
+            ComponentSpec("down", capacity=60.0, buffer_limit=1e9)
+        )
+        up.connect(down)
+        accepted = 0.0
+        down_processed = 0.0
+        for amount in arrivals:
+            up.begin_tick()
+            down.begin_tick()
+            accepted += up.enqueue(amount)
+            down_processed += down.process()
+            up.process()
+        assert accepted == pytest.approx(
+            down_processed + up.queue + down.queue, rel=1e-9, abs=1e-6
+        )
+
+    @given(arrivals=arrivals_lists, buffer_limit=st.floats(5.0, 60.0))
+    @settings(max_examples=40, deadline=None)
+    def test_backpressure_never_loses_work(self, arrivals, buffer_limit):
+        """A congested downstream stalls the upstream; nothing vanishes."""
+        up = QueueComponent(
+            ComponentSpec("up", capacity=100.0, buffer_limit=1e9)
+        )
+        down = QueueComponent(
+            ComponentSpec("down", capacity=5.0, buffer_limit=buffer_limit)
+        )
+        up.connect(down)
+        accepted = 0.0
+        down_processed = 0.0
+        for amount in arrivals:
+            up.begin_tick()
+            down.begin_tick()
+            accepted += up.enqueue(amount)
+            down_processed += down.process()
+            up.process()
+            # Back-pressure invariant: the downstream backlog never
+            # exceeds its configured congestion budget by more than one
+            # tick's worth of delivery.
+            assert down.backlog <= buffer_limit + up.spec.capacity + 1e-6
+        assert accepted == pytest.approx(
+            down_processed + up.queue + down.queue, rel=1e-9, abs=1e-6
+        )

@@ -1,0 +1,172 @@
+"""Tests for the fluid queueing component."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.component import ComponentSpec, QueueComponent
+
+
+def make(name="c", capacity=100.0, buffer_limit=50.0, **kwargs):
+    return QueueComponent(
+        ComponentSpec(name, capacity=capacity, buffer_limit=buffer_limit, **kwargs)
+    )
+
+
+class TestSpec:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(SimulationError):
+            ComponentSpec("x", capacity=0)
+
+    def test_rejects_zero_buffer(self):
+        with pytest.raises(SimulationError):
+            ComponentSpec("x", capacity=1, buffer_limit=0)
+
+
+class TestEnqueue:
+    def test_accepts_within_buffer(self):
+        comp = make()
+        accepted = comp.enqueue(30)
+        assert accepted == 30
+        assert comp.queue == 30
+        assert comp.arrived == 30
+
+    def test_drops_overflow_beyond_backlog_headroom(self):
+        comp = make(buffer_limit=10)
+        comp.backlog = 10.0  # fully congested
+        accepted = comp.enqueue(5)
+        assert accepted == 0
+        assert comp.dropped == 5
+
+    def test_overflow_raises_when_requested(self):
+        comp = make(buffer_limit=10)
+        comp.backlog = 10.0
+        with pytest.raises(SimulationError):
+            comp.enqueue(5, drop_overflow=False)
+
+
+class TestProcess:
+    def test_processes_up_to_rate(self):
+        comp = make(capacity=40, buffer_limit=500)
+        comp.enqueue(100)
+        processed = comp.process()
+        assert processed == pytest.approx(40)
+        assert comp.queue == pytest.approx(60)
+        assert comp.backlog == pytest.approx(60)
+
+    def test_cpu_share_scales_rate(self):
+        comp = make(capacity=40, buffer_limit=500)
+        comp.enqueue(100)
+        assert comp.process(cpu_share=0.5) == pytest.approx(20)
+
+    def test_memory_penalty_scales_rate(self):
+        comp = make(capacity=40)
+        comp.enqueue(100)
+        assert comp.process(memory_penalty=0.25) == pytest.approx(10)
+
+    def test_disk_share_only_for_disk_bound(self):
+        normal = make(capacity=40)
+        normal.enqueue(100)
+        assert normal.process(disk_share=0.1) == pytest.approx(40)
+        bound = make(capacity=40, disk_bound=True)
+        bound.enqueue(100)
+        assert bound.process(disk_share=0.1) == pytest.approx(4)
+
+    def test_speed_multiplier(self):
+        comp = make(capacity=40)
+        comp.speed_multiplier = 0.1
+        comp.enqueue(100)
+        assert comp.process() == pytest.approx(4)
+
+    def test_emission_routing(self):
+        up = make("up", capacity=100)
+        down_a = make("a")
+        down_b = make("b")
+        up.connect(down_a, weight=3.0)
+        up.connect(down_b, weight=1.0)
+        up.enqueue(40)
+        up.process()
+        assert down_a.queue == pytest.approx(30)
+        assert down_b.queue == pytest.approx(10)
+
+    def test_output_amplification(self):
+        up = make("up", capacity=100, output_amplification=2.0)
+        down = make("down", buffer_limit=500)
+        up.connect(down)
+        up.enqueue(40)
+        up.process()
+        assert down.queue == pytest.approx(80)
+
+
+class TestBackPressure:
+    def test_blocked_by_full_downstream(self):
+        up = make("up", capacity=100)
+        down = make("down", buffer_limit=10)
+        down.backlog = 10.0  # congested: no headroom
+        up.connect(down)
+        up.enqueue(50)
+        processed = up.process()
+        assert processed == pytest.approx(0)
+        assert up.blocked
+
+    def test_partial_block(self):
+        up = make("up", capacity=100)
+        down = make("down", buffer_limit=10)
+        down.backlog = 4.0
+        up.connect(down)
+        up.enqueue(50)
+        assert up.process() == pytest.approx(6)
+        assert up.blocked
+
+    def test_unblocked_when_downstream_has_room(self):
+        up = make("up", capacity=10)
+        down = make("down", buffer_limit=100)
+        up.connect(down)
+        up.enqueue(5)
+        up.process()
+        assert not up.blocked
+
+
+class TestRouting:
+    def test_weight_overrides(self):
+        up = make("up")
+        a, b = make("a"), make("b")
+        up.connect(a)
+        up.connect(b)
+        up.weight_overrides["a"] = 1.0
+        up.weight_overrides["b"] = 0.0
+        routing = dict((c.name, f) for c, f in up.routing())
+        assert routing["a"] == pytest.approx(1.0)
+        assert routing["b"] == pytest.approx(0.0)
+
+    def test_rejects_nonpositive_weight(self):
+        up, down = make("up"), make("down")
+        with pytest.raises(SimulationError):
+            up.connect(down, weight=0)
+
+
+class TestDerived:
+    def test_memory_tracks_queue_and_leak(self):
+        comp = make(base_memory_mb=100, memory_per_item_mb=2.0)
+        comp.enqueue(10)
+        comp.leaked_mb = 50
+        assert comp.memory_mb() == pytest.approx(100 + 20 + 50)
+
+    def test_sojourn_uses_backlog(self):
+        comp = make(capacity=10, service_time=0.1, buffer_limit=500)
+        comp.enqueue(30)
+        comp.process()  # backlog 20
+        assert comp.sojourn_time() == pytest.approx(20 / 10 + 0.1)
+
+    def test_sojourn_inf_when_stopped(self):
+        comp = make()
+        comp.effective_rate = 0.0
+        assert comp.sojourn_time() == float("inf")
+
+    def test_begin_tick_resets_observations(self):
+        comp = make()
+        comp.enqueue(5)
+        comp.process()
+        comp.begin_tick()
+        assert comp.arrived == 0
+        assert comp.processed == 0
+        assert not comp.blocked

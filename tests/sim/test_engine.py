@@ -1,0 +1,85 @@
+"""Tests for the simulation engine."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class Counter:
+    def __init__(self):
+        self.ticks = []
+
+    def tick(self, t):
+        self.ticks.append(t)
+
+
+class TestEngine:
+    def test_step_advances_time(self):
+        engine = SimulationEngine()
+        counter = Counter()
+        engine.add(counter)
+        assert engine.step() == 0
+        assert engine.time == 1
+        assert counter.ticks == [0]
+
+    def test_run(self):
+        engine = SimulationEngine()
+        counter = Counter()
+        engine.add(counter)
+        engine.run(5)
+        assert counter.ticks == [0, 1, 2, 3, 4]
+
+    def test_run_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().run(-1)
+
+    def test_registration_order_is_execution_order(self):
+        order = []
+
+        class Tagged:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def tick(self, t):
+                order.append(self.tag)
+
+        engine = SimulationEngine()
+        engine.add(Tagged("a"))
+        engine.add(Tagged("b"))
+        engine.step()
+        assert order == ["a", "b"]
+
+    def test_rejects_non_tickable(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().add(object())
+
+    def test_run_until_predicate(self):
+        engine = SimulationEngine()
+        engine.add(Counter())
+        hit = engine.run_until(lambda t: t == 3, max_seconds=10)
+        assert hit == 3
+        assert engine.time == 4
+
+    def test_run_until_timeout(self):
+        engine = SimulationEngine()
+        engine.add(Counter())
+        assert engine.run_until(lambda t: False, max_seconds=5) == -1
+
+    def test_fork_is_independent(self):
+        engine = SimulationEngine()
+        counter = Counter()
+        engine.add(counter)
+        engine.run(2)
+        fork = engine.fork()
+        fork.run(3)
+        assert engine.time == 2
+        assert fork.time == 5
+        assert counter.ticks == [0, 1]
+
+    def test_start_offset(self):
+        engine = SimulationEngine(start=10)
+        counter = Counter()
+        engine.add(counter)
+        engine.step()
+        assert counter.ticks == [10]

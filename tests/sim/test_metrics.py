@@ -1,0 +1,146 @@
+"""Tests for metric synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.host import Host
+from repro.cloud.vm import VirtualMachine
+from repro.common.types import Metric
+from repro.sim.component import ComponentSpec, QueueComponent
+from repro.sim.metrics import DEFAULT_PROFILES, MetricSynthesizer, NoiseProfile
+
+
+@pytest.fixture
+def setup():
+    host = Host("h", cores=2.0)
+    vm = VirtualMachine("c", memory_limit_mb=2048)
+    host.attach(vm)
+    comp = QueueComponent(
+        ComponentSpec(
+            "c",
+            capacity=100.0,
+            kb_in_per_item=2.0,
+            kb_out_per_item=3.0,
+            disk_read_kb_per_item=5.0,
+            base_memory_mb=400.0,
+        )
+    )
+    return comp, vm, host
+
+
+def run_tick(comp, vm, host, items=50.0):
+    comp.begin_tick()
+    comp.enqueue(items)
+    demand = comp.desired_cpu_demand() * vm.vcpus_baseline
+    host.allocate_cpu({"c": demand})
+    comp.process(cpu_share=vm.component_cpu_share())
+    return comp
+
+
+class TestSynthesis:
+    def test_all_six_metrics_present(self, setup):
+        comp, vm, host = setup
+        run_tick(comp, vm, host)
+        values = MetricSynthesizer("c").sample(0, comp, vm, host)
+        assert set(values) == set(Metric)
+
+    def test_cpu_tracks_processing(self, setup):
+        comp, vm, host = setup
+        run_tick(comp, vm, host, items=50)
+        samples = [
+            MetricSynthesizer("c", seed=i).sample(0, comp, vm, host)[
+                Metric.CPU_USAGE
+            ]
+            for i in range(20)
+        ]
+        assert 35 < np.mean(samples) < 75  # ~50% of capacity plus texture
+
+    def test_network_tracks_arrivals(self, setup):
+        comp, vm, host = setup
+        run_tick(comp, vm, host, items=50)
+        samples = [
+            MetricSynthesizer("c", seed=i).sample(0, comp, vm, host)[
+                Metric.NETWORK_IN
+            ]
+            for i in range(20)
+        ]
+        assert 70 < np.mean(samples) < 140  # 50 items * 2 KB
+
+    def test_memory_includes_leak(self, setup):
+        comp, vm, host = setup
+        comp.leaked_mb = 500.0
+        value = MetricSynthesizer("c", gc_period=0).sample(0, comp, vm, host)[
+            Metric.MEMORY_USAGE
+        ]
+        assert value > 850
+
+    def test_memory_capped_at_limit(self, setup):
+        comp, vm, host = setup
+        comp.leaked_mb = 99999.0
+        value = MetricSynthesizer("c").sample(0, comp, vm, host)[
+            Metric.MEMORY_USAGE
+        ]
+        assert value <= vm.memory_limit_mb
+
+    def test_cpu_capped_at_100(self, setup):
+        comp, vm, host = setup
+        vm.extra_cpu_cores = 50.0
+        run_tick(comp, vm, host)
+        value = MetricSynthesizer("c").sample(0, comp, vm, host)[
+            Metric.CPU_USAGE
+        ]
+        assert value <= 100.0
+
+    def test_speed_multiplier_raises_cpu_demand(self, setup):
+        comp, vm, host = setup
+        comp.speed_multiplier = 0.5
+        run_tick(comp, vm, host, items=40)
+        samples = [
+            MetricSynthesizer("c", seed=i).sample(0, comp, vm, host)[
+                Metric.CPU_USAGE
+            ]
+            for i in range(10)
+        ]
+        # 40 processed at an effective capacity of 50 -> ~80 %.
+        assert np.mean(samples) > 60
+
+    def test_deterministic_given_seed(self, setup):
+        comp, vm, host = setup
+        run_tick(comp, vm, host)
+        a = MetricSynthesizer("c", seed=4).sample(0, comp, vm, host)
+        b = MetricSynthesizer("c", seed=4).sample(0, comp, vm, host)
+        assert a == b
+
+    def test_nonnegative_values(self, setup):
+        comp, vm, host = setup
+        synth = MetricSynthesizer("c")
+        for t in range(100):
+            run_tick(comp, vm, host, items=1.0)
+            for value in synth.sample(t, comp, vm, host).values():
+                assert value >= 0.0
+
+
+class TestTexture:
+    def test_spikes_occur(self, setup):
+        comp, vm, host = setup
+        synth = MetricSynthesizer("c", seed=1)
+        values = []
+        for t in range(400):
+            run_tick(comp, vm, host, items=50)
+            values.append(
+                synth.sample(t, comp, vm, host)[Metric.NETWORK_IN]
+            )
+        values = np.asarray(values)
+        assert values.max() > 1.3 * np.median(values)
+
+    def test_gc_sawtooth_repeats(self):
+        synth = MetricSynthesizer("c", gc_period=100)
+        assert synth._gc_sawtooth(5) == pytest.approx(synth._gc_sawtooth(105))
+
+    def test_profiles_overridable(self, setup):
+        comp, vm, host = setup
+        quiet = {m: NoiseProfile(0.0, 0.0, 1.0, 0.0) for m in DEFAULT_PROFILES}
+        synth = MetricSynthesizer("c", profiles=quiet, gc_period=0)
+        run_tick(comp, vm, host, items=50)
+        a = synth.sample(0, comp, vm, host)[Metric.NETWORK_IN]
+        assert a == pytest.approx(100.0)  # exactly 50 items * 2 KB

@@ -1,0 +1,49 @@
+"""Tests for queueing math helpers."""
+
+import math
+
+import pytest
+
+from repro.sim.queueing import mm1_sojourn, queue_sojourn, utilization
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert utilization(50, 100) == pytest.approx(0.5)
+
+    def test_zero_service_with_arrivals(self):
+        assert utilization(1, 0) == math.inf
+
+    def test_zero_both(self):
+        assert utilization(0, 0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            utilization(-1, 5)
+
+
+class TestMM1:
+    def test_light_load(self):
+        assert mm1_sojourn(0, 10) == pytest.approx(0.1)
+
+    def test_saturated_is_inf(self):
+        assert mm1_sojourn(10, 10) == math.inf
+        assert mm1_sojourn(11, 10) == math.inf
+
+    def test_monotone_in_load(self):
+        assert mm1_sojourn(5, 10) > mm1_sojourn(1, 10)
+
+
+class TestQueueSojourn:
+    def test_empty_queue(self):
+        assert queue_sojourn(0, 100, 0.01) == pytest.approx(0.01)
+
+    def test_backlog_adds_wait(self):
+        assert queue_sojourn(50, 100, 0.01) == pytest.approx(0.51)
+
+    def test_stopped_server(self):
+        assert queue_sojourn(5, 0, 0.01) == math.inf
+
+    def test_negative_backlog_rejected(self):
+        with pytest.raises(ValueError):
+            queue_sojourn(-1, 10, 0.01)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import SCHEMES, _build_schemes, main
+
+
+def test_list_runs(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "rubis/cpuhog" in out
+    assert "hadoop/conc_diskhog" in out
+    assert "W=500s" in out
+
+
+def test_build_schemes():
+    schemes = _build_schemes("FChain, PAL")
+    assert [s.name for s in schemes] == ["FChain", "PAL"]
+
+
+def test_build_schemes_unknown():
+    with pytest.raises(SystemExit):
+        _build_schemes("Nope")
+
+
+def test_all_registered_schemes_constructible():
+    for name, factory in SCHEMES.items():
+        assert factory().name == name
+
+
+def test_run_small_campaign(capsys):
+    code = main(
+        ["run", "rubis/cpuhog", "--runs", "1", "--schemes", "FChain,PAL"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "FChain" in out and "PAL" in out
+    assert "P=" in out
+
+
+def test_unknown_scenario():
+    with pytest.raises(KeyError):
+        main(["run", "nope/nothing"])

@@ -1,0 +1,44 @@
+"""Tests for the client workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import ClientWorkload
+
+
+class TestClientWorkload:
+    def test_rate_lookup(self):
+        wl = ClientWorkload(np.array([10.0, 20.0, 30.0]))
+        assert wl.rate(1) == 20.0
+
+    def test_rate_clamps_past_trace_end(self):
+        wl = ClientWorkload(np.array([10.0, 20.0]))
+        assert wl.rate(99) == 20.0
+        assert wl.rate(-5) == 10.0
+
+    def test_arrivals_follow_rate(self):
+        wl = ClientWorkload(np.full(1000, 50.0), seed=1)
+        samples = [wl.arrivals(t) for t in range(1000)]
+        assert 45 < np.mean(samples) < 55
+
+    def test_zero_rate_zero_arrivals(self):
+        wl = ClientWorkload(np.zeros(10))
+        assert wl.arrivals(0) == 0.0
+
+    def test_deterministic_stream(self):
+        a = ClientWorkload(np.full(10, 30.0), seed=3)
+        b = ClientWorkload(np.full(10, 30.0), seed=3)
+        assert [a.arrivals(t) for t in range(10)] == [
+            b.arrivals(t) for t in range(10)
+        ]
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            ClientWorkload(np.array([]))
+        with pytest.raises(ValueError):
+            ClientWorkload(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            ClientWorkload(np.zeros((2, 2)))
+
+    def test_len(self):
+        assert len(ClientWorkload(np.zeros(7))) == 7

@@ -1,0 +1,62 @@
+"""Tests for synthetic workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traces import TraceSpec, clarknet_like, diurnal_trace, nasa_like
+
+
+class TestDiurnalTrace:
+    def test_length_and_nonnegative(self):
+        trace = diurnal_trace(500, TraceSpec(), seed=1)
+        assert len(trace) == 500
+        assert (trace >= 0).all()
+
+    def test_deterministic(self):
+        a = diurnal_trace(300, TraceSpec(), seed=5)
+        b = diurnal_trace(300, TraceSpec(), seed=5)
+        assert (a == b).all()
+
+    def test_seed_changes_trace(self):
+        a = diurnal_trace(300, TraceSpec(), seed=1)
+        b = diurnal_trace(300, TraceSpec(), seed=2)
+        assert (a != b).any()
+
+    def test_mean_near_base_rate(self):
+        trace = diurnal_trace(5000, TraceSpec(base_rate=60.0), seed=3)
+        assert 45 < trace.mean() < 80
+
+    def test_diurnal_cycle_visible(self):
+        spec = TraceSpec(
+            base_rate=100, diurnal_amplitude=0.5, period=600,
+            burst_prob=0.0, noise_sigma=0.0, walk_sigma=0.0,
+        )
+        trace = diurnal_trace(1200, spec, seed=4)
+        # Peak-to-trough swing should approach the configured amplitude.
+        assert trace.max() / trace.min() > 1.8
+
+    def test_bursts_create_peaks(self):
+        calm = TraceSpec(burst_prob=0.0, noise_sigma=0.0, walk_sigma=0.0,
+                         diurnal_amplitude=0.0)
+        bursty = TraceSpec(burst_prob=0.05, burst_scale=2.0, noise_sigma=0.0,
+                           walk_sigma=0.0, diurnal_amplitude=0.0)
+        a = diurnal_trace(1000, calm, seed=6)
+        b = diurnal_trace(1000, bursty, seed=6)
+        assert b.max() > 1.3 * a.max()
+
+
+class TestNamedTraces:
+    def test_nasa_like_shape(self):
+        trace = nasa_like(1000, seed=1)
+        assert len(trace) == 1000
+        assert trace.mean() > 30
+
+    def test_clarknet_like_denser(self):
+        nasa = nasa_like(3000, seed=1, base_rate=60)
+        clark = clarknet_like(3000, seed=1, base_rate=80)
+        assert clark.mean() > nasa.mean()
+
+    def test_distinct_streams(self):
+        a = nasa_like(200, seed=1)
+        b = clarknet_like(200, seed=1, base_rate=60)
+        assert (a != b).any()
