@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import os
 import pathlib
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence
 
 from repro.baselines import (
     DependencyLocalizer,
@@ -81,7 +81,9 @@ def score_scheme(
     for record in records:
         context = context_for(scenario, record)
         pinpointed = scheme.localize(
-            record.store, record.violation_time, context
+            record.store,
+            violation_time=record.violation_time,
+            context=context,
         )
         accumulator.update(pinpointed, record.ground_truth)
     return accumulator

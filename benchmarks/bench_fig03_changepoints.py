@@ -10,7 +10,7 @@ on the same windows.
 
 import pytest
 
-from _helpers import RUNS, save_and_print
+from _helpers import save_and_print
 from repro.apps.hadoop import MAPS, HadoopApplication
 from repro.core.config import FChainConfig
 from repro.core.cusum import detect_change_points

@@ -13,7 +13,7 @@ import pytest
 from _helpers import save_and_print
 from repro.common.rng import spawn_rng
 from repro.common.timeseries import TimeSeries
-from repro.core.burst import expected_error_profile, expected_prediction_error
+from repro.core.burst import expected_error_profile
 
 
 @pytest.fixture(scope="module")

@@ -8,10 +8,10 @@ threshold lands at (or near) the best point automatically.
 
 import pytest
 
-from _helpers import RUNS, records_for, save_and_print, score_scheme
+from _helpers import records_for, save_and_print, score_scheme
 from repro.baselines import FixedFilteringLocalizer
-from repro.eval.metrics import PrecisionRecall, RocPoint
-from repro.eval.report import format_roc_series, format_scheme_table
+from repro.eval.metrics import RocPoint
+from repro.eval.report import format_roc_series
 from repro.eval.runner import FChainLocalizer, context_for
 from repro.eval.scenarios import scenario_by_name
 

@@ -11,7 +11,6 @@ The recorded runs are shared across all parameter settings — only the
 analysis is repeated — matching how the study isolates the parameters.
 """
 
-import dataclasses
 
 import pytest
 

@@ -20,7 +20,6 @@ Absolute numbers differ (different hardware and language), but the
 by its observation horizon rather than computation.
 """
 
-import copy
 
 import pytest
 

@@ -15,9 +15,7 @@ Topology/Dependency baselines in the paper's Fig. 6.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
-import numpy as np
 
 from repro.apps.base import Application
 from repro.monitoring.slo import LatencySLO

@@ -12,6 +12,7 @@ configuration.
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
@@ -47,25 +48,72 @@ class LocalizationContext:
 
 
 class Localizer(abc.ABC):
-    """A black-box fault localization scheme."""
+    """A black-box fault localization scheme.
+
+    Schemes implement :meth:`_localize`; callers invoke :meth:`localize`,
+    whose call shape matches ``FChain.localize`` — the store positionally,
+    everything else by keyword. The historical fully-positional form
+    (``localize(store, violation_time, context)``) still works but emits a
+    :class:`DeprecationWarning`.
+    """
 
     #: Short scheme name used in reports.
     name: str = "localizer"
 
-    @abc.abstractmethod
     def localize(
         self,
         store: MetricStore,
-        violation_time: int,
-        context: LocalizationContext,
+        *args,
+        violation_time: Optional[int] = None,
+        context: Optional[LocalizationContext] = None,
     ) -> FrozenSet[ComponentId]:
         """Pinpoint faulty components for a violation at ``violation_time``.
 
         Args:
             store: Recorded metric samples of the run.
-            violation_time: ``t_v`` — when the SLO violation was detected.
-            context: Side information for this application.
+            violation_time: ``t_v`` — when the SLO violation was detected
+                (keyword-only; the positional form is deprecated).
+            context: Side information for this application; defaults to a
+                bare :class:`LocalizationContext`.
 
         Returns:
             The set of pinpointed components (possibly empty).
         """
+        if args:
+            if len(args) > 2:
+                raise TypeError(
+                    "localize() takes the store plus keyword arguments"
+                )
+            if violation_time is not None:
+                raise TypeError("violation_time given both ways")
+            warnings.warn(
+                "passing violation_time/context positionally is deprecated; "
+                "call localize(store, violation_time=..., context=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            violation_time = args[0]
+            if len(args) == 2:
+                if context is not None:
+                    raise TypeError("context given both ways")
+                context = args[1]
+        if violation_time is None:
+            raise TypeError(
+                "localize() missing required keyword argument "
+                "'violation_time'"
+            )
+        return self._localize(
+            store,
+            violation_time=violation_time,
+            context=context if context is not None else LocalizationContext(),
+        )
+
+    @abc.abstractmethod
+    def _localize(
+        self,
+        store: MetricStore,
+        *,
+        violation_time: int,
+        context: LocalizationContext,
+    ) -> FrozenSet[ComponentId]:
+        """Scheme-specific localization (see :meth:`localize`)."""

@@ -24,9 +24,10 @@ class DependencyLocalizer(Localizer):
 
     name = "Dependency"
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

@@ -120,9 +120,10 @@ class FixedFilteringLocalizer(Localizer):
                 )
         return ComponentReport(component=component, abnormal_changes=changes)
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

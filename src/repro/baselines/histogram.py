@@ -89,9 +89,10 @@ class HistogramLocalizer(Localizer):
             )
         return best
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

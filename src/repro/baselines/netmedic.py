@@ -22,13 +22,13 @@ seconds of recent history for state matching, as configured in the paper.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, Optional
 
 import networkx as nx
 import numpy as np
 
 from repro.baselines.base import LocalizationContext, Localizer
-from repro.common.types import METRIC_NAMES, ComponentId
+from repro.common.types import ComponentId
 from repro.monitoring.store import MetricStore
 
 #: Default impact for edges touching a component in an unseen state.
@@ -83,9 +83,10 @@ class NetMedicLocalizer(Localizer):
         return states[-STATE_WINDOW:].mean(axis=0)
 
     # ------------------------------------------------------------------
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

@@ -95,9 +95,10 @@ class PALLocalizer(Localizer):
 
     name = "PAL"
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

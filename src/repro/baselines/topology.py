@@ -16,7 +16,7 @@ at the web tier, Hadoop's map-side faults).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import FrozenSet
 
 import networkx as nx
 
@@ -46,9 +46,10 @@ class TopologyLocalizer(Localizer):
 
     name = "Topology"
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:

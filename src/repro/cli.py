@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines import (
     DependencyLocalizer,
@@ -44,7 +44,11 @@ SCHEMES: Dict[str, callable] = {
 }
 
 
-def _build_schemes(names: str) -> List[Localizer]:
+#: Schemes whose constructor accepts the slave fan-out width.
+_JOB_AWARE = {"FChain", "FChain+VAL"}
+
+
+def _build_schemes(names: str, jobs: Optional[int] = None) -> List[Localizer]:
     schemes = []
     for name in names.split(","):
         name = name.strip()
@@ -52,7 +56,11 @@ def _build_schemes(names: str) -> List[Localizer]:
             raise SystemExit(
                 f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
             )
-        schemes.append(SCHEMES[name]())
+        factory = SCHEMES[name]
+        if jobs and name in _JOB_AWARE:
+            schemes.append(factory(jobs=jobs))
+        else:
+            schemes.append(factory())
     return schemes
 
 
@@ -66,7 +74,7 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = scenario_by_name(args.scenario)
-    schemes = _build_schemes(args.schemes)
+    schemes = _build_schemes(args.schemes, jobs=args.jobs)
     print(
         f"Running {args.runs} fault-injection runs of {scenario.name} "
         f"with schemes: {[s.name for s in schemes]}"
@@ -95,10 +103,33 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     config = FChainConfig()
     if args.window:
         config = config.with_window(args.window)
-    fchain = FChain(config, dependency_graph=graph)
-    result = fchain.localize(store, args.violation)
-    print(result.summary())
+    fchain = FChain(config, dependency_graph=graph, jobs=args.jobs)
+    diagnosis = fchain.localize(store, violation_time=args.violation)
+    print(diagnosis.summary())
+    print(f"(diagnosis latency: {diagnosis.latency_seconds * 1e3:.0f} ms)")
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Benchmark replay vs incremental diagnosis latency."""
+    from repro.eval.bench import run_benchmark
+
+    print(
+        f"Benchmarking diagnosis latency: {args.samples} samples x "
+        f"{args.components} components x {args.metrics} metrics, "
+        f"{args.repeats} repeats, jobs={args.jobs or 1}"
+    )
+    report = run_benchmark(
+        samples=args.samples,
+        components=args.components,
+        metrics=args.metrics,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        seed=args.seed,
+    )
+    print()
+    print(report.summary())
+    return 0 if report.results_match else 1
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
@@ -110,9 +141,9 @@ def cmd_demo(_: argparse.Namespace) -> int:
     app.inject(CpuHogFault(1300, DB))
     app.run(1500)
     violation = app.slo.first_violation_after(1300)
-    result = FChain(seed=42).localize(app.store, violation)
+    diagnosis = FChain(seed=42).localize(app.store, violation_time=violation)
     print(f"SLO violated at t={violation}s; FChain pinpoints "
-          f"{sorted(result.faulty)} (truth: ['db'])")
+          f"{sorted(diagnosis.faulty)} (truth: ['db'])")
     return 0
 
 
@@ -137,6 +168,11 @@ def main(argv: List[str] = None) -> int:
         default="FChain,Histogram,NetMedic,Topology,Dependency,PAL",
         help="comma-separated scheme names",
     )
+    run.add_argument(
+        "--jobs", type=int, default=None,
+        help="FChain slave fan-out width (component analyses in parallel; "
+        "default serial)",
+    )
     run.set_defaults(func=cmd_run)
 
     analyze = sub.add_parser(
@@ -156,7 +192,26 @@ def main(argv: List[str] = None) -> int:
     analyze.add_argument(
         "--window", type=int, default=None, help="look-back window W override"
     )
+    analyze.add_argument(
+        "--jobs", type=int, default=None,
+        help="slave fan-out width (default serial)",
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark replay vs incremental diagnosis latency",
+    )
+    bench.add_argument("--samples", type=int, default=10_000)
+    bench.add_argument("--components", type=int, default=8)
+    bench.add_argument("--metrics", type=int, default=3)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="slave fan-out width for the incremental engine",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
         func=cmd_demo

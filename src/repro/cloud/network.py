@@ -16,7 +16,7 @@ packet timestamps with the traffic *texture* that matters to the algorithm:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Tuple
 
 import numpy as np
 

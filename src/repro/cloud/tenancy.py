@@ -18,8 +18,7 @@ Usage::
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.cloud.host import Host
 from repro.cloud.scheduler import schedule_tick

@@ -8,7 +8,7 @@ pipeline needs (look-back windows, burst windows around a change point).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 import numpy as np

@@ -20,13 +20,17 @@ Pipeline (paper Sec. II):
 """
 
 from repro.core.config import FChainConfig
+from repro.core.diagnosis import Diagnosis
+from repro.core.engine import SlavePool
 from repro.core.fchain import FChain, FChainMaster, FChainSlave
 from repro.core.pinpoint import PinpointResult
 
 __all__ = [
+    "Diagnosis",
     "FChain",
     "FChainConfig",
     "FChainMaster",
     "FChainSlave",
     "PinpointResult",
+    "SlavePool",
 ]

@@ -112,6 +112,66 @@ class FChainConfig:
         if not 0 < self.cusum_confidence < 1:
             raise ConfigurationError("cusum_confidence must be in (0, 1)")
 
+    def validate(self) -> "FChainConfig":
+        """Reject cross-field settings that make diagnosis nonsensical.
+
+        :meth:`__post_init__` guards individual fields; this adds the
+        cross-field constraints the diagnosis engines depend on and is
+        called from every engine constructor (``FChainSlave``,
+        ``FChainMaster``, ``FChain``, ``SlavePool``). Returns ``self`` so
+        constructors can write ``self.config = (config or FChainConfig()).validate()``.
+
+        Raises:
+            ConfigurationError: With an actionable message naming the
+                offending fields.
+        """
+        if self.min_segment < 2:
+            raise ConfigurationError(
+                f"min_segment={self.min_segment} is too small: recursive "
+                "CUSUM segmentation needs segments of at least 2 samples"
+            )
+        if self.look_back_window <= 2 * self.min_segment:
+            raise ConfigurationError(
+                f"look_back_window={self.look_back_window} must exceed "
+                f"2 * min_segment={2 * self.min_segment}: shorter windows "
+                "can never contain a detectable change point (raise "
+                "look_back_window or lower min_segment)"
+            )
+        if self.burst_window <= 0:
+            raise ConfigurationError(
+                f"burst_window={self.burst_window} must be positive: FFT "
+                "burst extraction needs a non-empty window around each "
+                "change point"
+            )
+        if self.concurrency_threshold < 0:
+            raise ConfigurationError(
+                f"concurrency_threshold={self.concurrency_threshold} must "
+                "be >= 0: it is a time distance between abnormal onsets"
+            )
+        if self.analysis_grace < 0:
+            raise ConfigurationError(
+                f"analysis_grace={self.analysis_grace} must be >= 0: the "
+                "slaves cannot analyse data recorded before the violation "
+                "window"
+            )
+        if self.cusum_bootstraps < 1:
+            raise ConfigurationError(
+                f"cusum_bootstraps={self.cusum_bootstraps} must be >= 1: "
+                "the bootstrap significance test needs at least one "
+                "permutation"
+            )
+        if self.markov_halflife < 1:
+            raise ConfigurationError(
+                f"markov_halflife={self.markov_halflife} must be >= 1: it "
+                "is a decay period measured in model updates"
+            )
+        if self.validation_horizon <= 0:
+            raise ConfigurationError(
+                f"validation_horizon={self.validation_horizon} must be "
+                "positive: online validation needs forward simulation time"
+            )
+        return self
+
     def with_window(self, look_back_window: int) -> "FChainConfig":
         """Copy of this config with a different look-back window."""
         from dataclasses import replace

@@ -1,0 +1,93 @@
+"""The unified diagnosis result returned by the :class:`FChain` facade.
+
+Historically ``FChain.localize`` returned a bare
+:class:`~repro.core.pinpoint.PinpointResult` while
+``localize_and_validate`` returned a ``(result, outcomes)`` tuple, so
+callers had to know which entry point produced their object.
+:class:`Diagnosis` is the single result type of the redesigned API: it
+carries the (possibly validated) pinpointing outcome, the validation
+evidence when validation ran, the components that could not be analysed,
+and the wall-clock diagnosis latency — while proxying the fields callers
+of the old API read (``faulty``, ``chain``, ``external_factor``,
+``summary()``), so existing code keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.common.types import ComponentId, Metric
+from repro.core.pinpoint import PinpointResult
+from repro.core.propagation import ComponentReport, PropagationChain
+from repro.core.validation import ValidationOutcome
+
+
+@dataclass
+class Diagnosis:
+    """Outcome of one ``FChain.localize`` call.
+
+    Attributes:
+        result: The effective pinpointing result — post-validation when
+            ``validate_with`` was supplied, raw otherwise.
+        violation_time: The SLO violation tick ``t_v`` that was diagnosed.
+        outcomes: Per-component validation outcomes, or None when no
+            validation ran.
+        unvalidated: The pre-validation pinpointing result when
+            validation ran (None otherwise); lets callers see what
+            validation filtered out.
+        latency_seconds: Wall-clock time the diagnosis (and validation,
+            when requested) took.
+    """
+
+    result: PinpointResult
+    violation_time: int
+    outcomes: Optional[Dict[ComponentId, ValidationOutcome]] = None
+    unvalidated: Optional[PinpointResult] = None
+    latency_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Proxies for the fields the pre-redesign API exposed
+    # ------------------------------------------------------------------
+    @property
+    def faulty(self) -> FrozenSet[ComponentId]:
+        """Pinpointed faulty components (validated when validation ran)."""
+        return self.result.faulty
+
+    @property
+    def external_factor(self) -> bool:
+        return self.result.external_factor
+
+    @property
+    def chain(self) -> PropagationChain:
+        return self.result.chain
+
+    @property
+    def reports(self) -> Dict[ComponentId, ComponentReport]:
+        return self.result.reports
+
+    @property
+    def skipped(self) -> FrozenSet[ComponentId]:
+        """Components the slaves could not analyse (insufficient data)."""
+        return self.result.skipped
+
+    @property
+    def validated(self) -> bool:
+        """Whether online pinpointing validation ran."""
+        return self.outcomes is not None
+
+    def implicated_metrics(self, component: ComponentId) -> List[Metric]:
+        return self.result.implicated_metrics(component)
+
+    def summary(self) -> str:
+        """Human-readable diagnosis summary (for logs and operators)."""
+        text = self.result.summary()
+        if self.outcomes:
+            rejected = sorted(
+                c for c, o in self.outcomes.items() if not o.confirmed
+            )
+            if rejected:
+                text += f"\nvalidation removed false alarms: {rejected}"
+            else:
+                text += "\nvalidation confirmed every pinpointed component"
+        return text

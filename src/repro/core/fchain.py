@@ -8,11 +8,28 @@ is invoked when a performance anomaly is detected. In this reproduction
 the slaves analyse a shared :class:`~repro.monitoring.store.MetricStore`,
 and "contacting the slaves" is a method call — the algorithms and the data
 they see are identical to the distributed deployment.
+
+The slave is a *long-lived, stateful* object, exactly as in the paper:
+``observe()`` / ``observe_many()`` keep the per-(component, metric)
+Markov models and their rolling prediction-error streams warm at 1 Hz,
+so ``analyze()`` at violation time only runs change-point selection on
+the look-back window instead of replaying the full metric history
+through fresh models. Expensive per-window CUSUM/bootstrap intermediates
+are cached keyed by ``(component, metric, window)`` — the store is
+append-only, so a window's samples never change and the cache is exact.
+The replay path of the original implementation remains available via
+``FChainMaster(..., incremental=False)`` and produces bit-identical
+results (the equivalence is asserted by
+``tests/core/test_incremental_engine.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import time
+import warnings
+import weakref
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -21,10 +38,15 @@ from repro.common.errors import DiagnosisError
 from repro.common.timeseries import TimeSeries
 from repro.common.types import ComponentId, Metric
 from repro.core.config import FChainConfig
+from repro.core.diagnosis import Diagnosis
+from repro.core.engine import SlavePool
 from repro.core.pinpoint import PinpointResult, pinpoint_faulty_components
-from repro.core.prediction import MarkovPredictor, prediction_errors
+from repro.core.prediction import MarkovPredictor
 from repro.core.propagation import ComponentReport
-from repro.core.selection import select_abnormal_changes
+from repro.core.selection import (
+    detect_window_change_points,
+    select_abnormal_changes,
+)
 from repro.core.validation import (
     ValidationOutcome,
     apply_validation,
@@ -32,27 +54,90 @@ from repro.core.validation import (
 )
 from repro.monitoring.store import MetricStore
 
+_Key = Tuple[ComponentId, Metric]
+
+#: Entries kept per slave-side window cache (LRU eviction).
+_CACHE_LIMIT = 512
+
+#: Initial capacity of a prediction-error stream buffer.
+_MIN_BUFFER_CAPACITY = 256
+
+
+class _ErrorStream:
+    """Append-only float64 buffer with amortized O(1) growth.
+
+    Holds one metric's rolling *signed* prediction errors. Reads are
+    zero-copy prefix views; because entries are append-only, a view taken
+    for one diagnosis window stays valid while streaming continues.
+    """
+
+    __slots__ = ("_data", "length")
+
+    def __init__(self) -> None:
+        self._data = np.empty(_MIN_BUFFER_CAPACITY, dtype=float)
+        self.length = 0
+
+    def append(self, value: float) -> None:
+        if self.length == len(self._data):
+            grown = np.empty(2 * len(self._data), dtype=float)
+            grown[: self.length] = self._data
+            self._data = grown
+        self._data[self.length] = value
+        self.length += 1
+
+    def view(self, count: Optional[int] = None) -> np.ndarray:
+        """The first ``count`` errors (all of them when None), no copy."""
+        return self._data[: self.length if count is None else count]
+
 
 class FChainSlave:
     """Slave-side analysis for the components of one node.
 
     The slave owns the *normal fluctuation modeling* (online Markov
-    predictors, fed continuously at 1 Hz via :meth:`observe`) and the
-    *abnormal change point selection* that the master triggers with a
-    look-back window after an SLO violation.
+    predictors, fed continuously at 1 Hz via :meth:`observe` /
+    :meth:`observe_many`) and the *abnormal change point selection* that
+    the master triggers with a look-back window after an SLO violation.
+
+    State is persistent across diagnoses: models, signed
+    prediction-error streams and per-window CUSUM caches stay warm, so
+    repeated ``analyze()`` calls cost O(look-back window), not O(recorded
+    history). When ``analyze`` is handed a store the slave has not fully
+    consumed, the missing samples are streamed in first — the slave and
+    the batch replay therefore always see identical model state
+    (``prediction_errors`` parity is covered by
+    ``tests/core/test_streaming_slave.py``).
     """
 
     def __init__(self, config: Optional[FChainConfig] = None, seed: object = 0):
-        self.config = config or FChainConfig()
+        self.config = (config or FChainConfig()).validate()
         self.seed = seed
-        self._models: Dict[Tuple[ComponentId, Metric], MarkovPredictor] = {}
-        self._errors: Dict[Tuple[ComponentId, Metric], List[float]] = {}
+        self._models: Dict[_Key, MarkovPredictor] = {}
+        self._streams: Dict[_Key, _ErrorStream] = {}
+        self._consumed: Dict[_Key, int] = {}
+        self._store_ref: Optional[weakref.ref] = None
+        self._cusum_cache: "OrderedDict" = OrderedDict()
+        self._selection_cache: "OrderedDict" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Continuous modeling (streaming interface)
     # ------------------------------------------------------------------
     def observe(self, component: ComponentId, metric: Metric, value: float) -> None:
         """Feed one 1 Hz sample into the online fluctuation model."""
+        self.observe_many(component, metric, (value,))
+
+    def observe_many(
+        self,
+        component: ComponentId,
+        metric: Metric,
+        values: Iterable[float],
+    ) -> None:
+        """Feed a batch of consecutive 1 Hz samples for one metric.
+
+        Equivalent to calling :meth:`observe` per sample, minus the
+        per-call dictionary lookups — this is the path the engine uses to
+        catch a slave up with a store and the one streaming collectors
+        should prefer.
+        """
         key = (component, metric)
         model = self._models.get(key)
         if model is None:
@@ -61,15 +146,98 @@ class FChainSlave:
                 halflife=self.config.markov_halflife,
             )
             self._models[key] = model
-            self._errors[key] = []
-        error = model.update(value)
-        self._errors[key].append(np.nan if error is None else error)
+            self._streams[key] = _ErrorStream()
+        stream = self._streams[key]
+        step = model.step
+        append = stream.append
+        count = 0
+        for value in values:
+            error = step(value)
+            append(np.nan if error is None else error)
+            count += 1
+        self._consumed[key] = self._consumed.get(key, 0) + count
+
+    def observe_tick(
+        self, component: ComponentId, samples: Mapping[Metric, float]
+    ) -> None:
+        """Feed one tick's samples for every metric of a component."""
+        for metric, value in samples.items():
+            self.observe_many(component, metric, (value,))
 
     def model_for(
         self, component: ComponentId, metric: Metric
     ) -> Optional[MarkovPredictor]:
         """The online model of one metric, if any samples were observed."""
         return self._models.get((component, metric))
+
+    @property
+    def _errors(self) -> Dict[_Key, np.ndarray]:
+        """Unsigned prediction-error streams (diagnostic/back-compat view).
+
+        The slave stores *signed* errors (``actual - predicted``; the
+        selection stage needs the sign); this mirrors the historical
+        unsigned view.
+        """
+        return {
+            key: np.abs(stream.view())
+            for key, stream in self._streams.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Store synchronization
+    # ------------------------------------------------------------------
+    def bind_store(self, store: MetricStore) -> None:
+        """Associate the slave's streams with one metric store.
+
+        The slave's cursors count samples of *one* 1 Hz stream. Re-binding
+        to a different (or garbage-collected) store resets all state —
+        stale models must never leak into another run's diagnosis. A
+        slave that was fed purely via :meth:`observe` binds without a
+        reset: by contract the observed stream is the one the store
+        records.
+        """
+        if self._store_ref is not None:
+            if self._store_ref() is store:
+                return
+            self.reset()
+        self._store_ref = weakref.ref(store)
+
+    def reset(self) -> None:
+        """Drop all models, error streams, cursors and window caches."""
+        self._models.clear()
+        self._streams.clear()
+        self._consumed.clear()
+        self._cusum_cache.clear()
+        self._selection_cache.clear()
+        self._store_ref = None
+
+    def sync_with_store(self, store: MetricStore, upto: int) -> None:
+        """Stream every store sample before ``upto`` into the models.
+
+        Incremental: only samples past each series' cursor are consumed,
+        so the first call costs O(history) and subsequent calls cost
+        O(new samples) — the amortization that keeps repeated diagnoses
+        fast on long histories.
+        """
+        self.bind_store(store)
+        needed = min(upto, store.end) - store.start
+        if needed <= 0:
+            return
+        for component in store.components:
+            self._sync_component(store, component, needed)
+
+    def _sync_component(
+        self, store: MetricStore, component: ComponentId, needed: int
+    ) -> None:
+        for metric in store.metrics_for(component):
+            key = (component, metric)
+            have = self._consumed.get(key, 0)
+            if have >= needed:
+                continue
+            values = store.series(component, metric).values
+            stop = min(needed, len(values))
+            if have < stop:
+                self.observe_many(component, metric, values[have:stop])
 
     # ------------------------------------------------------------------
     # On-demand abnormal change point selection
@@ -80,58 +248,144 @@ class FChainSlave:
         """Examine one component's look-back window before a violation.
 
         Args:
-            store: Metric samples (only data up to ``violation_time`` is
-                used — the diagnosis is online).
+            store: Metric samples (only data up to ``violation_time`` plus
+                the configured grace is used — the diagnosis is online).
             component: The component to examine.
             violation_time: ``t_v``, the SLO violation tick.
 
         Returns:
-            The component report with any selected abnormal changes.
+            The component report with any selected abnormal changes. The
+            report is marked ``skipped`` when no metric had enough
+            recorded history to analyse.
         """
-        window_start = violation_time - self.config.look_back_window
-        window_end = violation_time + self.config.analysis_grace + 1
+        config = self.config
+        window_start = violation_time - config.look_back_window
+        window_end = violation_time + config.analysis_grace + 1
+        self.bind_store(store)
         changes = []
+        analyzed = 0
         for metric in store.metrics_for(component):
             full = store.series(component, metric).window(
                 store.start, window_end
             )
-            if len(full) < 2 * self.config.min_segment:
+            if len(full) < 2 * config.min_segment:
                 continue
-            errors = prediction_errors(
-                full,
-                bins=self.config.markov_bins,
-                halflife=self.config.markov_halflife,
-                signed=True,
-            )
+            analyzed += 1
+            key = (component, metric)
+            if self._consumed.get(key, 0) < len(full):
+                # Catch the online model up with the store — identical to
+                # replaying the history through a fresh model, but paid
+                # only once per sample across all diagnoses.
+                have = self._consumed.get(key, 0)
+                self.observe_many(component, metric, full.values[have:])
+            errors = self._streams[key].view(len(full))
             raw = full.window(window_start, window_end)
             history = full.window(full.start, raw.start)
             split = raw.start - full.start
             changes.extend(
-                select_abnormal_changes(
-                    raw,
-                    history,
-                    metric,
-                    self.config,
-                    seed=(self.seed, component),
-                    errors=errors[split:],
-                    history_errors=errors[:split],
+                self._select_cached(
+                    component, metric, full, raw, history, errors, split
                 )
             )
-        return ComponentReport(component=component, abnormal_changes=changes)
+        return ComponentReport(
+            component=component,
+            abnormal_changes=changes,
+            skipped=analyzed == 0,
+        )
+
+    def _select_cached(
+        self,
+        component: ComponentId,
+        metric: Metric,
+        full: TimeSeries,
+        raw: TimeSeries,
+        history: TimeSeries,
+        errors: np.ndarray,
+        split: int,
+    ) -> List:
+        """Window-keyed memoization around the selection pipeline.
+
+        Keys are ``(component, metric, window bounds)``; the store is
+        append-only so equal bounds imply equal samples, equal error
+        slices (online errors are causal) and therefore equal output. Two
+        levels are kept: the CUSUM/bootstrap intermediates (the dominant
+        cost) and the final selected changes, so the validation loop and
+        repeated diagnoses of one violation skip the work entirely.
+        """
+        cache_key = (component, metric, raw.start, raw.end)
+        cached = self._selection_cache.get(cache_key)
+        if cached is not None:
+            self._selection_cache.move_to_end(cache_key)
+            return list(cached)
+
+        detected = None
+        if len(raw) >= 2 * self.config.min_segment:
+            detected = self._cusum_cache.get(cache_key)
+            if detected is None:
+                detected = detect_window_change_points(
+                    raw, metric, self.config, seed=(self.seed, component)
+                )
+                self._cache_put(self._cusum_cache, cache_key, detected)
+            else:
+                self._cusum_cache.move_to_end(cache_key)
+
+        changes = select_abnormal_changes(
+            raw,
+            history,
+            metric,
+            self.config,
+            seed=(self.seed, component),
+            errors=errors[split:],
+            history_errors=errors[:split],
+            detected=detected,
+            full_series=full,
+        )
+        self._cache_put(self._selection_cache, cache_key, changes)
+        return list(changes)
+
+    @staticmethod
+    def _cache_put(cache: "OrderedDict", key, value) -> None:
+        cache[key] = value
+        if len(cache) > _CACHE_LIMIT:
+            cache.popitem(last=False)
 
 
 class FChainMaster:
-    """Master-side integrated fault diagnosis and validation."""
+    """Master-side integrated fault diagnosis and validation.
+
+    By default the master owns one persistent incremental
+    :class:`FChainSlave` whose warm state is reused across diagnoses of
+    the same store, and fans per-component analyses out through a
+    :class:`~repro.core.engine.SlavePool` when ``jobs >= 2``. Passing
+    ``incremental=False`` restores the original replay engine — a fresh
+    slave per ``diagnose`` call — which is retained as the equivalence
+    baseline.
+    """
 
     def __init__(
         self,
         config: Optional[FChainConfig] = None,
         dependency_graph: Optional[nx.DiGraph] = None,
         seed: object = 0,
+        *,
+        jobs: Optional[int] = None,
+        slave_timeout: Optional[float] = None,
+        incremental: bool = True,
     ) -> None:
-        self.config = config or FChainConfig()
+        self.config = (config or FChainConfig()).validate()
         self.dependency_graph = dependency_graph
         self.seed = seed
+        self.jobs = jobs
+        self.slave_timeout = slave_timeout
+        self.incremental = incremental
+        self._slave: Optional[FChainSlave] = (
+            FChainSlave(self.config, seed=seed) if incremental else None
+        )
+
+    @property
+    def slave(self) -> Optional[FChainSlave]:
+        """The persistent incremental slave (None in replay mode)."""
+        return self._slave
 
     def diagnose(
         self, store: MetricStore, violation_time: int
@@ -140,15 +394,16 @@ class FChainMaster:
 
         Triggers the slave analysis for every monitored component, builds
         the propagation chain and runs integrated pinpointing against the
-        (offline discovered) dependency graph.
+        (offline discovered) dependency graph. Components no slave could
+        analyse are surfaced in ``PinpointResult.skipped``.
         """
         if violation_time <= store.start:
             raise DiagnosisError("violation time precedes recorded history")
-        slave = FChainSlave(self.config, seed=self.seed)
-        reports = [
-            slave.analyze(store, component, violation_time)
-            for component in store.components
-        ]
+        slave = self._slave
+        if slave is None:
+            slave = FChainSlave(self.config, seed=self.seed)
+        pool = SlavePool(slave, jobs=self.jobs, timeout=self.slave_timeout)
+        reports, _ = pool.analyze_all(store, violation_time)
         return pinpoint_faulty_components(
             reports, self.config, self.dependency_graph
         )
@@ -167,8 +422,21 @@ class FChain:
     Example::
 
         fchain = FChain(FChainConfig(), dependency_graph=graph)
-        result = fchain.localize(app.store, app.slo.first_violation)
-        print(result.faulty)
+        diagnosis = fchain.localize(
+            app.store, violation_time=app.slo.first_violation
+        )
+        print(diagnosis.faulty)
+
+    Args:
+        config: FChain configuration (validated on construction).
+        dependency_graph: Offline-discovered dependency graph, or None.
+        seed: Deterministic seed label for stochastic steps.
+        jobs: Slave fan-out width (``>= 2`` analyses components in
+            parallel; default serial).
+        slave_timeout: Optional per-slave analysis timeout in seconds
+            (parallel mode only); timed-out components are ``skipped``.
+        incremental: Keep slave state warm across diagnoses (default).
+            ``False`` restores the original replay-per-diagnosis engine.
     """
 
     def __init__(
@@ -176,23 +444,118 @@ class FChain:
         config: Optional[FChainConfig] = None,
         dependency_graph: Optional[nx.DiGraph] = None,
         seed: object = 0,
+        *,
+        jobs: Optional[int] = None,
+        slave_timeout: Optional[float] = None,
+        incremental: bool = True,
     ) -> None:
-        self.config = config or FChainConfig()
-        self.master = FChainMaster(self.config, dependency_graph, seed=seed)
+        self.config = (config or FChainConfig()).validate()
+        self.master = FChainMaster(
+            self.config,
+            dependency_graph,
+            seed=seed,
+            jobs=jobs,
+            slave_timeout=slave_timeout,
+            incremental=incremental,
+        )
 
     @property
     def dependency_graph(self) -> Optional[nx.DiGraph]:
         return self.master.dependency_graph
 
+    # ------------------------------------------------------------------
+    # Streaming feed-through
+    # ------------------------------------------------------------------
+    def observe(self, component: ComponentId, metric: Metric, value: float) -> None:
+        """Feed one 1 Hz sample into the persistent slave's models."""
+        self._require_slave().observe(component, metric, value)
+
+    def observe_many(
+        self, component: ComponentId, metric: Metric, values: Iterable[float]
+    ) -> None:
+        """Feed a batch of consecutive samples into the slave's models."""
+        self._require_slave().observe_many(component, metric, values)
+
+    def _require_slave(self) -> FChainSlave:
+        slave = self.master.slave
+        if slave is None:
+            raise DiagnosisError(
+                "streaming observation requires the incremental engine "
+                "(construct FChain with incremental=True)"
+            )
+        return slave
+
+    # ------------------------------------------------------------------
+    # Localization API
+    # ------------------------------------------------------------------
     def localize(
-        self, store: MetricStore, violation_time: int
-    ) -> PinpointResult:
-        """Diagnose the faulty components for a detected SLO violation."""
-        return self.master.diagnose(store, violation_time)
+        self,
+        store: MetricStore,
+        *args,
+        violation_time: Optional[int] = None,
+        validate_with=None,
+    ) -> Diagnosis:
+        """Diagnose the faulty components for a detected SLO violation.
+
+        Args:
+            store: Recorded metric samples of the run.
+            violation_time: ``t_v`` — when the SLO violation was detected
+                (keyword-only; the positional form is deprecated).
+            validate_with: Optional live application; when given, online
+                pinpointing validation runs and the returned diagnosis
+                carries the validated result plus per-component outcomes
+                (this subsumes the deprecated ``localize_and_validate``).
+
+        Returns:
+            A :class:`~repro.core.diagnosis.Diagnosis`.
+        """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    "localize() takes the store and keyword arguments only"
+                )
+            if violation_time is not None:
+                raise TypeError("violation_time given both ways")
+            warnings.warn(
+                "passing violation_time positionally is deprecated; call "
+                "localize(store, violation_time=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            violation_time = args[0]
+        if violation_time is None:
+            raise TypeError(
+                "localize() missing required keyword argument "
+                "'violation_time'"
+            )
+        started = time.perf_counter()
+        result = self.master.diagnose(store, violation_time)
+        outcomes: Optional[Dict[ComponentId, ValidationOutcome]] = None
+        unvalidated: Optional[PinpointResult] = None
+        if validate_with is not None:
+            unvalidated = result
+            result, outcomes = self.master.validate(validate_with, result)
+        return Diagnosis(
+            result=result,
+            violation_time=violation_time,
+            outcomes=outcomes,
+            unvalidated=unvalidated,
+            latency_seconds=time.perf_counter() - started,
+        )
 
     def localize_and_validate(
         self, app, violation_time: int
     ) -> Tuple[PinpointResult, Dict[ComponentId, ValidationOutcome]]:
-        """Diagnose, then validate the pinpointing online (FChain+VAL)."""
-        result = self.master.diagnose(app.store, violation_time)
-        return self.master.validate(app, result)
+        """Deprecated: use ``localize(app.store, violation_time=...,
+        validate_with=app)``, which returns a single
+        :class:`~repro.core.diagnosis.Diagnosis` instead of a tuple."""
+        warnings.warn(
+            "localize_and_validate() is deprecated; use localize(app.store, "
+            "violation_time=..., validate_with=app)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        diagnosis = self.localize(
+            app.store, violation_time=violation_time, validate_with=app
+        )
+        return diagnosis.result, diagnosis.outcomes

@@ -42,12 +42,16 @@ class PinpointResult:
         chain: The abnormal change propagation chain that was analysed.
         reports: Per-component slave reports (all components, including
             normal ones).
+        skipped: Components the slaves could not examine — typically
+            because no metric had enough recorded history, or a slave
+            timed out. They are neither faulty nor known-normal.
     """
 
     faulty: FrozenSet[ComponentId]
     external_factor: bool
     chain: PropagationChain
     reports: Dict[ComponentId, ComponentReport] = field(default_factory=dict)
+    skipped: FrozenSet[ComponentId] = frozenset()
 
     def implicated_metrics(self, component: ComponentId) -> List[Metric]:
         """Abnormal metrics of a pinpointed component (for validation)."""
@@ -63,7 +67,12 @@ class PinpointResult:
                 "application component pinpointed"
             )
         if not self.chain.links:
-            return "no abnormal changes found in the look-back window"
+            text = "no abnormal changes found in the look-back window"
+            if self.skipped:
+                text += (
+                    f"; skipped for insufficient data: {sorted(self.skipped)}"
+                )
+            return text
         lines = ["abnormal change propagation chain:"]
         for component, onset in self.chain.links:
             report = self.reports.get(component)
@@ -77,6 +86,10 @@ class PinpointResult:
                 f"  {component} @ t={onset}s ({metrics}){marker}"
             )
         lines.append(f"pinpointed: {sorted(self.faulty)}")
+        if self.skipped:
+            lines.append(
+                f"skipped (insufficient data): {sorted(self.skipped)}"
+            )
         return "\n".join(lines)
 
 
@@ -132,6 +145,7 @@ def pinpoint_faulty_components(
     """
     by_name = {r.component: r for r in reports}
     chain = build_chain(reports)
+    skipped = frozenset(r.component for r in reports if r.skipped)
 
     if not chain.links:
         return PinpointResult(
@@ -139,6 +153,7 @@ def pinpoint_faulty_components(
             external_factor=False,
             chain=chain,
             reports=by_name,
+            skipped=skipped,
         )
 
     external_spread = max(5.0, 2.0 * config.concurrency_threshold)
@@ -150,6 +165,7 @@ def pinpoint_faulty_components(
             external_factor=True,
             chain=chain,
             reports=by_name,
+            skipped=skipped,
         )
 
     have_dependencies = (
@@ -182,4 +198,5 @@ def pinpoint_faulty_components(
         external_factor=False,
         chain=chain,
         reports=by_name,
+        skipped=skipped,
     )

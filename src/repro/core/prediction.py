@@ -14,7 +14,7 @@ large prediction errors.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -104,12 +104,14 @@ class MarkovPredictor:
             return float(self._centers[self._previous_bin])
         return float(mass @ self._centers / total)
 
-    def update(self, value: float) -> Optional[float]:
-        """Feed one sample; returns the prediction error for it.
+    def step(self, value: float) -> Optional[float]:
+        """Feed one sample; returns the *signed* prediction error for it.
 
-        The error is ``|predicted - value|`` using the prediction made
-        *before* the model saw ``value`` (honest one-step-ahead error).
-        During warmup the error is None.
+        The error is ``value - predicted`` using the prediction made
+        *before* the model saw ``value`` (honest one-step-ahead error) —
+        the same convention as ``prediction_errors(..., signed=True)``,
+        which lets a continuously fed model replace the batch replay in
+        the diagnosis hot path. During warmup the error is None.
         """
         value = float(value)
         if not self.ready:
@@ -127,7 +129,16 @@ class MarkovPredictor:
         self._previous_bin = current_bin
         if predicted is None:
             return None
-        return abs(predicted - value)
+        return value - predicted
+
+    def update(self, value: float) -> Optional[float]:
+        """Feed one sample; returns the unsigned prediction error for it.
+
+        The error is ``|predicted - value|``; see :meth:`step` for the
+        signed variant the diagnosis pipeline consumes.
+        """
+        error = self.step(value)
+        return None if error is None else abs(error)
 
     # ------------------------------------------------------------------
     def transition_matrix(self) -> np.ndarray:
@@ -166,9 +177,7 @@ def prediction_errors(
     model = MarkovPredictor(bins=bins, halflife=halflife, warmup=warmup)
     errors = np.full(len(series), np.nan)
     for i, value in enumerate(series.values):
-        predicted = model.predict()
-        model.update(value)
-        if predicted is not None:
-            delta = float(value) - predicted
+        delta = model.step(value)
+        if delta is not None:
             errors[i] = delta if signed else abs(delta)
     return errors

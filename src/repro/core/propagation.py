@@ -9,7 +9,7 @@ propagate C1 -> C2 (paper Sec. II-C, Fig. 2's PE3 -> PE6 -> PE2 example).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.common.types import ComponentId, Metric
 from repro.core.selection import AbnormalChange
@@ -23,10 +23,16 @@ class ComponentReport:
         component: The component examined.
         abnormal_changes: Selected abnormal changes across all metrics
             (empty when the component looks normal).
+        skipped: True when the slave could not analyse the component at
+            all — no metric had enough recorded history (or the analysis
+            timed out in a :class:`~repro.core.engine.SlavePool`). Such a
+            component is *unknown*, not normal, and is surfaced through
+            ``PinpointResult.skipped`` instead of being silently dropped.
     """
 
     component: ComponentId
     abnormal_changes: List[AbnormalChange] = field(default_factory=list)
+    skipped: bool = False
 
     @property
     def is_abnormal(self) -> bool:

@@ -15,7 +15,7 @@ This module implements the heart of the FChain slave (paper Sec. II-B):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -283,6 +283,38 @@ def rollback_onset(
     return current.time
 
 
+def detect_window_change_points(
+    raw: TimeSeries,
+    metric: Metric,
+    config: FChainConfig,
+    *,
+    seed: object = 0,
+) -> Tuple[TimeSeries, List[ChangePoint]]:
+    """Smooth one look-back window and run CUSUM + bootstrap on it.
+
+    This is the expensive, purely window-determined prefix of
+    :func:`select_abnormal_changes` (the 100+ bootstrap permutations per
+    candidate split dominate selection cost). It is split out so the
+    incremental engine can cache its output keyed by
+    ``(component, metric, window)``: the metric store is append-only, so
+    the same window bounds always hold the same samples and the cached
+    result stays exact.
+
+    Returns:
+        ``(smoothed, points)`` — the smoothed window and its change
+        points, exactly as the inline path computes them.
+    """
+    smoothed = smooth_series(raw, config.smoothing_window)
+    points = detect_change_points(
+        smoothed,
+        bootstraps=config.cusum_bootstraps,
+        confidence=config.cusum_confidence,
+        min_segment=config.min_segment,
+        seed=(seed, str(metric)),
+    )
+    return smoothed, points
+
+
 def select_abnormal_changes(
     raw: TimeSeries,
     history: TimeSeries,
@@ -292,6 +324,8 @@ def select_abnormal_changes(
     seed: object = 0,
     errors: Optional[np.ndarray] = None,
     history_errors: Optional[np.ndarray] = None,
+    detected: Optional[Tuple[TimeSeries, List[ChangePoint]]] = None,
+    full_series: Optional[TimeSeries] = None,
 ) -> List[AbnormalChange]:
     """Run the full slave-side selection pipeline on one metric window.
 
@@ -312,20 +346,22 @@ def select_abnormal_changes(
             history (the samples preceding ``raw``), used to derive the
             model's routine same-direction error level under normal
             operation.
+        detected: Optional precomputed ``(smoothed, points)`` pair from
+            :func:`detect_window_change_points` (the incremental engine
+            caches these per window); if omitted it is computed here.
+        full_series: Optional series spanning ``history`` + ``raw``
+            contiguously. Callers that already hold such a series (the
+            slave's windowed store views) pass it to avoid an O(history)
+            concatenation per metric.
 
     Returns:
         Abnormal changes, possibly empty.
     """
     if len(raw) < 2 * config.min_segment:
         return []
-    smoothed = smooth_series(raw, config.smoothing_window)
-    points = detect_change_points(
-        smoothed,
-        bootstraps=config.cusum_bootstraps,
-        confidence=config.cusum_confidence,
-        min_segment=config.min_segment,
-        seed=(seed, str(metric)),
-    )
+    if detected is None:
+        detected = detect_window_change_points(raw, metric, config, seed=seed)
+    smoothed, points = detected
     if not points:
         return []
     reference = reference_change_magnitudes(history)
@@ -348,9 +384,12 @@ def select_abnormal_changes(
         errors = all_errors[len(history):]
         if history_errors is None:
             history_errors = all_errors[: len(history)]
-    full = TimeSeries(
-        np.concatenate([history.values, raw.values]), start=history.start
-    ) if len(history) else raw
+    if full_series is not None:
+        full = full_series
+    else:
+        full = TimeSeries(
+            np.concatenate([history.values, raw.values]), start=history.start
+        ) if len(history) else raw
 
     abnormal: List[AbnormalChange] = []
     for point in outliers:

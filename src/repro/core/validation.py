@@ -223,4 +223,5 @@ def apply_validation(
         external_factor=result.external_factor,
         chain=result.chain,
         reports=result.reports,
+        skipped=result.skipped,
     )

@@ -7,8 +7,8 @@ The ROC curves in the paper plot recall (x) against precision (y).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Set
+from dataclasses import dataclass
+from typing import Iterable, Set
 
 from repro.common.types import ComponentId
 

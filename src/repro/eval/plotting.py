@@ -8,7 +8,7 @@ outputs are actually inspectable in a terminal or a text file.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -10,7 +10,7 @@ target; EXPERIMENTS.md records both side by side.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import List, Mapping, Sequence, Tuple
 
 from repro.eval.metrics import PrecisionRecall, RocPoint
 

@@ -9,7 +9,7 @@ over the same application runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence
 
 import networkx as nx
@@ -145,13 +145,22 @@ def context_for(scenario: Scenario, record: RunRecord) -> LocalizationContext:
 
 
 class FChainLocalizer(Localizer):
-    """FChain wrapped in the common scheme interface."""
+    """FChain wrapped in the common scheme interface.
+
+    Args:
+        jobs: Slave fan-out width forwarded to the FChain engine
+            (``None``/0/1 serial).
+    """
 
     name = "FChain"
 
-    def localize(
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs
+
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:
@@ -159,8 +168,9 @@ class FChainLocalizer(Localizer):
             context.config,
             dependency_graph=context.dependency_graph,
             seed=context.seed,
+            jobs=self.jobs,
         )
-        return fchain.localize(store, violation_time).faulty
+        return fchain.localize(store, violation_time=violation_time).faulty
 
 
 class FChainValidatedLocalizer(Localizer):
@@ -172,15 +182,17 @@ class FChainValidatedLocalizer(Localizer):
 
     name = "FChain+VAL"
 
-    def __init__(self) -> None:
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs
         self._record: Optional[RunRecord] = None
 
     def bind(self, record: RunRecord) -> None:
         self._record = record
 
-    def localize(
+    def _localize(
         self,
         store: MetricStore,
+        *,
         violation_time: int,
         context: LocalizationContext,
     ) -> FrozenSet[ComponentId]:
@@ -190,11 +202,12 @@ class FChainValidatedLocalizer(Localizer):
             context.config,
             dependency_graph=context.dependency_graph,
             seed=context.seed,
+            jobs=self.jobs,
         )
-        validated, _ = fchain.localize_and_validate(
-            self._record.app, violation_time
+        diagnosis = fchain.localize(
+            store, violation_time=violation_time, validate_with=self._record.app
         )
-        return validated.faulty
+        return diagnosis.faulty
 
 
 def evaluate_schemes(
@@ -220,7 +233,9 @@ def evaluate_schemes(
             if isinstance(scheme, FChainValidatedLocalizer):
                 scheme.bind(record)
             pinpointed = scheme.localize(
-                record.store, record.violation_time, context
+                record.store,
+                violation_time=record.violation_time,
+                context=context,
             )
             results[scheme.name].update(pinpointed, record.ground_truth)
     return results
@@ -246,7 +261,9 @@ def sweep_thresholds(
         for record in records:
             context = context_for(scenario, record)
             pinpointed = scheme.localize(
-                record.store, record.violation_time, context
+                record.store,
+                violation_time=record.violation_time,
+                context=context,
             )
             accumulator.update(pinpointed, record.ground_truth)
         points.append(

@@ -9,14 +9,13 @@ the injected degradations reliably breach the SLO.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional
 
-import numpy as np
 
 from repro.apps.base import Application
 from repro.apps.hadoop import MAPS, HadoopApplication
-from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
+from repro.apps.rubis import DB, WEB, RubisApplication
 from repro.apps.systems import SystemSApplication
 from repro.faults.injector import FaultCampaign
 from repro.faults.library import (

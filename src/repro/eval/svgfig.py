@@ -9,7 +9,7 @@ paper-style figures — precision/recall scatter plots (the ROC figures
 from __future__ import annotations
 
 import html
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 #: Distinguishable marker colors, cycled per series.
 PALETTE = (

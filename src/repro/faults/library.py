@@ -6,7 +6,7 @@ substitution preserves the manifestation the localization schemes see.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable
 
 from repro.common.types import ComponentId
 from repro.faults.base import Fault

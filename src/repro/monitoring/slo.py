@@ -11,7 +11,7 @@ SLO definitions used in the evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

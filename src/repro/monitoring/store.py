@@ -4,6 +4,14 @@ One :class:`MetricStore` holds every (component, metric) series of one
 application run at the 1-second sampling interval. FChain slaves read
 look-back windows out of it; the evaluation harness replays the same store
 through every localization scheme so all schemes see identical data.
+
+Reads are zero-copy: each series is mirrored into a capacity-doubling
+numpy column the first time it is read, subsequent reads only convert the
+newly appended tail, and :meth:`MetricStore.series` /
+:meth:`MetricStore.window` hand out *views* of that column. Because the
+store is append-only, a view's contents are immutable even while the run
+keeps recording — which is what lets the incremental diagnosis engine
+slice windows out of a live store without snapshotting it.
 """
 
 from __future__ import annotations
@@ -15,6 +23,11 @@ import numpy as np
 from repro.common.timeseries import TimeSeries
 from repro.common.types import METRIC_NAMES, ComponentId, Metric
 
+_Key = Tuple[ComponentId, Metric]
+
+#: Initial capacity of a lazily materialized numpy column.
+_MIN_COLUMN_CAPACITY = 256
+
 
 class MetricStore:
     """Append-only storage of per-component metric samples.
@@ -25,8 +38,12 @@ class MetricStore:
 
     def __init__(self, start: int = 0) -> None:
         self.start = start
-        self._data: Dict[Tuple[ComponentId, Metric], List[float]] = {}
+        self._data: Dict[_Key, List[float]] = {}
         self._length = 0
+        # Lazily synced numpy mirrors of ``_data``: column array plus how
+        # many leading entries of it are valid.
+        self._columns: Dict[_Key, np.ndarray] = {}
+        self._filled: Dict[_Key, int] = {}
 
     # ------------------------------------------------------------------
     # Writing
@@ -62,18 +79,49 @@ class MetricStore:
         """Timestamp one past the newest complete sample."""
         return self.start + self._length
 
+    def _column(self, key: _Key) -> np.ndarray:
+        """The numpy mirror of one series, synced to the backing list.
+
+        Amortized O(appended samples): only the tail recorded since the
+        previous read is converted. The returned array may have spare
+        capacity past the valid prefix; callers slice to the length they
+        need. Reallocation on growth never mutates previously returned
+        views — the store is append-only, so an old (smaller) column is
+        simply left behind with its then-current, still-correct prefix.
+        """
+        samples = self._data[key]
+        n = len(samples)
+        column = self._columns.get(key)
+        filled = self._filled.get(key, 0)
+        if column is None or n > len(column):
+            capacity = max(_MIN_COLUMN_CAPACITY, 2 * n)
+            grown = np.empty(capacity, dtype=float)
+            if column is not None and filled:
+                grown[:filled] = column[:filled]
+            column = grown
+            self._columns[key] = column
+        if filled < n:
+            column[filled:n] = samples[filled:]
+            self._filled[key] = n
+        return column
+
     def series(self, component: ComponentId, metric: Metric) -> TimeSeries:
-        """Full series for one (component, metric), as a :class:`TimeSeries`."""
+        """Full series for one (component, metric), as a :class:`TimeSeries`.
+
+        The returned series wraps a zero-copy view of the store's column
+        buffer; it is valid indefinitely (append-only data) but reflects
+        only the ticks completed at call time.
+        """
         key = (component, metric)
         if key not in self._data:
             raise KeyError(f"no samples for {component}/{metric}")
-        values = np.asarray(self._data[key][: self._length], dtype=float)
-        return TimeSeries(values, start=self.start)
+        count = min(len(self._data[key]), self._length)
+        return TimeSeries(self._column(key)[:count], start=self.start)
 
     def window(
         self, component: ComponentId, metric: Metric, t_from: int, t_to: int
     ) -> TimeSeries:
-        """Clipped sub-series covering ``[t_from, t_to)``."""
+        """Clipped sub-series covering ``[t_from, t_to)`` (zero-copy view)."""
         return self.series(component, metric).window(t_from, t_to)
 
     def metrics_for(self, component: ComponentId) -> List[Metric]:

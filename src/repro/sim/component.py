@@ -12,7 +12,7 @@ component fills its buffer and forces its upstream neighbours to stall.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.common.errors import SimulationError
 

@@ -1,7 +1,6 @@
 """Tests for the System S application model."""
 
 import numpy as np
-import pytest
 
 from repro.apps.systems import EDGES, PES, SystemSApplication
 from repro.common.types import Metric

@@ -1,6 +1,5 @@
 """Tests for the Fixed-Filtering baseline."""
 
-import pytest
 
 from repro.baselines.base import LocalizationContext
 from repro.baselines.fixed_filtering import FixedFilteringLocalizer
@@ -15,7 +14,9 @@ class TestFixedFiltering:
             dependency_graph=rubis_dependency_graph, seed=101
         )
         result = FixedFilteringLocalizer(threshold=0.6).localize(
-            app.store, violation, context
+            app.store,
+            violation_time=violation,
+            context=context
         )
         assert "db" in result
 
@@ -27,7 +28,9 @@ class TestFixedFiltering:
             dependency_graph=rubis_dependency_graph, seed=101
         )
         result = FixedFilteringLocalizer(threshold=50.0).localize(
-            app.store, violation, context
+            app.store,
+            violation_time=violation,
+            context=context
         )
         assert result == frozenset()
 
@@ -39,8 +42,10 @@ class TestFixedFiltering:
         )
         results = {
             th: FixedFilteringLocalizer(threshold=th).localize(
-                app.store, violation, context
-            )
+            app.store,
+            violation_time=violation,
+            context=context
+        )
             for th in (0.02, 0.3, 50.0)
         }
         assert len(set(map(frozenset, results.values()))) >= 2

@@ -1,7 +1,6 @@
 """Tests for the Histogram (KL divergence) baseline."""
 
 import numpy as np
-import pytest
 
 from repro.baselines.base import LocalizationContext
 from repro.baselines.histogram import HistogramLocalizer, kl_divergence
@@ -51,7 +50,7 @@ class TestLocalizer:
         store = store_with_shift()
         context = LocalizationContext()
         scheme = HistogramLocalizer(threshold=0.5)
-        result = scheme.localize(store, 790, context)
+        result = scheme.localize(store, violation_time=790, context=context)
         assert result == frozenset({"bad"})
 
     def test_fast_fault_missed(self):
@@ -60,13 +59,13 @@ class TestLocalizer:
         store = store_with_shift(shift_at=788)
         context = LocalizationContext()
         scheme = HistogramLocalizer(threshold=0.5)
-        assert scheme.localize(store, 790, context) == frozenset()
+        assert scheme.localize(store, violation_time=790, context=context) == frozenset()
 
     def test_threshold_sweep_monotone(self):
         store = store_with_shift()
         context = LocalizationContext()
         sizes = [
-            len(HistogramLocalizer(threshold=th).localize(store, 790, context))
+            len(HistogramLocalizer(threshold=th).localize(store, violation_time=790, context=context))
             for th in (0.05, 0.5, 5.0)
         ]
         assert sizes == sorted(sizes, reverse=True)

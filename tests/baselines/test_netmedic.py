@@ -11,7 +11,7 @@ class TestNetMedic:
         app, violation = rubis_cpuhog_run
         with pytest.raises(ValueError):
             NetMedicLocalizer().localize(
-                app.store, violation, LocalizationContext(topology=None)
+                app.store, violation_time=violation, context=LocalizationContext(topology=None)
             )
 
     def test_blame_scores_cover_components(self, rubis_cpuhog_run):
@@ -20,7 +20,7 @@ class TestNetMedic:
             topology=app.topology, slo_component="web", seed=101
         )
         blames = NetMedicLocalizer().blame_scores(
-            app.store, violation, context
+            app.store, violation_time=violation, context=context
         )
         assert set(blames) == set(app.store.components)
         assert all(b >= 0 for b in blames.values())
@@ -37,7 +37,7 @@ class TestNetMedic:
             topology=app.topology, slo_component="web", seed=101
         )
         blames = NetMedicLocalizer().blame_scores(
-            app.store, violation, context
+            app.store, violation_time=violation, context=context
         )
         ranked = sorted(blames, key=blames.get, reverse=True)
         assert "web" in ranked[:2]  # observer-adjacent bias
@@ -50,10 +50,14 @@ class TestNetMedic:
             topology=app.topology, slo_component="web", seed=101
         )
         narrow = NetMedicLocalizer(delta=0.0).localize(
-            app.store, violation, context
+            app.store,
+            violation_time=violation,
+            context=context
         )
         wide = NetMedicLocalizer(delta=10.0).localize(
-            app.store, violation, context
+            app.store,
+            violation_time=violation,
+            context=context
         )
         assert narrow <= wide
         assert len(wide) == len(app.store.components)

@@ -1,6 +1,5 @@
 """Tests for the PAL baseline."""
 
-import pytest
 
 from repro.baselines.base import LocalizationContext
 from repro.baselines.pal import PALLocalizer, pal_component_report
@@ -36,7 +35,7 @@ class TestPALLocalizer:
         source of its own chain."""
         app, violation = rubis_cpuhog_run
         result = PALLocalizer().localize(
-            app.store, violation, LocalizationContext(seed=101)
+            app.store, violation_time=violation, context=LocalizationContext(seed=101)
         )
         assert result
         for component in result:
@@ -49,10 +48,10 @@ class TestPALLocalizer:
         """PAL ignores the dependency graph entirely."""
         app, violation = rubis_cpuhog_run
         with_graph = PALLocalizer().localize(
-            app.store, violation, LocalizationContext(seed=101)
+            app.store, violation_time=violation, context=LocalizationContext(seed=101)
         )
         import networkx as nx
 
         context = LocalizationContext(seed=101, dependency_graph=nx.DiGraph())
-        without = PALLocalizer().localize(app.store, violation, context)
+        without = PALLocalizer().localize(app.store, violation_time=violation, context=context)
         assert with_graph == without

@@ -46,13 +46,13 @@ class TestTopologyLocalizer:
         app, violation = rubis_cpuhog_run
         with pytest.raises(ValueError):
             TopologyLocalizer().localize(
-                app.store, violation, LocalizationContext(topology=None)
+                app.store, violation_time=violation, context=LocalizationContext(topology=None)
             )
 
     def test_runs_on_real_data(self, rubis_cpuhog_run):
         app, violation = rubis_cpuhog_run
         context = LocalizationContext(topology=app.topology, seed=101)
-        result = TopologyLocalizer().localize(app.store, violation, context)
+        result = TopologyLocalizer().localize(app.store, violation_time=violation, context=context)
         assert isinstance(result, frozenset)
 
 
@@ -62,7 +62,7 @@ class TestDependencyLocalizer:
         output as faulty."""
         app, violation = rubis_cpuhog_run
         context = LocalizationContext(dependency_graph=nx.DiGraph(), seed=101)
-        result = DependencyLocalizer().localize(app.store, violation, context)
+        result = DependencyLocalizer().localize(app.store, violation_time=violation, context=context)
         assert "db" in result  # plus any back-pressure victims
 
     def test_with_graph_prunes_downstream(
@@ -71,14 +71,16 @@ class TestDependencyLocalizer:
         app, violation = rubis_cpuhog_run
         with_graph = DependencyLocalizer().localize(
             app.store,
-            violation,
-            LocalizationContext(
+            violation_time=violation,
+            context=LocalizationContext(
                 dependency_graph=rubis_dependency_graph, seed=101
             ),
         )
         without_graph = DependencyLocalizer().localize(
             app.store,
-            violation,
-            LocalizationContext(dependency_graph=nx.DiGraph(), seed=101),
+            violation_time=violation,
+            context=LocalizationContext(
+                dependency_graph=nx.DiGraph(), seed=101
+            ),
         )
         assert with_graph <= without_graph

@@ -1,7 +1,6 @@
 """Tests for packet trace synthesis."""
 
 import numpy as np
-import pytest
 
 from repro.cloud.network import PacketEvent, PacketTrace, SyntheticPacketizer
 

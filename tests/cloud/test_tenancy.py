@@ -67,7 +67,7 @@ class TestExecution:
         cloud.run(1100)
         violation = rubis.slo.first_violation_after(600)
         assert violation is not None
-        result = FChain(seed=5).localize(rubis.store, violation)
+        result = FChain(seed=5).localize(rubis.store, violation_time=violation)
         assert result.faulty == frozenset({DB})
 
     def test_dense_packing_creates_interference(self):

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.apps.hadoop import MAPS, HadoopApplication
+from repro.apps.hadoop import HadoopApplication
 from repro.apps.rubis import DB, RubisApplication
 from repro.apps.systems import SystemSApplication
 from repro.core.dependency import discover_dependencies

@@ -1,7 +1,6 @@
 """Tests for the adaptive extensions (paper's stated future work)."""
 
 import numpy as np
-import pytest
 
 from repro.common.rng import spawn_rng
 from repro.common.timeseries import TimeSeries

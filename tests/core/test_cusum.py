@@ -5,7 +5,7 @@ import pytest
 
 from repro.common.rng import spawn_rng
 from repro.common.timeseries import TimeSeries
-from repro.core.cusum import ChangePoint, detect_change_points
+from repro.core.cusum import detect_change_points
 
 
 def series(values, start=0):

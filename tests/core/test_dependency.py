@@ -1,8 +1,6 @@
 """Tests for black-box dependency discovery."""
 
 import networkx as nx
-import numpy as np
-import pytest
 
 from repro.cloud.network import PacketEvent, PacketTrace, SyntheticPacketizer
 from repro.core.dependency import (

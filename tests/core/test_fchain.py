@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.rubis import DB, RubisApplication
+from repro.apps.rubis import DB
 from repro.common.errors import DiagnosisError
 from repro.common.types import Metric
 from repro.core.config import FChainConfig
@@ -61,7 +61,7 @@ class TestFacade:
     def test_localize(self, rubis_cpuhog_run, rubis_dependency_graph):
         app, violation = rubis_cpuhog_run
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=101)
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert DB in result.faulty
 
     def test_localize_and_validate(
@@ -69,7 +69,8 @@ class TestFacade:
     ):
         app, violation = rubis_cpuhog_run
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=101)
-        validated, outcomes = fchain.localize_and_validate(app, violation)
+        with pytest.warns(DeprecationWarning, match="localize_and_validate"):
+            validated, outcomes = fchain.localize_and_validate(app, violation)
         assert DB in validated.faulty
         assert outcomes[DB].confirmed
 

@@ -1,0 +1,289 @@
+"""Incremental engine equivalence and SlavePool behaviour.
+
+The contract under test: the incremental engine (persistent slave state,
+warm error streams, per-window caches, optional parallel fan-out) must
+produce *identical* diagnoses to the original replay engine on the same
+data — same faulty sets, same propagation chains (components and onset
+times), same external-factor verdicts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.apps.hadoop import MAPS, HadoopApplication
+from repro.common.errors import DiagnosisError
+from repro.common.types import METRIC_NAMES, Metric
+from repro.core.config import FChainConfig
+from repro.core.engine import SlavePool
+from repro.core.fchain import FChain, FChainMaster, FChainSlave
+from repro.core.prediction import prediction_errors
+from repro.core.selection import select_abnormal_changes
+from repro.faults.library import InfiniteLoopFault
+from repro.monitoring.store import MetricStore
+
+
+@pytest.fixture(scope="module")
+def hadoop_fault_run():
+    """A Hadoop run with concurrent infinite loops in the mappers."""
+    app = HadoopApplication(seed=72)
+    for m in MAPS:
+        app.inject(InfiniteLoopFault(900, m))
+    app.run(1200)
+    violation = app.slo.first_violation_after(900)
+    assert violation is not None
+    return app, violation
+
+
+def _diagnosis_key(result):
+    return (
+        result.faulty,
+        result.chain.links,
+        result.external_factor,
+        result.skipped,
+    )
+
+
+def assert_engines_equivalent(store, violation, seed):
+    """Replay vs cold-warm vs cache-warm incremental, all identical."""
+    replay = FChainMaster(FChainConfig(), seed=seed, incremental=False)
+    expected = replay.diagnose(store, violation)
+
+    warm = FChainMaster(FChainConfig(), seed=seed, incremental=True)
+    first = warm.diagnose(store, violation)
+    # Second warm diagnosis is served from the per-window caches and the
+    # already-synced models; it must not drift.
+    second = warm.diagnose(store, violation)
+
+    assert _diagnosis_key(first) == _diagnosis_key(expected)
+    assert _diagnosis_key(second) == _diagnosis_key(expected)
+    for component in expected.faulty:
+        assert first.implicated_metrics(component) == (
+            expected.implicated_metrics(component)
+        )
+
+
+class TestEngineEquivalence:
+    def test_rubis(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        assert_engines_equivalent(app.store, violation, seed=101)
+
+    def test_systems(self, systems_memleak_run):
+        app, violation = systems_memleak_run
+        assert_engines_equivalent(app.store, violation, seed=202)
+
+    def test_hadoop(self, hadoop_fault_run):
+        app, violation = hadoop_fault_run
+        assert_engines_equivalent(app.store, violation, seed=72)
+
+    def test_matches_inline_batch_reference(self, rubis_cpuhog_run):
+        """The slave's warm analysis equals a literal transcription of the
+        original batch path: fresh ``prediction_errors`` over the full
+        series, then ``select_abnormal_changes`` on the window slices."""
+        app, violation = rubis_cpuhog_run
+        store = app.store
+        config = FChainConfig()
+        seed = 101
+        slave = FChainSlave(config, seed=seed)
+        slave.sync_with_store(store, store.end)
+        window_start = violation - config.look_back_window
+        window_end = violation + config.analysis_grace + 1
+        for component in store.components:
+            expected = []
+            for metric in store.metrics_for(component):
+                full = store.series(component, metric).window(
+                    store.start, window_end
+                )
+                if len(full) < 2 * config.min_segment:
+                    continue
+                errors = prediction_errors(
+                    full,
+                    bins=config.markov_bins,
+                    halflife=config.markov_halflife,
+                    signed=True,
+                )
+                raw = full.window(window_start, window_end)
+                history = full.window(full.start, raw.start)
+                split = raw.start - full.start
+                expected.extend(
+                    select_abnormal_changes(
+                        raw,
+                        history,
+                        metric,
+                        config,
+                        seed=(seed, component),
+                        errors=errors[split:],
+                        history_errors=errors[:split],
+                    )
+                )
+            report = slave.analyze(store, component, violation)
+            assert report.abnormal_changes == expected
+
+    def test_warm_error_streams_match_batch(self, rubis_cpuhog_run):
+        """The slave's signed error buffers equal the batch replay."""
+        app, violation = rubis_cpuhog_run
+        store = app.store
+        config = FChainConfig()
+        slave = FChainSlave(config, seed=101)
+        slave.sync_with_store(store, store.end)
+        component = store.components[0]
+        metric = store.metrics_for(component)[0]
+        full = store.series(component, metric)
+        batch = prediction_errors(
+            full,
+            bins=config.markov_bins,
+            halflife=config.markov_halflife,
+            signed=True,
+        )
+        streamed = slave._streams[(component, metric)].view(len(full))
+        mask = np.isfinite(batch)
+        np.testing.assert_allclose(streamed[mask], batch[mask], rtol=1e-12)
+        assert np.all(~np.isfinite(streamed[~mask]))
+
+
+class TestSlavePool:
+    def test_parallel_matches_serial(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        serial = FChainMaster(
+            FChainConfig(), seed=101, jobs=1, incremental=True
+        ).diagnose(app.store, violation)
+        parallel = FChainMaster(
+            FChainConfig(), seed=101, jobs=4, incremental=True
+        ).diagnose(app.store, violation)
+        assert _diagnosis_key(parallel) == _diagnosis_key(serial)
+
+    def test_reports_in_component_order(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        pool = SlavePool(FChainSlave(FChainConfig(), seed=1), jobs=4)
+        reports, timed_out = pool.analyze_all(app.store, violation)
+        assert [r.component for r in reports] == app.store.components
+        assert timed_out == frozenset()
+
+    def test_timeout_marks_component_skipped(self, rubis_cpuhog_run):
+        app, violation = rubis_cpuhog_run
+        slow_component = app.store.components[0]
+
+        class WedgedSlave(FChainSlave):
+            def analyze(self, store, component, violation_time):
+                if component == slow_component:
+                    time.sleep(2.0)
+                return super().analyze(store, component, violation_time)
+
+        slave = WedgedSlave(FChainConfig(), seed=1)
+        slave.sync_with_store(app.store, app.store.end)
+        pool = SlavePool(slave, jobs=2, timeout=0.2)
+        reports, timed_out = pool.analyze_all(app.store, violation)
+        assert slow_component in timed_out
+        by_component = {r.component: r for r in reports}
+        assert by_component[slow_component].skipped
+        assert len(reports) == len(app.store.components)
+
+    def test_rejects_bad_parameters(self):
+        from repro.common.errors import ConfigurationError
+
+        slave = FChainSlave(FChainConfig())
+        with pytest.raises(ConfigurationError):
+            SlavePool(slave, jobs=-1)
+        with pytest.raises(ConfigurationError):
+            SlavePool(slave, timeout=0.0)
+
+
+class TestIncrementalState:
+    def test_rebinding_to_new_store_resets(self):
+        a = MetricStore.from_arrays(
+            {"c": {Metric.CPU_USAGE: np.full(120, 30.0)}}
+        )
+        b = MetricStore.from_arrays(
+            {"c": {Metric.CPU_USAGE: np.full(120, 70.0)}}
+        )
+        slave = FChainSlave(FChainConfig())
+        slave.sync_with_store(a, a.end)
+        assert slave._consumed[("c", Metric.CPU_USAGE)] == 120
+        slave.sync_with_store(b, b.end)
+        # Had the slave kept store-a state, the model would have been fed
+        # 240 samples; the reset keeps the streams aligned with store b.
+        assert slave._consumed[("c", Metric.CPU_USAGE)] == 120
+        streamed = slave._streams[("c", Metric.CPU_USAGE)].view()
+        batch = prediction_errors(
+            b.series("c", Metric.CPU_USAGE),
+            bins=slave.config.markov_bins,
+            halflife=slave.config.markov_halflife,
+            signed=True,
+        )
+        mask = np.isfinite(batch)
+        np.testing.assert_allclose(streamed[mask], batch[mask], rtol=1e-12)
+
+    def test_diagnosis_error_before_history(self):
+        store = MetricStore.from_arrays(
+            {"c": {Metric.CPU_USAGE: np.full(50, 30.0)}}, start=100
+        )
+        fchain = FChain()
+        with pytest.raises(DiagnosisError):
+            fchain.localize(store, violation_time=100)
+        with pytest.raises(DiagnosisError):
+            fchain.localize(store, violation_time=40)
+
+    def test_insufficient_data_surfaced_as_skipped(self):
+        store = MetricStore.from_arrays(
+            {
+                "a": {Metric.CPU_USAGE: np.full(8, 30.0)},
+                "b": {Metric.CPU_USAGE: np.full(8, 40.0)},
+            }
+        )
+        diagnosis = FChain().localize(store, violation_time=6)
+        assert diagnosis.skipped == frozenset({"a", "b"})
+        assert diagnosis.faulty == frozenset()
+
+    def test_partial_component_skipped(self):
+        store = MetricStore()
+        for _ in range(150):
+            store.record("full", {Metric.CPU_USAGE: 30.0})
+            store.advance()
+        # "late" starts reporting only for the last few ticks — not enough
+        # history for any analysis.
+        for _ in range(4):
+            store.record("late", {Metric.CPU_USAGE: 10.0})
+        result = FChainMaster(FChainConfig()).diagnose(store, 140)
+        assert result.skipped == frozenset({"late"})
+        assert "skipped" in result.summary()
+
+
+class TestStoreViews:
+    def test_series_reads_are_zero_copy(self):
+        store = MetricStore.from_arrays(
+            {"c": {Metric.CPU_USAGE: np.arange(300, dtype=float)}}
+        )
+        first = store.series("c", Metric.CPU_USAGE)
+        second = store.series("c", Metric.CPU_USAGE)
+        assert np.shares_memory(first.values, second.values)
+        windowed = store.window("c", Metric.CPU_USAGE, 50, 150)
+        assert np.shares_memory(windowed.values, first.values)
+        np.testing.assert_array_equal(
+            windowed.values, np.arange(50, 150, dtype=float)
+        )
+
+    def test_views_stay_valid_across_appends(self):
+        store = MetricStore()
+        for t in range(300):
+            store.record("c", {Metric.CPU_USAGE: float(t)})
+            store.advance()
+        early = store.series("c", Metric.CPU_USAGE)
+        snapshot = early.values.copy()
+        for t in range(300, 900):
+            store.record("c", {Metric.CPU_USAGE: float(t)})
+            store.advance()
+        np.testing.assert_array_equal(early.values, snapshot)
+        grown = store.series("c", Metric.CPU_USAGE)
+        assert len(grown) == 900
+        np.testing.assert_array_equal(
+            grown.values, np.arange(900, dtype=float)
+        )
+
+    def test_all_metrics_supported(self):
+        data = {
+            "c": {m: np.full(40, 10.0 + i) for i, m in enumerate(METRIC_NAMES)}
+        }
+        store = MetricStore.from_arrays(data)
+        for metric in METRIC_NAMES:
+            assert len(store.series("c", metric)) == 40

@@ -1,7 +1,6 @@
 """Tests for change-magnitude outlier selection."""
 
 import numpy as np
-import pytest
 
 from repro.common.timeseries import TimeSeries
 from repro.core.cusum import ChangePoint

@@ -1,7 +1,6 @@
 """Tests for integrated faulty component pinpointing."""
 
 import networkx as nx
-import pytest
 
 from repro.common.types import Metric
 from repro.core.config import FChainConfig

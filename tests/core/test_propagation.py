@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.types import Metric
 from repro.core.cusum import ChangePoint
-from repro.core.propagation import ComponentReport, PropagationChain, build_chain
+from repro.core.propagation import ComponentReport, build_chain
 from repro.core.selection import AbnormalChange
 
 

@@ -7,7 +7,6 @@ pipeline or produce nonsensical output.
 """
 
 import numpy as np
-import pytest
 
 from repro.common.rng import spawn_rng
 from repro.common.types import METRIC_NAMES, Metric
@@ -44,24 +43,24 @@ class TestDegenerateStores:
 
     def test_violation_at_history_edge(self):
         store = make_store(length=400)
-        result = FChain().localize(store, 399)
+        result = FChain().localize(store, violation_time=399)
         assert isinstance(result.faulty, frozenset)
 
     def test_violation_early_in_history(self):
         """t_v barely past warmup: no model, no crash, no findings."""
         store = make_store(length=50)
-        result = FChain().localize(store, 30)
+        result = FChain().localize(store, violation_time=30)
         assert result.faulty == frozenset()
 
     def test_window_larger_than_history(self):
         store = make_store(length=200)
         config = FChainConfig(look_back_window=500)
-        result = FChain(config).localize(store, 190)
+        result = FChain(config).localize(store, violation_time=190)
         assert isinstance(result.faulty, frozenset)
 
     def test_no_warmup_data_at_all(self):
         store = make_store(length=12)
-        result = FChain().localize(store, 11)
+        result = FChain().localize(store, violation_time=11)
         assert result.faulty == frozenset()
 
     def test_nan_free_output_on_spiky_data(self):
@@ -99,4 +98,4 @@ class TestGraphPersistence:
         path = tmp_path / "deps.json"
         save_graph(rubis_dependency_graph, path)
         fchain = FChain(dependency_graph=load_graph(path), seed=101)
-        assert "db" in fchain.localize(app.store, violation).faulty
+        assert "db" in fchain.localize(app.store, violation_time=violation).faulty

@@ -7,7 +7,7 @@ from repro.common.rng import spawn_rng
 from repro.common.timeseries import TimeSeries
 from repro.common.types import Metric
 from repro.core.config import FChainConfig
-from repro.core.cusum import ChangePoint, detect_change_points
+from repro.core.cusum import ChangePoint
 from repro.core.selection import (
     actual_prediction_error,
     censored_onset,
@@ -17,7 +17,6 @@ from repro.core.selection import (
     select_abnormal_changes,
     shift_persists,
 )
-from repro.core.smoothing import smooth_series
 
 
 def cp(time, magnitude=10.0, direction=1, index=None):

@@ -1,7 +1,6 @@
 """Tests for the slave's continuous (streaming) modeling interface."""
 
 import numpy as np
-import pytest
 
 from repro.common.rng import spawn_rng
 from repro.common.timeseries import TimeSeries
@@ -41,7 +40,7 @@ class TestSummary:
         from repro.core import FChain
 
         app, violation = rubis_cpuhog_run
-        result = FChain(seed=101).localize(app.store, violation)
+        result = FChain(seed=101).localize(app.store, violation_time=violation)
         text = result.summary()
         assert "db" in text
         assert "FAULTY" in text

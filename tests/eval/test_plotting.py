@@ -1,7 +1,6 @@
 """Tests for the ASCII plotting helpers."""
 
 import numpy as np
-import pytest
 
 from repro.common.timeseries import TimeSeries
 from repro.eval.plotting import sparkline, strip_chart

@@ -1,7 +1,5 @@
 """Edge-case tests for the campaign runner."""
 
-import numpy as np
-import pytest
 
 from repro.apps.rubis import RubisApplication
 from repro.eval.runner import POST_VIOLATION_MARGIN, execute_run, generate_runs

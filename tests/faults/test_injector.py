@@ -1,6 +1,5 @@
 """Tests for fault campaign scheduling."""
 
-import numpy as np
 import pytest
 
 from repro.common.rng import spawn_rng

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
-from repro.common.types import Metric
 from repro.faults.base import Fault
 from repro.faults.library import (
     BottleneckFault,

@@ -10,11 +10,9 @@ the headline behaviours the paper reports:
 * online validation removes false alarms without dropping true positives.
 """
 
-import pytest
 
 from repro.apps.hadoop import MAPS, HadoopApplication
 from repro.apps.rubis import APP1, APP2, DB, WEB, RubisApplication
-from repro.apps.systems import SystemSApplication
 from repro.core import FChain, FChainConfig
 from repro.faults.library import (
     InfiniteLoopFault,
@@ -30,7 +28,7 @@ class TestRubis:
     ):
         app, violation = rubis_cpuhog_run
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=101)
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert result.faulty == frozenset({DB})
         assert result.chain.components[0] == DB
 
@@ -41,7 +39,7 @@ class TestRubis:
         violation = app.slo.first_violation_after(1300)
         assert violation is not None
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=70)
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert result.faulty == frozenset({APP1, APP2})
 
     def test_workload_surge_external_factor(self, rubis_dependency_graph):
@@ -54,7 +52,7 @@ class TestRubis:
         violation = app.slo.first_violation_after(1200)
         assert violation is not None
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=78)
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert result.external_factor
         assert result.faulty == frozenset()
 
@@ -64,7 +62,7 @@ class TestSystemS:
         """Dependency discovery fails on streams; FChain still works."""
         app, violation = systems_memleak_run
         fchain = FChain(dependency_graph=None, seed=202)
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert result.faulty == frozenset({"PE3"})
 
     def test_discovery_fails_on_streams(self, systems_discovery):
@@ -84,7 +82,7 @@ class TestHadoop:
         fchain = FChain(
             dependency_graph=dependency_graph_for("hadoop"), seed=72
         )
-        result = fchain.localize(app.store, violation)
+        result = fchain.localize(app.store, violation_time=violation)
         assert result.faulty == frozenset(MAPS)
 
 
@@ -117,6 +115,6 @@ class TestDeterminism:
             app.run(1600)
             violation = app.slo.first_violation_after(1200)
             fchain = FChain(dependency_graph=rubis_dependency_graph, seed=73)
-            return violation, fchain.localize(app.store, violation).faulty
+            return violation, fchain.localize(app.store, violation_time=violation).faulty
 
         assert run_once() == run_once()

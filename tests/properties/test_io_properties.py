@@ -1,12 +1,11 @@
 """Property-based tests for the CSV metric-store round trip."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
-from repro.common.types import METRIC_NAMES, Metric
+from repro.common.types import Metric
 from repro.monitoring.io import load_store_csv, save_store_csv
 from repro.monitoring.store import MetricStore
 

@@ -1,8 +1,7 @@
 """Property-based tests for the integrated pinpointing algorithm."""
 
 import networkx as nx
-import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.types import Metric

@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -11,7 +10,6 @@ from hypothesis.extra.numpy import arrays
 from repro.common.timeseries import TimeSeries
 from repro.core.burst import burst_signal
 from repro.core.cusum import detect_change_points
-from repro.core.outliers import outlier_change_points
 from repro.core.prediction import MarkovPredictor
 from repro.core.smoothing import moving_average
 from repro.eval.metrics import PrecisionRecall

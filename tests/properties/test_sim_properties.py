@@ -1,6 +1,5 @@
 """Property-based tests for the queueing simulation's conservation laws."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -1,7 +1,5 @@
 """Tests for synthetic workload traces."""
 
-import numpy as np
-import pytest
 
 from repro.workloads.traces import TraceSpec, clarknet_like, diurnal_trace, nasa_like
 
