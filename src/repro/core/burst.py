@@ -13,9 +13,18 @@ smooth and bursty metrics. FChain therefore derives a per-change-point
 
 A bursty neighbourhood has a large burst signal, so a correspondingly
 large prediction error is "expected" there and does not indicate a fault.
+
+The selection pipeline computes thresholds for *all* surviving change
+points of a metric in one batched call (:func:`expected_prediction_errors`):
+windows are grouped by their exact clipped length and each group runs one
+stacked ``rfft``/``irfft`` instead of one FFT pair per change point. The
+per-point path delegates to the batched one, so both are identical by
+construction.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -28,24 +37,99 @@ def burst_signal(
     """Synthesize the high-frequency burst component of a window.
 
     Args:
-        values: Window samples (length >= 4 for a meaningful spectrum).
+        values: Window samples (length >= 4 for a meaningful spectrum;
+            must be finite — a single NaN would otherwise poison the
+            whole spectrum and silently disable the threshold).
         high_frequency_fraction: Fraction of the (non-DC) spectrum, taken
             from the top, treated as high frequency.
 
     Returns:
         The burst signal, same length as ``values``.
+
+    Raises:
+        ValueError: If any sample is NaN or infinite.
     """
     values = np.asarray(values, dtype=float)
+    if not np.isfinite(values).all():
+        raise ValueError(
+            "burst_signal requires finite samples: a NaN/inf in the window "
+            "would zero out the dynamic threshold instead of raising"
+        )
     n = len(values)
     if n < 4:
         return np.zeros(n)
     spectrum = np.fft.rfft(values - values.mean())
-    n_freqs = len(spectrum) - 1  # excluding DC
-    keep = int(round(high_frequency_fraction * n_freqs))
-    cutoff = len(spectrum) - keep
-    mask = np.zeros(len(spectrum), dtype=bool)
-    mask[max(1, cutoff):] = True
+    mask = _high_frequency_mask(len(spectrum), high_frequency_fraction)
     return np.fft.irfft(np.where(mask, spectrum, 0.0), n=n)
+
+
+def _high_frequency_mask(
+    spectrum_bins: int, high_frequency_fraction: float
+) -> np.ndarray:
+    """Boolean mask selecting the top fraction of non-DC frequencies."""
+    n_freqs = spectrum_bins - 1  # excluding DC
+    keep = int(round(high_frequency_fraction * n_freqs))
+    cutoff = spectrum_bins - keep
+    mask = np.zeros(spectrum_bins, dtype=bool)
+    mask[max(1, cutoff):] = True
+    return mask
+
+
+def expected_prediction_errors(
+    series: TimeSeries,
+    times: Sequence[int],
+    *,
+    burst_window: int = 20,
+    high_frequency_fraction: float = 0.9,
+    percentile: float = 90.0,
+    floor_fraction: float = 0.02,
+) -> np.ndarray:
+    """Expected prediction error at each of several change points.
+
+    The batched equivalent of :func:`expected_prediction_error`: the
+    ``±burst_window`` windows are grouped by their exact clipped length
+    (no padding — padding would change each window's spectrum) and every
+    group is processed with one stacked ``rfft``/``irfft`` call plus
+    axis-wise percentile/mean reductions. Each entry is bit-identical to
+    the per-point computation.
+
+    Args:
+        series: The raw metric series.
+        times: Change-point timestamps.
+        burst_window: ``Q`` from the paper (seconds).
+        high_frequency_fraction: Top fraction of frequencies in the burst.
+        percentile: Burst-magnitude percentile used as the threshold.
+        floor_fraction: Lower bound expressed as a fraction of the local
+            mean level, so noiseless metrics do not get a zero threshold.
+
+    Returns:
+        One expected prediction error (>= 0) per entry of ``times``;
+        timestamps whose window clips empty get 0.0.
+    """
+    results = np.zeros(len(times))
+    for indices, windows in series.stacked_around(times, burst_window):
+        length = windows.shape[1]
+        if not np.isfinite(windows).all():
+            raise ValueError(
+                "expected_prediction_errors requires finite samples: a "
+                "NaN/inf in a burst window would zero out the dynamic "
+                "threshold instead of raising"
+            )
+        if length < 4:
+            thresholds = np.zeros(len(indices))
+        else:
+            centered = windows - windows.mean(axis=1, keepdims=True)
+            spectrum = np.fft.rfft(centered, axis=1)
+            mask = _high_frequency_mask(
+                spectrum.shape[1], high_frequency_fraction
+            )
+            bursts = np.fft.irfft(
+                np.where(mask[np.newaxis, :], spectrum, 0.0), n=length, axis=1
+            )
+            thresholds = np.percentile(np.abs(bursts), percentile, axis=1)
+        floors = floor_fraction * np.mean(np.abs(windows), axis=1)
+        results[indices] = np.maximum(thresholds, floors)
+    return results
 
 
 def expected_prediction_error(
@@ -72,13 +156,16 @@ def expected_prediction_error(
     Returns:
         The expected prediction error (>= 0).
     """
-    window = series.around(time, burst_window)
-    burst = burst_signal(window.values, high_frequency_fraction)
-    if len(burst) == 0:
-        return 0.0
-    threshold = float(np.percentile(np.abs(burst), percentile))
-    level_floor = floor_fraction * float(np.mean(np.abs(window.values)))
-    return max(threshold, level_floor)
+    return float(
+        expected_prediction_errors(
+            series,
+            (time,),
+            burst_window=burst_window,
+            high_frequency_fraction=high_frequency_fraction,
+            percentile=percentile,
+            floor_fraction=floor_fraction,
+        )[0]
+    )
 
 
 def expected_error_profile(
@@ -89,15 +176,10 @@ def expected_error_profile(
     percentile: float = 90.0,
 ) -> np.ndarray:
     """Expected prediction error at every sample (used to draw Fig. 4)."""
-    return np.array(
-        [
-            expected_prediction_error(
-                series,
-                t,
-                burst_window=burst_window,
-                high_frequency_fraction=high_frequency_fraction,
-                percentile=percentile,
-            )
-            for t in series.times
-        ]
+    return expected_prediction_errors(
+        series,
+        series.times,
+        burst_window=burst_window,
+        high_frequency_fraction=high_frequency_fraction,
+        percentile=percentile,
     )

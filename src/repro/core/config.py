@@ -63,6 +63,13 @@ class FChainConfig:
         markov_bins: Number of value bins in the Markov prediction model.
         markov_halflife: Updates after which old transition counts decay to
             half weight (online learning forgetting rate).
+        executor: How a :class:`~repro.core.engine.SlavePool` fans
+            per-component analyses out when ``jobs >= 2``: ``"thread"``
+            (default — shares the warm slave state, cheap to start, but
+            the numpy-light parts of selection contend on the GIL) or
+            ``"process"`` (worker processes read the metric history
+            through a ``multiprocessing.shared_memory`` view, escaping
+            the GIL without copying the store; results are identical).
         external_trend_fraction: Fraction of components that must share a
             common monotone trend (with every component abnormal, and the
             majority-trend onsets tightly clustered) for the anomaly to be
@@ -90,6 +97,7 @@ class FChainConfig:
     censor_slow_onsets: bool = True
     markov_bins: int = 40
     markov_halflife: int = 2000
+    executor: str = "thread"
     external_trend_fraction: float = 0.75
     validation_horizon: int = 30
     validation_improvement: float = 0.3
@@ -111,6 +119,12 @@ class FChainConfig:
             raise ConfigurationError("markov_bins must be >= 2")
         if not 0 < self.cusum_confidence < 1:
             raise ConfigurationError("cusum_confidence must be in (0, 1)")
+        if self.executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor={self.executor!r} is not supported: choose "
+                "'thread' (shared warm slave state) or 'process' "
+                "(shared-memory store view, escapes the GIL)"
+            )
 
     def validate(self) -> "FChainConfig":
         """Reject cross-field settings that make diagnosis nonsensical.

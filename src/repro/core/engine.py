@@ -5,41 +5,95 @@ concurrently; the master merely collects their reports. In this
 reproduction every slave analysis is a method call on shared in-process
 state, so :class:`SlavePool` restores the paper's concurrency: it fans
 per-component ``analyze()`` calls out across a
-:mod:`concurrent.futures` thread pool while keeping the master's view
+:mod:`concurrent.futures` pool while keeping the master's view
 deterministic — reports always come back in component order, no matter
 which worker finished first.
 
-Thread safety relies on two properties of :class:`~repro.core.fchain.FChainSlave`:
+Two executors are available (``FChainConfig.executor`` or the pool's
+``executor`` argument):
 
-* the shared online-model state is warmed *serially* (one
-  ``sync_with_store`` pass) before the fan-out, so workers only read it;
-* per-component analysis touches only that component's
-  ``(component, metric)`` cache keys, so concurrent workers never write
-  the same entry.
+* ``"thread"`` (default) shares the warm slave state across a thread
+  pool. Thread safety relies on two properties of
+  :class:`~repro.core.fchain.FChainSlave`: the shared online-model state
+  is warmed *serially* (one ``sync_with_store`` pass) before the
+  fan-out, so workers only read it; and per-component analysis touches
+  only that component's ``(component, metric)`` cache keys, so
+  concurrent workers never write the same entry.
+* ``"process"`` escapes the GIL for the Python-heavy parts of selection:
+  the store is exported once into a ``multiprocessing.shared_memory``
+  segment (:mod:`repro.monitoring.shared`) and worker processes attach
+  zero-copy views of it. Each worker replays the history it needs into a
+  fresh slave; :meth:`~repro.core.prediction.MarkovPredictor.update_many`
+  chunk invariance makes that replay bit-identical to the master's warm
+  slave, so both executors produce identical reports (asserted by
+  ``tests/core/test_process_executor.py``).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import multiprocessing
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from typing import TYPE_CHECKING, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.types import ComponentId
 from repro.core.propagation import ComponentReport
+from repro.monitoring.shared import SharedStoreExport, SharedStoreHandle, attach_store
 from repro.monitoring.store import MetricStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.fchain import FChainSlave
 
 
+#: Per-worker-process cache: shared segment name -> (attached store, slave).
+#: One diagnosis uses one segment, so the cache is cleared whenever a new
+#: segment shows up — worker memory stays bounded by one store view.
+_WORKER_STATE: Dict[str, tuple] = {}
+
+
+def _process_analyze(
+    handle: SharedStoreHandle,
+    config,
+    seed: object,
+    component: ComponentId,
+    violation_time: int,
+) -> ComponentReport:
+    """Analyse one component inside a pool worker.
+
+    Module-level so it pickles by reference under any start method. The
+    attached store and a fresh slave are cached per shared segment: every
+    component the worker handles for one diagnosis reuses one attachment
+    and one progressively warmed slave. The fresh slave replays exactly
+    the samples ``analyze`` needs, which ``update_many`` chunk invariance
+    makes bit-identical to the thread executor's long-lived warm slave.
+    """
+    state = _WORKER_STATE.get(handle.shm_name)
+    if state is None:
+        from repro.core.fchain import FChainSlave  # local: import cycle
+
+        _WORKER_STATE.clear()
+        state = (attach_store(handle), FChainSlave(config, seed=seed))
+        _WORKER_STATE[handle.shm_name] = state
+    store, slave = state
+    return slave.analyze(store, component, violation_time)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Finalizer target: reap a pool whose owner was garbage-collected."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class SlavePool:
-    """Fan per-component slave analyses out across a thread pool.
+    """Fan per-component slave analyses out across a worker pool.
 
     Args:
         slave: The (stateful, incremental) slave whose ``analyze`` is
-            fanned out. Its warm model state is shared by all workers.
-        jobs: Worker threads. ``None``, 0 or 1 analyse serially on the
+            fanned out. In thread mode its warm model state is shared by
+            all workers; in process mode its config/seed parameterize the
+            per-worker slaves.
+        jobs: Worker count. ``None``, 0 or 1 analyse serially on the
             calling thread (the default — fully deterministic and free of
             pool overhead); ``>= 2`` enables the concurrent fan-out.
         timeout: Optional per-slave timeout in seconds. A slave that has
@@ -48,6 +102,12 @@ class SlavePool:
             slaves' compute) is abandoned and its component reported as
             ``skipped`` — diagnosis latency stays bounded even if one
             component's analysis wedges.
+        executor: ``"thread"`` or ``"process"`` (see module docstring);
+            ``None`` takes the slave config's ``executor`` field. Both
+            modes produce identical reports, ordering and ``skipped``
+            semantics. The process pool is kept alive across
+            ``analyze_all`` calls; call :meth:`close` (or let the pool be
+            garbage-collected) to reap the workers.
     """
 
     def __init__(
@@ -56,15 +116,27 @@ class SlavePool:
         *,
         jobs: Optional[int] = None,
         timeout: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ConfigurationError("jobs must be >= 0 (0/1 mean serial)")
         if timeout is not None and timeout <= 0:
             raise ConfigurationError("timeout must be positive seconds")
         slave.config.validate()
+        if executor is None:
+            executor = slave.config.executor
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor={executor!r} is not supported: choose 'thread' "
+                "or 'process'"
+            )
         self.slave = slave
         self.jobs = jobs
         self.timeout = timeout
+        self.executor = executor
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers = 0
+        self._finalizer: Optional[weakref.finalize] = None
 
     # ------------------------------------------------------------------
     def analyze_all(
@@ -85,6 +157,8 @@ class SlavePool:
         )
         if self.jobs is None or self.jobs <= 1 or len(ordered) <= 1:
             return self._analyze_serial(store, violation_time, ordered)
+        if self.executor == "process":
+            return self._analyze_process(store, violation_time, ordered)
         return self._analyze_parallel(store, violation_time, ordered)
 
     def _analyze_serial(
@@ -138,6 +212,87 @@ class SlavePool:
             # background without being waited for.
             executor.shutdown(wait=not timed_out, cancel_futures=True)
         return reports, frozenset(timed_out)
+
+    def _analyze_process(
+        self,
+        store: MetricStore,
+        violation_time: int,
+        ordered: Sequence[ComponentId],
+    ) -> Tuple[List[ComponentReport], FrozenSet[ComponentId]]:
+        export = SharedStoreExport(store)
+        reports: List[ComponentReport] = []
+        timed_out = set()
+        executor = self._process_pool(len(ordered))
+        try:
+            futures = [
+                executor.submit(
+                    _process_analyze,
+                    export.handle,
+                    self.slave.config,
+                    self.slave.seed,
+                    component,
+                    violation_time,
+                )
+                for component in ordered
+            ]
+            for component, future in zip(ordered, futures):
+                try:
+                    reports.append(future.result(timeout=self.timeout))
+                except FutureTimeoutError:
+                    future.cancel()
+                    timed_out.add(component)
+                    reports.append(
+                        ComponentReport(component=component, skipped=True)
+                    )
+        finally:
+            if timed_out:
+                # A wedged worker must never poison a later diagnosis:
+                # drop the whole pool without waiting on it.
+                self._discard_process_pool(wait=False)
+            # Unlinking only removes the segment's name; workers that
+            # already attached (including abandoned ones) keep reading
+            # valid memory until their own mappings go away.
+            export.close()
+        return reports, frozenset(timed_out)
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle
+    # ------------------------------------------------------------------
+    def _process_pool(self, wanted: int) -> ProcessPoolExecutor:
+        """The cached worker-process pool, (re)created on demand."""
+        workers = min(self.jobs, wanted)
+        if self._pool is not None and self._pool_workers < workers:
+            self._discard_process_pool(wait=True)
+        if self._pool is None:
+            try:
+                # Fork keeps worker start-up at a few ms and inherits the
+                # imported modules; fall back to the platform default
+                # (spawn) where fork does not exist.
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=context
+            )
+            self._pool_workers = workers
+            self._finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    def _discard_process_pool(self, wait: bool) -> None:
+        if self._pool is None:
+            return
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        self._pool.shutdown(wait=wait, cancel_futures=True)
+        self._pool = None
+        self._pool_workers = 0
+
+    def close(self) -> None:
+        """Reap any cached worker processes (idempotent)."""
+        self._discard_process_pool(wait=True)
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

@@ -85,6 +85,19 @@ class _ErrorStream:
         self._data[self.length] = value
         self.length += 1
 
+    def extend(self, values: np.ndarray) -> None:
+        """Append a whole chunk of errors with one vectorized copy."""
+        needed = self.length + len(values)
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=float)
+            grown[: self.length] = self._data[: self.length]
+            self._data = grown
+        self._data[self.length : needed] = values
+        self.length = needed
+
     def view(self, count: Optional[int] = None) -> np.ndarray:
         """The first ``count`` errors (all of them when None), no copy."""
         return self._data[: self.length if count is None else count]
@@ -133,10 +146,12 @@ class FChainSlave:
     ) -> None:
         """Feed a batch of consecutive 1 Hz samples for one metric.
 
-        Equivalent to calling :meth:`observe` per sample, minus the
-        per-call dictionary lookups — this is the path the engine uses to
-        catch a slave up with a store and the one streaming collectors
-        should prefer.
+        Bit-identical to calling :meth:`observe` per sample, but the
+        whole chunk goes through one vectorized
+        :meth:`~repro.core.prediction.MarkovPredictor.update_many` call —
+        O(1) numpy calls per chunk instead of O(samples) Python calls.
+        This is the path the engine uses to catch a slave up with a store
+        and the one streaming collectors should prefer.
         """
         key = (component, metric)
         model = self._models.get(key)
@@ -147,15 +162,16 @@ class FChainSlave:
             )
             self._models[key] = model
             self._streams[key] = _ErrorStream()
-        stream = self._streams[key]
-        step = model.step
-        append = stream.append
-        count = 0
-        for value in values:
-            error = step(value)
-            append(np.nan if error is None else error)
-            count += 1
-        self._consumed[key] = self._consumed.get(key, 0) + count
+        if isinstance(values, np.ndarray):
+            chunk = values
+        else:
+            chunk = np.asarray(
+                values if isinstance(values, (list, tuple)) else list(values),
+                dtype=float,
+            )
+        errors = model.update_many(chunk)
+        self._streams[key].extend(errors)
+        self._consumed[key] = self._consumed.get(key, 0) + len(chunk)
 
     def observe_tick(
         self, component: ComponentId, samples: Mapping[Metric, float]
@@ -381,11 +397,17 @@ class FChainMaster:
         self._slave: Optional[FChainSlave] = (
             FChainSlave(self.config, seed=seed) if incremental else None
         )
+        self._pool: Optional[SlavePool] = None
 
     @property
     def slave(self) -> Optional[FChainSlave]:
         """The persistent incremental slave (None in replay mode)."""
         return self._slave
+
+    def close(self) -> None:
+        """Release pooled resources (cached worker processes)."""
+        if self._pool is not None:
+            self._pool.close()
 
     def diagnose(
         self, store: MetricStore, violation_time: int
@@ -401,8 +423,19 @@ class FChainMaster:
             raise DiagnosisError("violation time precedes recorded history")
         slave = self._slave
         if slave is None:
+            # Replay mode: a fresh slave (and pool) per diagnosis is the
+            # whole point of the equivalence baseline.
             slave = FChainSlave(self.config, seed=self.seed)
-        pool = SlavePool(slave, jobs=self.jobs, timeout=self.slave_timeout)
+            pool = SlavePool(slave, jobs=self.jobs, timeout=self.slave_timeout)
+        else:
+            if self._pool is None:
+                # Cached across diagnoses so the process executor reuses
+                # its warm worker processes instead of re-forking a pool
+                # per violation.
+                self._pool = SlavePool(
+                    slave, jobs=self.jobs, timeout=self.slave_timeout
+                )
+            pool = self._pool
         reports, _ = pool.analyze_all(store, violation_time)
         return pinpoint_faulty_components(
             reports, self.config, self.dependency_graph
@@ -462,6 +495,16 @@ class FChain:
     @property
     def dependency_graph(self) -> Optional[nx.DiGraph]:
         return self.master.dependency_graph
+
+    def close(self) -> None:
+        """Release pooled resources (cached worker processes)."""
+        self.master.close()
+
+    def __enter__(self) -> "FChain":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Streaming feed-through

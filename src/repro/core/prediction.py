@@ -10,6 +10,24 @@ The model's role in FChain is the *predictability metric*: transitions the
 model has seen before (normal workload fluctuation) predict well; fault
 manifestations move the metric in ways the model never learned, producing
 large prediction errors.
+
+Two update paths are offered and kept **bit-identical**:
+
+* :meth:`MarkovPredictor.step` / :meth:`MarkovPredictor.update` — one
+  sample at a time (the reference implementation);
+* :meth:`MarkovPredictor.update_many` — a whole chunk at once. Bin
+  assignment is vectorized on the frozen grid, transition counts are
+  accumulated with ``np.add.at`` on the lagged bin pairs, and the
+  predictions are reconstructed from per-row running aggregates whose
+  ``np.cumsum`` accumulation performs exactly the same sequence of float
+  additions as the scalar path — so a chunked feed and a per-sample feed
+  produce the same error stream bit for bit (property-tested by
+  ``tests/properties/test_update_many_properties.py``).
+
+The exactness hinges on two facts: sequential aggregate updates are a
+left fold, which is precisely what ``np.cumsum`` computes; and halving at
+the decay points multiplies by a power of two, which distributes exactly
+over sums in IEEE arithmetic.
 """
 
 from __future__ import annotations
@@ -55,6 +73,16 @@ class MarkovPredictor:
         self._centers: Optional[np.ndarray] = None
         self._previous_bin: Optional[int] = None
         self._updates = 0
+        # Running aggregates the predictions are served from; maintained
+        # in lockstep with ``_counts`` (see module docstring):
+        #   _row_dots[b]  == counts[b] @ centers
+        #   _row_sums[b]  == counts[b].sum()
+        #   _marginal_dot == counts.sum(axis=0) @ centers
+        #   _marginal_total == counts.sum()
+        self._row_dots = np.zeros(bins, dtype=float)
+        self._row_sums = np.zeros(bins, dtype=float)
+        self._marginal_dot = 0.0
+        self._marginal_total = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -73,8 +101,37 @@ class MarkovPredictor:
 
     def _bin_of(self, value: float) -> int:
         span = self._hi - self._lo
+        if span <= 0.0:
+            # Degenerate grid: a constant warmup series with zero
+            # headroom freezes lo == hi. Every value then maps to an
+            # edge bin instead of dividing by the zero span.
+            return 0 if value <= self._lo else self.bins - 1
         idx = int((value - self._lo) / span * self.bins)
         return min(self.bins - 1, max(0, idx))
+
+    def _bins_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_bin_of` over a chunk (identical clamping)."""
+        span = self._hi - self._lo
+        if span <= 0.0:
+            return np.where(values <= self._lo, 0, self.bins - 1)
+        raw = (values - self._lo) / span * self.bins
+        # Clipping the float before truncation matches the scalar
+        # ``min(bins - 1, max(0, int(raw)))`` for every finite value:
+        # int() truncates toward zero, and truncation commutes with the
+        # clamp on [0, bins - 1].
+        return np.clip(raw, 0, self.bins - 1).astype(np.int64)
+
+    def _halve(self) -> None:
+        """Exponential forgetting: halve counts and all aggregates.
+
+        Multiplying by 0.5 is exact in IEEE arithmetic and distributes
+        over sums, so the aggregates stay equal to their definitions.
+        """
+        self._counts *= 0.5
+        self._row_dots *= 0.5
+        self._row_sums *= 0.5
+        self._marginal_dot = self._marginal_dot * 0.5
+        self._marginal_total = self._marginal_total * 0.5
 
     # ------------------------------------------------------------------
     def predict(self) -> Optional[float]:
@@ -90,19 +147,16 @@ class MarkovPredictor:
         """
         if not self.ready or self._previous_bin is None:
             return None
-        row = self._counts[self._previous_bin]
-        total = row.sum()
-        if total <= 0:
-            return self._marginal_expectation()
-        return float(row @ self._centers / total)
+        total = self._row_sums[self._previous_bin]
+        if total > 0:
+            return float(self._row_dots[self._previous_bin] / total)
+        return self._marginal_expectation()
 
     def _marginal_expectation(self) -> float:
         """Expected value under the marginal distribution of seen bins."""
-        mass = self._counts.sum(axis=0)
-        total = mass.sum()
-        if total <= 0:
+        if self._marginal_total <= 0:
             return float(self._centers[self._previous_bin])
-        return float(mass @ self._centers / total)
+        return float(self._marginal_dot / self._marginal_total)
 
     def step(self, value: float) -> Optional[float]:
         """Feed one sample; returns the *signed* prediction error for it.
@@ -123,9 +177,14 @@ class MarkovPredictor:
         current_bin = self._bin_of(value)
         if self._previous_bin is not None:
             self._counts[self._previous_bin, current_bin] += 1.0
+            center = self._centers[current_bin]
+            self._row_dots[self._previous_bin] += center
+            self._row_sums[self._previous_bin] += 1.0
+            self._marginal_dot = self._marginal_dot + center
+            self._marginal_total = self._marginal_total + 1.0
             self._updates += 1
             if self._updates % self.halflife == 0:
-                self._counts *= 0.5
+                self._halve()
         self._previous_bin = current_bin
         if predicted is None:
             return None
@@ -139,6 +198,149 @@ class MarkovPredictor:
         """
         error = self.step(value)
         return None if error is None else abs(error)
+
+    # ------------------------------------------------------------------
+    # Batched updates (the fleet-scale ingest path)
+    # ------------------------------------------------------------------
+    def update_many(self, values) -> np.ndarray:
+        """Feed a chunk of consecutive samples; return signed errors.
+
+        Bit-identical to ``[self.step(v) for v in values]`` with None
+        mapped to NaN, but the chunk is processed with O(metric) numpy
+        calls instead of O(samples) Python calls: warmup and grid-freeze
+        are handled mid-chunk, bins are assigned vectorized, transition
+        counts accumulate via ``np.add.at`` per decay epoch, and the
+        halflife halvings land at exactly the same update indices as the
+        scalar path.
+
+        Args:
+            values: 1-D array-like of consecutive samples. Post-warmup
+                samples must be finite (the scalar path raises on
+                non-finite values too, just later — at bin assignment).
+
+        Returns:
+            ``actual - predicted`` per sample; NaN where the model had
+            no prediction yet (warmup and the first post-warmup sample).
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("update_many expects a 1-D array of samples")
+        n = len(arr)
+        errors = np.full(n, np.nan)
+        if n == 0:
+            return errors
+        if n <= 2:
+            # Chunks this small gain nothing from the batch machinery.
+            for i in range(n):
+                delta = self.step(arr[i])
+                if delta is not None:
+                    errors[i] = delta
+            return errors
+        start = 0
+        if not self.ready:
+            take = min(n, self.warmup - len(self._warmup_values))
+            self._warmup_values.extend(arr[:take].tolist())
+            if len(self._warmup_values) >= self.warmup:
+                self._freeze_grid()
+            start = take
+            if start >= n or not self.ready:
+                return errors
+        chunk = arr[start:]
+        if not np.isfinite(chunk).all():
+            raise ValueError("update_many requires finite samples")
+        bins_arr = self._bins_of(chunk)
+        if self._previous_bin is None:
+            # The first post-warmup sample has no prediction and causes
+            # no transition; it only seeds the chain state.
+            if len(chunk) == 1:
+                self._previous_bin = int(bins_arr[0])
+                return errors
+            rows = bins_arr[:-1]
+            cols = bins_arr[1:]
+            predicted_for = chunk[1:]
+            out = errors[start + 1 :]
+        else:
+            rows = np.concatenate(([self._previous_bin], bins_arr[:-1]))
+            cols = bins_arr
+            predicted_for = chunk
+            out = errors[start:]
+        preds = np.empty(len(cols))
+        total = len(cols)
+        position = 0
+        while position < total:
+            # Increments until (and including) the next halving point —
+            # within an epoch no decay happens, so predictions can be
+            # reconstructed from epoch-start aggregates plus cumsums.
+            until_halving = self.halflife - (self._updates % self.halflife)
+            end = min(total, position + until_halving)
+            self._batch_epoch(
+                rows[position:end], cols[position:end], preds[position:end]
+            )
+            self._updates += end - position
+            if self._updates % self.halflife == 0:
+                self._halve()
+            position = end
+        np.subtract(predicted_for, preds, out=out)
+        self._previous_bin = int(bins_arr[-1])
+        return errors
+
+    def _batch_epoch(
+        self, rows: np.ndarray, cols: np.ndarray, out: np.ndarray
+    ) -> None:
+        """Process one decay-free run of transitions.
+
+        Writes the per-step predictions (made *before* each step's own
+        transition lands, as the scalar path does) into ``out`` and
+        advances counts and aggregates. All accumulation is sequential
+        (``np.cumsum`` seeded with the running aggregate), so the floats
+        match a per-sample feed exactly.
+        """
+        centers = self._centers
+        cadd = centers[cols]
+        k = len(rows)
+        order = np.argsort(rows, kind="stable")
+        rows_sorted = rows[order]
+        group_bounds = np.flatnonzero(rows_sorted[1:] != rows_sorted[:-1]) + 1
+        starts = np.concatenate(([0], group_bounds))
+        ends = np.concatenate((group_bounds, [k]))
+        row_dot = np.empty(k)
+        row_sum = np.empty(k)
+        seq = np.empty(k + 1)
+        for g0, g1 in zip(starts, ends):
+            row = int(rows_sorted[g0])
+            idx = order[g0:g1]
+            width = g1 - g0
+            seq[0] = self._row_dots[row]
+            seq[1 : width + 1] = cadd[idx]
+            dots = np.cumsum(seq[: width + 1])
+            row_dot[idx] = dots[:-1]
+            self._row_dots[row] = dots[-1]
+            seq[0] = self._row_sums[row]
+            seq[1 : width + 1] = 1.0
+            sums = np.cumsum(seq[: width + 1])
+            row_sum[idx] = sums[:-1]
+            self._row_sums[row] = sums[-1]
+        visited = row_sum > 0
+        np.divide(row_dot, row_sum, out=out, where=visited)
+        # The marginal aggregates advance on every transition; computing
+        # them as seeded cumsums keeps the float sequence identical to
+        # the scalar path even when no prediction needs the fallback.
+        seq[0] = self._marginal_dot
+        seq[1:] = cadd
+        marginal_dots = np.cumsum(seq)
+        seq[0] = self._marginal_total
+        seq[1:] = 1.0
+        marginal_totals = np.cumsum(seq)
+        if not visited.all():
+            fallback = np.flatnonzero(~visited)
+            mdot = marginal_dots[fallback]
+            mtot = marginal_totals[fallback]
+            marginal = centers[rows[fallback]].astype(float, copy=True)
+            np.divide(mdot, mtot, out=marginal, where=mtot > 0)
+            out[fallback] = marginal
+        self._marginal_dot = float(marginal_dots[-1])
+        self._marginal_total = float(marginal_totals[-1])
+        np.add.at(self._counts, (rows, cols), 1.0)
 
     # ------------------------------------------------------------------
     def transition_matrix(self) -> np.ndarray:
@@ -166,7 +368,8 @@ def prediction_errors(
     Entries where the model had no prediction yet (warmup) are NaN. This
     is the batch path the diagnosis uses: the model is trained online over
     the history, so the error at time ``t`` reflects exactly the data seen
-    before ``t``.
+    before ``t``. The whole series goes through
+    :meth:`MarkovPredictor.update_many` in one vectorized chunk.
 
     Args:
         signed: Return ``actual - predicted`` instead of the magnitude.
@@ -175,9 +378,5 @@ def prediction_errors(
             change point against same-direction history only.
     """
     model = MarkovPredictor(bins=bins, halflife=halflife, warmup=warmup)
-    errors = np.full(len(series), np.nan)
-    for i, value in enumerate(series.values):
-        delta = model.step(value)
-        if delta is not None:
-            errors[i] = delta if signed else abs(delta)
-    return errors
+    errors = model.update_many(series.values)
+    return errors if signed else np.abs(errors)

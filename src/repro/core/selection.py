@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.common.timeseries import TimeSeries
 from repro.common.types import Metric
-from repro.core.burst import expected_prediction_error
+from repro.core.burst import expected_prediction_errors
 from repro.core.config import FChainConfig
 from repro.core.cusum import ChangePoint, detect_change_points
 from repro.core.outliers import outlier_change_points
@@ -391,8 +391,19 @@ def select_abnormal_changes(
             np.concatenate([history.values, raw.values]), start=history.start
         ) if len(history) else raw
 
+    # One stacked rfft/irfft over all surviving change points of this
+    # metric instead of one FFT pair per point (bit-identical; see
+    # repro.core.burst.expected_prediction_errors).
+    burst_thresholds = expected_prediction_errors(
+        full,
+        [point.time for point in outliers],
+        burst_window=config.burst_window,
+        high_frequency_fraction=config.high_frequency_fraction,
+        percentile=config.burst_percentile,
+    )
+
     abnormal: List[AbnormalChange] = []
-    for point in outliers:
+    for point, burst_threshold in zip(outliers, burst_thresholds):
         history_reference = 0.0
         if history_errors is not None:
             history_reference = history_error_reference(
@@ -403,13 +414,7 @@ def select_abnormal_changes(
         actual = actual_prediction_error(
             errors, raw, point.time, direction=point.direction
         )
-        expected = expected_prediction_error(
-            full,
-            point.time,
-            burst_window=config.burst_window,
-            high_frequency_fraction=config.high_frequency_fraction,
-            percentile=config.burst_percentile,
-        )
+        expected = float(burst_threshold)
         # The expected error is the larger of the burstiness-derived
         # threshold and the model's own routine error level under normal
         # operation: an error the model already produced regularly (e.g.

@@ -18,16 +18,24 @@ Shared by the ``repro bench`` CLI subcommand and
 
 from __future__ import annotations
 
+import json
 import time
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
 from repro.common.types import METRIC_NAMES, ComponentId
 from repro.core.config import FChainConfig
-from repro.core.fchain import FChainMaster
+from repro.core.fchain import FChainMaster, FChainSlave
 from repro.monitoring.store import MetricStore
+
+
+def _percentile_ms(latencies: Sequence[float], q: float) -> float:
+    """One percentile of a latency list, in milliseconds."""
+    if not latencies:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies), q) * 1e3)
 
 
 def synthetic_store(
@@ -136,6 +144,31 @@ class LatencyReport:
         ]
         return "\n".join(lines)
 
+    def to_json(self) -> Dict:
+        """Machine-readable payload (``repro bench --json``, CI artifact)."""
+        return {
+            "benchmark": "incremental_engine",
+            "samples": self.samples,
+            "components": self.components,
+            "metrics": self.metrics,
+            "replay": {
+                "ops_per_second": 1.0 / max(self.replay_best, 1e-12),
+                "p50_ms": _percentile_ms(self.replay_seconds, 50),
+                "p99_ms": _percentile_ms(self.replay_seconds, 99),
+                "best_ms": self.replay_best * 1e3,
+            },
+            "incremental": {
+                "ops_per_second": 1.0 / max(self.incremental_best, 1e-12),
+                "p50_ms": _percentile_ms(self.incremental_seconds, 50),
+                "p99_ms": _percentile_ms(self.incremental_seconds, 99),
+                "best_ms": self.incremental_best * 1e3,
+                "warmup_ms": self.warmup_seconds * 1e3,
+            },
+            "speedup": self.speedup,
+            "results_match": self.results_match,
+            "faulty": sorted(self.faulty),
+        }
+
 
 def _result_key(result):
     return (result.faulty, result.chain.links, result.external_factor)
@@ -216,9 +249,188 @@ def run_benchmark(
     repeats: int = 3,
     jobs: Optional[int] = None,
     seed: int = 7,
+    config: Optional[FChainConfig] = None,
 ) -> LatencyReport:
     """Build a synthetic store and run the latency comparison on it."""
     store = synthetic_store(
         samples=samples, components=components, metrics=metrics, seed=seed
     )
-    return measure_latency(store, repeats=repeats, jobs=jobs, seed=seed)
+    return measure_latency(
+        store, repeats=repeats, jobs=jobs, seed=seed, config=config
+    )
+
+
+@dataclass
+class IngestReport:
+    """Outcome of one per-sample-vs-batched ingest comparison.
+
+    Attributes:
+        samples: History length (ticks) of the benchmarked store.
+        components: Component count.
+        metrics: Metrics per component.
+        chunk: Chunk size (ticks) used by the batched feed.
+        scalar_seconds: Wall time of the per-sample ``observe()`` feed.
+        batched_seconds: Wall time of the chunked ``observe_many()`` feed.
+        scalar_tick_latencies: Per-tick latencies of the scalar feed (one
+            tick = one ``observe`` per monitored series).
+        batched_call_latencies: Per-call latencies of the chunked feed.
+        streams_match: Whether both feeds produced bit-identical
+            prediction-error streams for every series.
+    """
+
+    samples: int
+    components: int
+    metrics: int
+    chunk: int
+    scalar_seconds: float
+    batched_seconds: float
+    scalar_tick_latencies: List[float]
+    batched_call_latencies: List[float]
+    streams_match: bool
+
+    @property
+    def total_samples(self) -> int:
+        return self.samples * self.components * self.metrics
+
+    @property
+    def scalar_ops(self) -> float:
+        """Samples ingested per second by the per-sample path."""
+        return self.total_samples / max(self.scalar_seconds, 1e-12)
+
+    @property
+    def batched_ops(self) -> float:
+        """Samples ingested per second by the batched path."""
+        return self.total_samples / max(self.batched_seconds, 1e-12)
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / max(self.batched_seconds, 1e-12)
+
+    def summary(self) -> str:
+        lines = [
+            f"ingest: {self.samples} samples x {self.components} "
+            f"components x {self.metrics} metrics "
+            f"({self.total_samples} total samples)",
+            f"per-sample observe():  {self.scalar_ops:12.0f} samples/s "
+            f"(tick p50 {_percentile_ms(self.scalar_tick_latencies, 50):.3f} ms, "
+            f"p99 {_percentile_ms(self.scalar_tick_latencies, 99):.3f} ms)",
+            f"batched observe_many({self.chunk}): {self.batched_ops:8.0f} "
+            f"samples/s "
+            f"(call p50 {_percentile_ms(self.batched_call_latencies, 50):.3f} ms, "
+            f"p99 {_percentile_ms(self.batched_call_latencies, 99):.3f} ms)",
+            f"speedup: {self.speedup:.1f}x "
+            f"(streams {'identical' if self.streams_match else 'DIVERGED'})",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> Dict:
+        """Machine-readable payload (``repro bench --json``, CI artifact)."""
+        return {
+            "benchmark": "ingest",
+            "samples": self.samples,
+            "components": self.components,
+            "metrics": self.metrics,
+            "chunk": self.chunk,
+            "total_samples": self.total_samples,
+            "scalar": {
+                "ops_per_second": self.scalar_ops,
+                "p50_ms": _percentile_ms(self.scalar_tick_latencies, 50),
+                "p99_ms": _percentile_ms(self.scalar_tick_latencies, 99),
+                "total_seconds": self.scalar_seconds,
+            },
+            "batched": {
+                "ops_per_second": self.batched_ops,
+                "p50_ms": _percentile_ms(self.batched_call_latencies, 50),
+                "p99_ms": _percentile_ms(self.batched_call_latencies, 99),
+                "total_seconds": self.batched_seconds,
+            },
+            "speedup": self.speedup,
+            "streams_match": self.streams_match,
+        }
+
+
+def measure_ingest(
+    store: MetricStore,
+    *,
+    config: Optional[FChainConfig] = None,
+    chunk: int = 512,
+) -> IngestReport:
+    """Time per-sample vs batched model ingest of a whole store.
+
+    Feeds every (component, metric) series of the store into two fresh
+    slaves: one sample at a time through ``observe()`` (the 1 Hz
+    streaming shape) and in ``chunk``-sized slices through
+    ``observe_many()`` (the warm-up/catch-up shape). Both feeds must
+    produce bit-identical prediction-error streams — the speedup is pure
+    batching, not an approximation.
+    """
+    config = (config or FChainConfig()).validate()
+    series = {
+        (component, metric): store.series(component, metric).values
+        for component in store.components
+        for metric in store.metrics_for(component)
+    }
+    ticks = store.length
+
+    scalar = FChainSlave(config)
+    tick_latencies = []
+    scalar_started = time.perf_counter()
+    for i in range(ticks):
+        tick_started = time.perf_counter()
+        for (component, metric), values in series.items():
+            scalar.observe(component, metric, values[i])
+        tick_latencies.append(time.perf_counter() - tick_started)
+    scalar_seconds = time.perf_counter() - scalar_started
+
+    batched = FChainSlave(config)
+    call_latencies = []
+    batched_started = time.perf_counter()
+    for (component, metric), values in series.items():
+        for lo in range(0, ticks, chunk):
+            call_started = time.perf_counter()
+            batched.observe_many(component, metric, values[lo : lo + chunk])
+            call_latencies.append(time.perf_counter() - call_started)
+    batched_seconds = time.perf_counter() - batched_started
+
+    streams_match = all(
+        np.array_equal(
+            scalar._streams[key].view(),
+            batched._streams[key].view(),
+            equal_nan=True,
+        )
+        for key in series
+    )
+    return IngestReport(
+        samples=ticks,
+        components=len(store.components),
+        metrics=len(store.metrics_for(store.components[0])),
+        chunk=chunk,
+        scalar_seconds=scalar_seconds,
+        batched_seconds=batched_seconds,
+        scalar_tick_latencies=tick_latencies,
+        batched_call_latencies=call_latencies,
+        streams_match=streams_match,
+    )
+
+
+def run_ingest_benchmark(
+    *,
+    samples: int = 10_000,
+    components: int = 8,
+    metrics: int = 3,
+    chunk: int = 512,
+    seed: int = 7,
+    config: Optional[FChainConfig] = None,
+) -> IngestReport:
+    """Build a synthetic store and run the ingest comparison on it."""
+    store = synthetic_store(
+        samples=samples, components=components, metrics=metrics, seed=seed
+    )
+    return measure_ingest(store, config=config, chunk=chunk)
+
+
+def write_benchmark_json(path, report) -> None:
+    """Write one report's ``to_json()`` payload to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(report.to_json(), handle, indent=2)
+        handle.write("\n")

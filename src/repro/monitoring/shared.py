@@ -1,0 +1,131 @@
+"""Zero-copy sharing of a :class:`MetricStore` across processes.
+
+The process-based :class:`~repro.core.engine.SlavePool` executor must hand
+every worker the full metric history without pickling it per task (a
+fleet-scale store is hundreds of megabytes). This module flattens the
+store's numpy columns into one ``multiprocessing.shared_memory`` segment:
+
+* the master calls :func:`export_store` once per diagnosis, paying one
+  vectorized copy of each column into the segment;
+* workers call :func:`attach_store` with the (tiny, picklable)
+  :class:`SharedStoreHandle` and get back a read-only ``MetricStore``
+  whose columns are numpy views *into the shared segment* — attaching
+  copies nothing, no matter how long the history is.
+
+The attached store supports every read path (``series``, ``window``,
+``metrics_for``, ``components``) byte-for-byte identically to the
+original; writing to it is unsupported and unprotected — it exists only
+for slave-side analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.types import ComponentId, Metric
+from repro.monitoring.store import MetricStore
+
+#: One column of the flattened layout: (component, metric value, element
+#: offset into the segment, element count).
+_ColumnSpec = Tuple[ComponentId, str, int, int]
+
+
+@dataclass(frozen=True)
+class SharedStoreHandle:
+    """Picklable description of an exported store segment."""
+
+    shm_name: str
+    start: int
+    length: int
+    layout: Tuple[_ColumnSpec, ...]
+
+    @property
+    def total_elements(self) -> int:
+        return sum(count for _, _, _, count in self.layout)
+
+
+class SharedStoreExport:
+    """Owner side of a shared-memory store snapshot.
+
+    Flattens every (component, metric) column's valid prefix into one
+    float64 segment. The export owns the segment: call :meth:`close`
+    (idempotent) when all workers are done with it — on POSIX, unlinking
+    only removes the name, so workers that already attached keep reading
+    valid memory.
+    """
+
+    def __init__(self, store: MetricStore) -> None:
+        columns = []
+        offset = 0
+        layout = []
+        for component in store.components:
+            for metric in store.metrics_for(component):
+                values = store.series(component, metric).values
+                layout.append((component, metric.value, offset, len(values)))
+                columns.append(values)
+                offset += len(values)
+        nbytes = max(1, offset * np.dtype(np.float64).itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        flat = np.ndarray((offset,), dtype=np.float64, buffer=self._shm.buf)
+        for (_, _, col_offset, count), values in zip(layout, columns):
+            flat[col_offset : col_offset + count] = values
+        self.handle = SharedStoreHandle(
+            shm_name=self._shm.name,
+            start=store.start,
+            length=store.length,
+            layout=tuple(layout),
+        )
+
+    def close(self) -> None:
+        """Release and unlink the segment (safe to call repeatedly)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+        self._shm = None
+
+    def __enter__(self) -> "SharedStoreExport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_store(handle: SharedStoreHandle) -> MetricStore:
+    """Open a read-only ``MetricStore`` view of an exported segment.
+
+    The returned store's columns are zero-copy numpy views into the
+    shared segment; the segment mapping is kept alive by the store
+    object itself. Do not write to the returned store.
+    """
+    # Attaching re-registers the segment with the resource tracker (a
+    # known pre-3.13 wart). Forked workers — and in-process attaches —
+    # share the exporter's tracker, where the duplicate registration is
+    # a set no-op and the exporter's unlink() cleans it up; unregistering
+    # here instead would strip the exporter's own registration and make
+    # that unlink trip a tracker KeyError. Under a spawn fallback the
+    # worker's private tracker may log a benign "leaked shared_memory"
+    # warning when a long-lived worker finally exits.
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    flat = np.ndarray(
+        (handle.total_elements,), dtype=np.float64, buffer=shm.buf
+    )
+    store = MetricStore(start=handle.start)
+    store._length = handle.length
+    for component, metric_value, offset, count in handle.layout:
+        key = (component, Metric(metric_value))
+        column = flat[offset : offset + count]
+        # The column array doubles as the sample list: MetricStore only
+        # needs len() and indexed reads from ``_data`` on read paths.
+        store._data[key] = column
+        store._columns[key] = column
+        store._filled[key] = count
+    store._shm = shm  # keep the mapping alive as long as the store
+    return store

@@ -9,10 +9,24 @@ from repro.core.burst import (
     burst_signal,
     expected_error_profile,
     expected_prediction_error,
+    expected_prediction_errors,
 )
 
 
 class TestBurstSignal:
+    def test_rejects_nan_in_window(self):
+        # A NaN would silently zero the whole spectrum (and with it the
+        # dynamic threshold); the extractor must refuse instead.
+        values = np.full(40, 10.0)
+        values[13] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            burst_signal(values)
+
+    def test_rejects_infinite_sample(self):
+        values = np.full(40, 10.0)
+        values[0] = np.inf
+        with pytest.raises(ValueError, match="finite"):
+            burst_signal(values)
     def test_flat_signal_zero_burst(self):
         burst = burst_signal(np.full(40, 10.0))
         assert np.abs(burst).max() < 1e-9
@@ -72,3 +86,43 @@ class TestExpectedError:
         assert profile[30] == pytest.approx(
             expected_prediction_error(series, 30)
         )
+
+    def test_rejects_nan_in_any_window(self):
+        values = 10 + spawn_rng("nan").normal(0, 1, 80)
+        values[40] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            expected_prediction_errors(TimeSeries(values), [35, 60])
+
+
+class TestBatchedExpectedErrors:
+    def test_matches_scalar_reference_bitwise(self):
+        """The stacked-FFT batch is the per-point computation, verbatim:
+        every threshold — interior windows, clipped edge windows, and
+        out-of-range timestamps — must agree bit for bit."""
+        rng = spawn_rng("batched")
+        series = TimeSeries(50 + rng.normal(0, 4, 150), start=10)
+        times = [10, 12, 40, 80, 80, 120, 159, 5, 200]
+
+        def scalar_reference(time):
+            window = series.around(time, 20)
+            if len(window) == 0:
+                return 0.0
+            if len(window) < 4:
+                burst = np.zeros(len(window))
+            else:
+                burst = burst_signal(window.values)
+            threshold = float(np.percentile(np.abs(burst), 90.0))
+            floor = 0.02 * float(np.mean(np.abs(window.values)))
+            return max(threshold, floor)
+
+        expected = np.array([scalar_reference(t) for t in times])
+        actual = expected_prediction_errors(series, times)
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_empty_times_empty_result(self):
+        series = TimeSeries(np.arange(30.0))
+        assert len(expected_prediction_errors(series, [])) == 0
+
+    def test_out_of_range_timestamp_gets_zero(self):
+        series = TimeSeries(np.arange(30.0))
+        assert expected_prediction_errors(series, [500])[0] == 0.0

@@ -79,6 +79,71 @@ class TestLearning:
         assert model._counts.max() < 200
 
 
+class TestDegenerateGrid:
+    def test_constant_warmup_zero_headroom_does_not_divide_by_zero(self):
+        # Regression: a constant warmup with headroom=0 freezes lo == hi;
+        # _bin_of used to divide by the zero span.
+        model = MarkovPredictor(bins=8, warmup=4, headroom=0.0)
+        for _ in range(4):
+            model.update(5.0)
+        assert model.ready
+        assert model._bin_of(5.0) == 0
+        assert model._bin_of(4.0) == 0
+        assert model._bin_of(6.0) == model.bins - 1
+        # And the model keeps learning/predicting through the clamp.
+        for _ in range(20):
+            model.update(5.0)
+        error = model.update(5.0)
+        assert error is not None and np.isfinite(error)
+
+    def test_batched_path_clamps_identically(self):
+        model = MarkovPredictor(bins=8, warmup=4, headroom=0.0)
+        for _ in range(4):
+            model.update(5.0)
+        values = np.array([4.0, 5.0, 6.0, 5.0])
+        expected = np.array([model._bin_of(v) for v in values])
+        np.testing.assert_array_equal(model._bins_of(values), expected)
+
+
+class TestUpdateMany:
+    def test_nan_during_warmup_then_errors(self):
+        model = MarkovPredictor(warmup=10)
+        errors = model.update_many(np.full(50, 3.0))
+        assert len(errors) == 50
+        # Warmup samples and the first post-warmup sample (which only
+        # seeds the chain state) have no prediction.
+        assert np.isnan(errors[:11]).all()
+        assert np.isfinite(errors[11:]).all()
+
+    def test_matches_scalar_loop(self):
+        rng = spawn_rng("update-many")
+        values = rng.normal(50, 10, size=300)
+        scalar = MarkovPredictor(bins=16, halflife=40, warmup=20)
+        expected = np.full(len(values), np.nan)
+        for i, v in enumerate(values):
+            delta = scalar.step(float(v))
+            if delta is not None:
+                expected[i] = delta
+        batched = MarkovPredictor(bins=16, halflife=40, warmup=20)
+        np.testing.assert_array_equal(batched.update_many(values), expected)
+
+    def test_rejects_non_finite_samples(self):
+        model = MarkovPredictor(warmup=5)
+        values = np.full(30, 2.0)
+        values[17] = np.nan
+        with pytest.raises(ValueError, match="finite"):
+            model.update_many(values)
+
+    def test_rejects_multidimensional_input(self):
+        with pytest.raises(ValueError, match="1-D"):
+            MarkovPredictor().update_many(np.zeros((3, 3)))
+
+    def test_empty_chunk_is_a_no_op(self):
+        model = MarkovPredictor(warmup=5)
+        assert len(model.update_many(np.empty(0))) == 0
+        assert not model.ready
+
+
 class TestBatchErrors:
     def test_length_matches_series(self):
         series = TimeSeries(np.full(100, 3.0))

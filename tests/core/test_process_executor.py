@@ -1,0 +1,143 @@
+"""Tests for the process-based SlavePool executor.
+
+The acceptance bar is exact: for any store and violation, the process
+executor must return the *same reports in the same order* as the thread
+executor (and the serial path), with identical timeout/``skipped``
+semantics. Equivalence holds because a worker's fresh slave replays the
+shared-memory history through ``update_many``, whose chunk invariance
+makes the replay bit-identical to the master's warm slave.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Metric
+from repro.core import engine
+from repro.core.config import FChainConfig
+from repro.core.engine import SlavePool, _process_analyze
+from repro.core.fchain import FChain, FChainSlave
+from repro.monitoring.store import MetricStore
+
+#: Cheap bootstraps: executor equivalence does not need tight intervals.
+CONFIG = FChainConfig(cusum_bootstraps=40)
+
+
+def _faulty_store(components=4, samples=400, seed=5):
+    rng = np.random.default_rng(seed)
+    data = {}
+    for i in range(components):
+        cpu = 30 + rng.normal(0, 1.5, samples)
+        mem = 55 + rng.normal(0, 1.0, samples)
+        if i == 1:  # one component ramps into a fault near the end
+            cpu[-80:] += np.linspace(0, 40, 80)
+        data[f"comp-{i}"] = {
+            Metric.CPU_USAGE: cpu,
+            Metric.MEMORY_USAGE: mem,
+        }
+    return MetricStore.from_arrays(data)
+
+
+def _report_key(reports, timed_out):
+    return ([(r.component, r.skipped, r.abnormal_changes) for r in reports],
+            timed_out)
+
+
+class TestEquivalence:
+    def test_reports_identical_to_thread_executor(self):
+        store = _faulty_store()
+        violation = store.end - 5
+
+        thread_pool = SlavePool(
+            FChainSlave(CONFIG, seed=3), jobs=3, executor="thread"
+        )
+        process_pool = SlavePool(
+            FChainSlave(CONFIG, seed=3), jobs=3, executor="process"
+        )
+        try:
+            expected = _report_key(*thread_pool.analyze_all(store, violation))
+            actual = _report_key(*process_pool.analyze_all(store, violation))
+            assert actual == expected
+        finally:
+            process_pool.close()
+
+    def test_warm_pool_reused_across_diagnoses(self):
+        store = _faulty_store()
+        thread_pool = SlavePool(
+            FChainSlave(CONFIG, seed=3), jobs=3, executor="thread"
+        )
+        process_pool = SlavePool(
+            FChainSlave(CONFIG, seed=3), jobs=3, executor="process"
+        )
+        try:
+            for violation in (store.end - 40, store.end - 5):
+                expected = _report_key(
+                    *thread_pool.analyze_all(store, violation)
+                )
+                actual = _report_key(
+                    *process_pool.analyze_all(store, violation)
+                )
+                assert actual == expected
+            assert process_pool._pool is not None  # cached, not re-forked
+        finally:
+            process_pool.close()
+            assert process_pool._pool is None
+
+    def test_fchain_facade_identical_diagnoses(self):
+        from dataclasses import replace
+
+        store = _faulty_store()
+        violation = store.end - 5
+        with FChain(CONFIG, seed=2, jobs=3) as threaded:
+            expected = threaded.localize(store, violation_time=violation)
+        with FChain(
+            replace(CONFIG, executor="process"), seed=2, jobs=3
+        ) as processed:
+            actual = processed.localize(store, violation_time=violation)
+        assert actual.result.faulty == expected.result.faulty
+        assert actual.result.chain.links == expected.result.chain.links
+        assert actual.result.skipped == expected.result.skipped
+        assert actual.result.external_factor == expected.result.external_factor
+
+
+def _wedged_analyze(handle, config, seed, component, violation_time):
+    """Module-level (hence picklable) wedge for the timeout test."""
+    if component == "comp-0":
+        time.sleep(5.0)
+    return _process_analyze(handle, config, seed, component, violation_time)
+
+
+class TestTimeout:
+    def test_timeout_marks_component_skipped(self, monkeypatch):
+        monkeypatch.setattr(engine, "_process_analyze", _wedged_analyze)
+        store = _faulty_store()
+        pool = SlavePool(
+            FChainSlave(CONFIG, seed=1), jobs=2, timeout=0.5,
+            executor="process",
+        )
+        reports, timed_out = pool.analyze_all(store, store.end - 5)
+        assert timed_out == frozenset({"comp-0"})
+        by_component = {r.component: r for r in reports}
+        assert by_component["comp-0"].skipped
+        assert [r.component for r in reports] == store.components
+        # The wedged pool was discarded so it cannot poison later calls.
+        assert pool._pool is None
+
+
+class TestConfiguration:
+    def test_config_rejects_unknown_executor(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            FChainConfig(executor="greenlet")
+
+    def test_pool_rejects_unknown_executor(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            SlavePool(FChainSlave(CONFIG), executor="fiber")
+
+    def test_pool_defaults_to_config_executor(self):
+        from dataclasses import replace
+
+        pool = SlavePool(FChainSlave(replace(CONFIG, executor="process")))
+        assert pool.executor == "process"
+        assert SlavePool(FChainSlave(CONFIG)).executor == "thread"

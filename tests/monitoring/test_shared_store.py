@@ -1,0 +1,87 @@
+"""Tests for the shared-memory MetricStore export/attach roundtrip."""
+
+import numpy as np
+import pytest
+
+from repro.common.types import Metric
+from repro.monitoring.shared import SharedStoreExport, attach_store
+from repro.monitoring.store import MetricStore
+
+
+def _example_store():
+    rng = np.random.default_rng(42)
+    data = {
+        comp: {
+            Metric.CPU_USAGE: rng.normal(40, 5, 120),
+            Metric.MEMORY_USAGE: rng.normal(60, 2, 120),
+        }
+        for comp in ("node-a", "node-b", "node-c")
+    }
+    return MetricStore.from_arrays(data, start=7)
+
+
+class TestRoundtrip:
+    def test_attached_store_reads_identically(self):
+        store = _example_store()
+        with SharedStoreExport(store) as export:
+            view = attach_store(export.handle)
+            assert view.components == store.components
+            assert view.start == store.start
+            assert view.length == store.length
+            for component in store.components:
+                assert view.metrics_for(component) == store.metrics_for(
+                    component
+                )
+                for metric in store.metrics_for(component):
+                    original = store.series(component, metric)
+                    attached = view.series(component, metric)
+                    assert attached.start == original.start
+                    np.testing.assert_array_equal(
+                        attached.values, original.values
+                    )
+
+    def test_windows_match(self):
+        store = _example_store()
+        with SharedStoreExport(store) as export:
+            view = attach_store(export.handle)
+            got = view.window("node-b", Metric.CPU_USAGE, 30, 90)
+            want = store.window("node-b", Metric.CPU_USAGE, 30, 90)
+            np.testing.assert_array_equal(got.values, want.values)
+
+    def test_attach_is_zero_copy(self):
+        store = _example_store()
+        with SharedStoreExport(store) as export:
+            view = attach_store(export.handle)
+            series = view.series("node-a", Metric.CPU_USAGE)
+            # The series must be a view into the shared segment, not a
+            # per-attach copy of the history.
+            assert series.values.base is not None
+
+    def test_handle_is_picklable(self):
+        import pickle
+
+        store = _example_store()
+        with SharedStoreExport(store) as export:
+            clone = pickle.loads(pickle.dumps(export.handle))
+            assert clone == export.handle
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        export = SharedStoreExport(_example_store())
+        export.close()
+        export.close()
+
+    def test_attach_after_unlink_fails(self):
+        export = SharedStoreExport(_example_store())
+        handle = export.handle
+        export.close()
+        with pytest.raises(FileNotFoundError):
+            attach_store(handle)
+
+    def test_empty_store_roundtrip(self):
+        store = MetricStore(start=0)
+        with SharedStoreExport(store) as export:
+            view = attach_store(export.handle)
+            assert view.components == []
+            assert view.length == 0

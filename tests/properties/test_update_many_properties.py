@@ -1,0 +1,122 @@
+"""Property-based proof that ``update_many`` is the scalar path, batched.
+
+The fleet-scale ingest path rests on one claim: feeding a model any
+chunking of a sample stream through
+:meth:`~repro.core.prediction.MarkovPredictor.update_many` is
+*bit-identical* to feeding the samples one at a time through ``step`` —
+errors and every piece of internal state. The strategies deliberately
+cross the hard boundaries: chunks that straddle the warmup/grid-freeze
+point, halflives small enough that several halvings land inside one
+chunk, zero headroom (degenerate one-point grids), and values far
+outside the frozen grid (edge-bin clamping).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.prediction import MarkovPredictor
+
+values_arrays = arrays(
+    dtype=float,
+    shape=st.integers(1, 160),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+model_params = st.fixed_dictionaries(
+    {
+        "bins": st.integers(2, 12),
+        "halflife": st.integers(1, 30),
+        "warmup": st.integers(2, 25),
+        "headroom": st.sampled_from([0.0, 0.25, 0.75]),
+    }
+)
+
+
+def _scalar_reference(params, data):
+    """The ground truth: one ``step`` per sample, None mapped to NaN."""
+    model = MarkovPredictor(**params)
+    errors = np.full(len(data), np.nan)
+    for i, value in enumerate(data):
+        delta = model.step(float(value))
+        if delta is not None:
+            errors[i] = delta
+    return model, errors
+
+
+def _state_of(model):
+    return {
+        "previous_bin": model._previous_bin,
+        "updates": model._updates,
+        "lo": model._lo,
+        "hi": model._hi,
+        "warmup_values": list(model._warmup_values),
+        "counts": np.array(model._counts, copy=True),
+        "row_dots": np.array(model._row_dots, copy=True),
+        "row_sums": np.array(model._row_sums, copy=True),
+        "marginal_dot": model._marginal_dot,
+        "marginal_total": model._marginal_total,
+    }
+
+
+def _assert_same_state(batched, reference):
+    actual, expected = _state_of(batched), _state_of(reference)
+    for name in ("previous_bin", "updates", "lo", "hi", "warmup_values",
+                 "marginal_dot", "marginal_total"):
+        assert actual[name] == expected[name], name
+    for name in ("counts", "row_dots", "row_sums"):
+        np.testing.assert_array_equal(
+            actual[name], expected[name], err_msg=name
+        )
+
+
+class TestUpdateManyEquivalence:
+    @given(
+        params=model_params,
+        data=values_arrays,
+        cuts=st.lists(st.integers(0, 160), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_chunking_matches_scalar_loop(self, params, data, cuts):
+        """Every chunking — including chunks that straddle warmup and
+        halving points — reproduces the scalar feed bit for bit."""
+        reference, expected = _scalar_reference(params, data)
+
+        batched = MarkovPredictor(**params)
+        bounds = sorted({min(c, len(data)) for c in cuts} | {0, len(data)})
+        chunks = [
+            batched.update_many(data[lo:hi])
+            for lo, hi in zip(bounds, bounds[1:])
+        ]
+        actual = (
+            np.concatenate(chunks) if chunks else np.empty(0)
+        )
+
+        np.testing.assert_array_equal(actual, expected)
+        _assert_same_state(batched, reference)
+
+    @given(params=model_params, data=values_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_single_chunk_matches_scalar_loop(self, params, data):
+        """The whole stream in one call — the ingest benchmark's shape."""
+        reference, expected = _scalar_reference(params, data)
+        batched = MarkovPredictor(**params)
+        np.testing.assert_array_equal(batched.update_many(data), expected)
+        _assert_same_state(batched, reference)
+
+    @given(
+        constant=st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False),
+        tail=values_arrays,
+        halflife=st.integers(1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_degenerate_grid_matches_scalar_loop(self, constant, tail, halflife):
+        """Zero headroom + constant warmup freezes a one-point grid; the
+        batch path must clamp through it exactly like the scalar path."""
+        params = {"bins": 6, "halflife": halflife, "warmup": 4, "headroom": 0.0}
+        data = np.concatenate([np.full(4, constant), tail])
+        reference, expected = _scalar_reference(params, data)
+        batched = MarkovPredictor(**params)
+        np.testing.assert_array_equal(batched.update_many(data), expected)
+        _assert_same_state(batched, reference)

@@ -41,3 +41,30 @@ def test_run_small_campaign(capsys):
 def test_unknown_scenario():
     with pytest.raises(KeyError):
         main(["run", "nope/nothing"])
+
+
+def test_bench_json_writes_reports(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    code = main(
+        [
+            "bench", "--quick", "--json",
+            "--samples", "600", "--components", "2", "--metrics", "1",
+            "--repeats", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    ingest = json.loads((tmp_path / "BENCH_ingest.json").read_text())
+    assert ingest["benchmark"] == "ingest"
+    assert ingest["streams_match"] is True
+    assert ingest["batched"]["ops_per_second"] > 0
+    assert "p99_ms" in ingest["batched"]
+    engine = json.loads(
+        (tmp_path / "BENCH_incremental_engine.json").read_text()
+    )
+    assert engine["benchmark"] == "incremental_engine"
+    assert engine["results_match"] is True
+    assert "p50_ms" in engine["incremental"]
