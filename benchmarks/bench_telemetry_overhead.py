@@ -1,0 +1,146 @@
+"""Telemetry overhead — ``telemetry="off"`` must be near-free.
+
+The observability subsystem promises that the default ``"off"`` mode
+adds no measurable cost to the pipeline: every instrumented call site
+collapses onto the shared :data:`~repro.obs.trace.NULL_SPAN` singleton,
+so no spans are allocated and no clocks are read. This benchmark holds
+that promise to numbers:
+
+* a NULL_SPAN "instrumented call" (context enter/exit + child + count +
+  tag) must cost well under a microsecond — i.e. be indistinguishable
+  from the cost of the method dispatch itself;
+* an off-mode diagnosis must not be slower than a full-telemetry one
+  (best-of-N, with slack for machine noise) — tracing must never be on
+  the critical path unless asked for.
+
+Run standalone (``python benchmarks/bench_telemetry_overhead.py``) or
+via pytest (``pytest benchmarks/bench_telemetry_overhead.py``).
+"""
+
+import sys
+import time
+
+import pytest
+
+from _helpers import save_and_print
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChainMaster
+from repro.eval.bench import synthetic_store
+from repro.obs.trace import NULL_SPAN
+
+#: Upper bound on one fully instrumented no-op call, in microseconds.
+#: Real per-call cost is ~0.1-0.3 us (a few attribute lookups); the
+#: bound is loose because CI machines are slow and shared.
+MAX_NULL_CALL_US = 5.0
+
+#: Off-mode diagnosis may be at most this fraction of the full-telemetry
+#: latency (best-of-N). 1.10 allows 10% machine noise; the real ratio is
+#: <= 1.0 since "off" strictly does less work.
+MAX_OFF_OVER_FULL = 1.10
+
+CALLS = 200_000
+SAMPLES = 4_000
+COMPONENTS = 6
+METRICS = 2
+REPEATS = 5
+
+
+def time_null_span_call_us(calls: int = CALLS) -> float:
+    """Mean cost of one instrumented call in off mode, microseconds."""
+    span = NULL_SPAN
+    started = time.perf_counter()
+    for _ in range(calls):
+        with span.child("stage", component="c0") as child:
+            child.count("samples", 128)
+            child.tag(metric="cpu")
+    elapsed = time.perf_counter() - started
+    return elapsed / calls * 1e6
+
+
+def _best_diagnosis_seconds(telemetry: str, repeats: int = REPEATS) -> float:
+    """Best-of-N warm incremental diagnosis latency for one mode."""
+    config = FChainConfig(cusum_bootstraps=60, telemetry=telemetry)
+    store = synthetic_store(
+        samples=SAMPLES, components=COMPONENTS, metrics=METRICS, seed=7
+    )
+    master = FChainMaster(config, seed=7, incremental=True)
+    master.slave.sync_with_store(store, store.end)
+    # Distinct violation times defeat the per-window caches, so every
+    # repeat pays the full analysis (the path telemetry instruments).
+    times = [store.end - config.analysis_grace - 1 - i for i in range(repeats)]
+    best = float("inf")
+    for t_v in times:
+        started = time.perf_counter()
+        master.diagnose(store, t_v)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+@pytest.fixture(scope="module")
+def overhead():
+    null_us = time_null_span_call_us()
+    off = _best_diagnosis_seconds("off")
+    full = _best_diagnosis_seconds("full")
+    return null_us, off, full
+
+
+def _summary(null_us: float, off: float, full: float) -> str:
+    return "\n".join(
+        [
+            f"NULL_SPAN instrumented call: {null_us:8.3f} us "
+            f"(bound {MAX_NULL_CALL_US} us)",
+            f"diagnosis best-of-{REPEATS}, telemetry=off : "
+            f"{off * 1e3:8.2f} ms",
+            f"diagnosis best-of-{REPEATS}, telemetry=full: "
+            f"{full * 1e3:8.2f} ms",
+            f"off/full ratio: {off / full:5.2f} "
+            f"(bound {MAX_OFF_OVER_FULL})",
+        ]
+    )
+
+
+def test_null_span_call_is_sub_microsecond_scale(overhead):
+    """One off-mode instrumented call must cost (far) under the bound."""
+    null_us, off, full = overhead
+    save_and_print("telemetry_overhead", _summary(null_us, off, full))
+    assert null_us < MAX_NULL_CALL_US, (
+        f"off-mode instrumented call costs {null_us:.3f} us — NULL_SPAN "
+        "is no longer a trivial no-op"
+    )
+
+
+def test_off_mode_diagnosis_not_slower_than_full(overhead):
+    """Off-mode diagnosis latency must be within noise of full mode."""
+    _, off, full = overhead
+    assert off <= full * MAX_OFF_OVER_FULL, (
+        f"telemetry=off diagnosis ({off * 1e3:.2f} ms) is slower than "
+        f"telemetry=full ({full * 1e3:.2f} ms) beyond the "
+        f"{MAX_OFF_OVER_FULL}x noise band — the off path is doing "
+        "telemetry work"
+    )
+
+
+def test_off_mode_diagnosis_timed(benchmark):
+    """pytest-benchmark target: one warm off-mode diagnosis."""
+    config = FChainConfig(cusum_bootstraps=60, telemetry="off")
+    store = synthetic_store(
+        samples=SAMPLES, components=COMPONENTS, metrics=METRICS, seed=7
+    )
+    master = FChainMaster(config, seed=7, incremental=True)
+    master.slave.sync_with_store(store, store.end)
+    t_v = store.end - config.analysis_grace - 1
+    master.diagnose(store, t_v)
+    benchmark(lambda: master.diagnose(store, t_v))
+
+
+def main() -> int:
+    null_us = time_null_span_call_us()
+    off = _best_diagnosis_seconds("off")
+    full = _best_diagnosis_seconds("full")
+    print(_summary(null_us, off, full))
+    ok = null_us < MAX_NULL_CALL_US and off <= full * MAX_OFF_OVER_FULL
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

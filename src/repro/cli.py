@@ -110,6 +110,44 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one traced diagnosis on a synthetic scenario and print it."""
+    import json
+
+    from repro.core.config import FChainConfig
+    from repro.core.fchain import FChain
+    from repro.eval.bench import synthetic_store
+    from repro.obs import default_registry
+
+    config = FChainConfig(executor=args.executor, telemetry=args.telemetry)
+    store = synthetic_store(
+        samples=args.samples,
+        components=args.components,
+        metrics=args.metrics,
+        seed=args.seed,
+    )
+    violation = store.end - config.analysis_grace - 1
+    with FChain(config, seed=args.seed, jobs=args.jobs) as fchain:
+        diagnosis = fchain.localize(store, violation_time=violation)
+    if args.format == "json":
+        print(json.dumps(diagnosis.trace.to_dict(), indent=2))
+    elif args.format == "prom":
+        print(default_registry().render_prometheus(), end="")
+    else:
+        print(
+            f"synthetic scenario: {args.samples} samples x "
+            f"{args.components} components x {args.metrics} metrics, "
+            f"violation at t={violation}s, executor={args.executor}, "
+            f"jobs={args.jobs or 1}"
+        )
+        print()
+        print(diagnosis.trace.format_tree(min_ms=args.min_ms))
+        print()
+        print(f"pinpointed: {sorted(diagnosis.faulty)}")
+        print(f"diagnosis latency: {diagnosis.latency_seconds * 1e3:.0f} ms")
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Benchmark ingest throughput and diagnosis latency."""
     from repro.core.config import FChainConfig
@@ -121,7 +159,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     samples = min(args.samples, 2_000) if args.quick else args.samples
     repeats = min(args.repeats, 2) if args.quick else args.repeats
-    config = FChainConfig(executor=args.executor)
+    config = FChainConfig(
+        executor=args.executor,
+        telemetry="full" if args.emit_metrics else "off",
+    )
 
     print(
         f"Benchmarking ingest throughput: {samples} samples x "
@@ -162,7 +203,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(
             "\nwrote BENCH_ingest.json and BENCH_incremental_engine.json"
         )
-    return 0 if report.results_match and ingest.streams_match else 1
+
+    if args.emit_metrics:
+        from repro.obs import default_registry
+
+        print("\n# --- telemetry metrics (Prometheus text format) ---")
+        print(default_registry().render_prometheus(), end="")
+
+    gate_ok = True
+    if args.check:
+        from repro.eval.regression import (
+            BaselineMismatch,
+            check_against_baselines,
+            format_checks,
+        )
+
+        reports = {
+            "BENCH_ingest.json": ingest.to_json(),
+            "BENCH_incremental_engine.json": report.to_json(),
+        }
+        print(f"\nregression gate vs baselines in {args.check}:")
+        try:
+            checks, missing = check_against_baselines(
+                reports,
+                args.check,
+                ops_tolerance=args.tolerance,
+                p99_tolerance=args.p99_tolerance,
+            )
+        except BaselineMismatch as exc:
+            print(f"FAIL {exc}")
+            gate_ok = False
+        else:
+            print(format_checks(checks))
+            for name in missing:
+                print(f"FAIL no committed baseline for {name}")
+            gate_ok = all(c.ok for c in checks) and not missing
+
+    ok = report.results_match and ingest.streams_match and gate_ok
+    return 0 if ok else 1
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
@@ -258,7 +336,59 @@ def main(argv: List[str] = None) -> int:
         help="CI smoke mode: shrink the history to 2000 samples and the "
         "repeats to 2",
     )
+    bench.add_argument(
+        "--emit-metrics", action="store_true",
+        help="run with telemetry enabled and print the aggregated "
+        "Prometheus text-format metrics after the benchmarks",
+    )
+    bench.add_argument(
+        "--check", metavar="BASELINE_DIR", default=None,
+        help="compare the fresh ops/s and p99 numbers against committed "
+        "baseline JSON files (e.g. benchmarks/baselines) and exit "
+        "non-zero on regression",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional ops/s drop before --check fails "
+        "(default 0.5 = fail below half the baseline throughput)",
+    )
+    bench.add_argument(
+        "--p99-tolerance", type=float, default=1.5,
+        help="allowed fractional p99 rise before --check fails "
+        "(default 1.5 = fail above 2.5x the baseline p99)",
+    )
     bench.set_defaults(func=cmd_bench)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one fully traced diagnosis on a synthetic scenario",
+    )
+    trace.add_argument("--samples", type=int, default=2_000)
+    trace.add_argument("--components", type=int, default=6)
+    trace.add_argument("--metrics", type=int, default=3)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument(
+        "--jobs", type=int, default=None,
+        help="slave fan-out width (default serial)",
+    )
+    trace.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="slave pool executor used when --jobs >= 2",
+    )
+    trace.add_argument(
+        "--telemetry", choices=("timings", "full"), default="full",
+        help="telemetry level for the traced run",
+    )
+    trace.add_argument(
+        "--format", choices=("tree", "json", "prom"), default="tree",
+        help="tree: human-readable timeline; json: span tree dump; "
+        "prom: Prometheus text-format metrics",
+    )
+    trace.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="hide tree spans shorter than this many milliseconds",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
         func=cmd_demo

@@ -70,6 +70,14 @@ class FChainConfig:
             ``"process"`` (worker processes read the metric history
             through a ``multiprocessing.shared_memory`` view, escaping
             the GIL without copying the store; results are identical).
+        telemetry: Pipeline observability level (``repro.obs``):
+            ``"off"`` (default — instrumentation collapses onto a no-op
+            singleton, near-zero overhead), ``"timings"`` (nested stage
+            spans with wall times only) or ``"full"`` (spans plus
+            per-stage counters and component/metric tags). When enabled,
+            every ``Diagnosis`` carries a ``trace`` and finished traces
+            aggregate into the default metrics registry for Prometheus
+            export.
         external_trend_fraction: Fraction of components that must share a
             common monotone trend (with every component abnormal, and the
             majority-trend onsets tightly clustered) for the anomaly to be
@@ -98,6 +106,7 @@ class FChainConfig:
     markov_bins: int = 40
     markov_halflife: int = 2000
     executor: str = "thread"
+    telemetry: str = "off"
     external_trend_fraction: float = 0.75
     validation_horizon: int = 30
     validation_improvement: float = 0.3
@@ -124,6 +133,12 @@ class FChainConfig:
                 f"executor={self.executor!r} is not supported: choose "
                 "'thread' (shared warm slave state) or 'process' "
                 "(shared-memory store view, escapes the GIL)"
+            )
+        if self.telemetry not in ("off", "timings", "full"):
+            raise ConfigurationError(
+                f"telemetry={self.telemetry!r} is not supported: choose "
+                "'off' (no tracing), 'timings' (stage spans with wall "
+                "times) or 'full' (spans plus counters and tags)"
             )
 
     def validate(self) -> "FChainConfig":

@@ -38,6 +38,11 @@ class Diagnosis:
             validation filtered out.
         latency_seconds: Wall-clock time the diagnosis (and validation,
             when requested) took.
+        trace: The diagnosis telemetry span tree
+            (:class:`~repro.obs.trace.Span`) when ``config.telemetry``
+            is ``"timings"`` or ``"full"``; None when telemetry is off.
+            Stage names are the stable vocabulary of
+            ``repro.obs.trace.PIPELINE_STAGES``.
     """
 
     result: PinpointResult
@@ -45,6 +50,7 @@ class Diagnosis:
     outcomes: Optional[Dict[ComponentId, ValidationOutcome]] = None
     unvalidated: Optional[PinpointResult] = None
     latency_seconds: float = 0.0
+    trace: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Proxies for the fields the pre-redesign API exposed

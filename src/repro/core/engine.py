@@ -42,6 +42,7 @@ from repro.common.types import ComponentId
 from repro.core.propagation import ComponentReport
 from repro.monitoring.shared import SharedStoreExport, SharedStoreHandle, attach_store
 from repro.monitoring.store import MetricStore
+from repro.obs.trace import NULL_SPAN, STAGE_STORE_SYNC
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.fchain import FChainSlave
@@ -144,8 +145,17 @@ class SlavePool:
         store: MetricStore,
         violation_time: int,
         components: Optional[Sequence[ComponentId]] = None,
+        *,
+        span=NULL_SPAN,
     ) -> Tuple[List[ComponentReport], FrozenSet[ComponentId]]:
         """Analyse every component's look-back window before ``t_v``.
+
+        Args:
+            span: Optional parent telemetry span (the diagnosis root).
+                Master-side data preparation (warm sync / shared-memory
+                export) is timed under it and every worker's finished
+                component span tree is adopted into it — both executors
+                merge back into one diagnosis trace.
 
         Returns:
             ``(reports, timed_out)`` — one report per component in sorted
@@ -156,10 +166,21 @@ class SlavePool:
             sorted(components) if components is not None else store.components
         )
         if self.jobs is None or self.jobs <= 1 or len(ordered) <= 1:
-            return self._analyze_serial(store, violation_time, ordered)
-        if self.executor == "process":
-            return self._analyze_process(store, violation_time, ordered)
-        return self._analyze_parallel(store, violation_time, ordered)
+            reports, timed_out = self._analyze_serial(
+                store, violation_time, ordered
+            )
+        elif self.executor == "process":
+            reports, timed_out = self._analyze_process(
+                store, violation_time, ordered, span=span
+            )
+        else:
+            reports, timed_out = self._analyze_parallel(
+                store, violation_time, ordered, span=span
+            )
+        for report in reports:
+            if report.trace is not None:
+                span.adopt(report.trace)
+        return reports, timed_out
 
     def _analyze_serial(
         self,
@@ -178,11 +199,15 @@ class SlavePool:
         store: MetricStore,
         violation_time: int,
         ordered: Sequence[ComponentId],
+        *,
+        span=NULL_SPAN,
     ) -> Tuple[List[ComponentReport], FrozenSet[ComponentId]]:
         # Warm the shared online models serially so the concurrent
         # analyses only read slave state (see module docstring).
         horizon = violation_time + self.slave.config.analysis_grace + 1
-        self.slave.sync_with_store(store, horizon)
+        with span.child(STAGE_STORE_SYNC, scope="warm") as sync_span:
+            self.slave.sync_with_store(store, horizon)
+            sync_span.count("components_warmed", len(store.components))
 
         reports: List[ComponentReport] = []
         timed_out = set()
@@ -218,8 +243,12 @@ class SlavePool:
         store: MetricStore,
         violation_time: int,
         ordered: Sequence[ComponentId],
+        *,
+        span=NULL_SPAN,
     ) -> Tuple[List[ComponentReport], FrozenSet[ComponentId]]:
-        export = SharedStoreExport(store)
+        with span.child(STAGE_STORE_SYNC, scope="export") as export_span:
+            export = SharedStoreExport(store)
+            export_span.count("components_exported", len(store.components))
         reports: List[ComponentReport] = []
         timed_out = set()
         executor = self._process_pool(len(ordered))

@@ -53,6 +53,15 @@ from repro.core.validation import (
     validate_pinpointing,
 )
 from repro.monitoring.store import MetricStore
+from repro.obs.trace import (
+    STAGE_COMPONENT,
+    STAGE_DIAGNOSIS,
+    STAGE_METRIC,
+    STAGE_PINPOINT,
+    STAGE_STORE_SYNC,
+    STAGE_VALIDATION,
+    make_tracer,
+)
 
 _Key = Tuple[ComponentId, Metric]
 
@@ -124,6 +133,7 @@ class FChainSlave:
     def __init__(self, config: Optional[FChainConfig] = None, seed: object = 0):
         self.config = (config or FChainConfig()).validate()
         self.seed = seed
+        self.tracer = make_tracer(self.config.telemetry)
         self._models: Dict[_Key, MarkovPredictor] = {}
         self._streams: Dict[_Key, _ErrorStream] = {}
         self._consumed: Dict[_Key, int] = {}
@@ -278,35 +288,49 @@ class FChainSlave:
         window_start = violation_time - config.look_back_window
         window_end = violation_time + config.analysis_grace + 1
         self.bind_store(store)
-        changes = []
-        analyzed = 0
-        for metric in store.metrics_for(component):
-            full = store.series(component, metric).window(
-                store.start, window_end
-            )
-            if len(full) < 2 * config.min_segment:
-                continue
-            analyzed += 1
-            key = (component, metric)
-            if self._consumed.get(key, 0) < len(full):
-                # Catch the online model up with the store — identical to
-                # replaying the history through a fresh model, but paid
-                # only once per sample across all diagnoses.
-                have = self._consumed.get(key, 0)
-                self.observe_many(component, metric, full.values[have:])
-            errors = self._streams[key].view(len(full))
-            raw = full.window(window_start, window_end)
-            history = full.window(full.start, raw.start)
-            split = raw.start - full.start
-            changes.extend(
-                self._select_cached(
-                    component, metric, full, raw, history, errors, split
-                )
-            )
+        tracer = self.tracer
+        with tracer.span(STAGE_COMPONENT, component=component) as comp_span:
+            # Catch the online models up with the store first — identical
+            # to replaying the history through fresh models, but paid only
+            # once per sample across all diagnoses. Model state is
+            # per-(component, metric), so syncing every metric before any
+            # selection is equivalent to the interleaved order.
+            windows = []
+            with comp_span.child(STAGE_STORE_SYNC) as sync_span:
+                for metric in store.metrics_for(component):
+                    full = store.series(component, metric).window(
+                        store.start, window_end
+                    )
+                    if len(full) < 2 * config.min_segment:
+                        continue
+                    key = (component, metric)
+                    have = self._consumed.get(key, 0)
+                    if have < len(full):
+                        self.observe_many(
+                            component, metric, full.values[have:]
+                        )
+                        sync_span.count("samples_synced", len(full) - have)
+                    windows.append((metric, full))
+            changes = []
+            for metric, full in windows:
+                with comp_span.child(STAGE_METRIC, metric=metric) as metric_span:
+                    errors = self._streams[(component, metric)].view(len(full))
+                    raw = full.window(window_start, window_end)
+                    history = full.window(full.start, raw.start)
+                    split = raw.start - full.start
+                    changes.extend(
+                        self._select_cached(
+                            component, metric, full, raw, history, errors,
+                            split, span=metric_span,
+                        )
+                    )
+            comp_span.count("metrics_analyzed", len(windows))
+            comp_span.count("abnormal_changes", len(changes))
         return ComponentReport(
             component=component,
             abnormal_changes=changes,
-            skipped=analyzed == 0,
+            skipped=not windows,
+            trace=comp_span if tracer.enabled else None,
         )
 
     def _select_cached(
@@ -318,6 +342,7 @@ class FChainSlave:
         history: TimeSeries,
         errors: np.ndarray,
         split: int,
+        span=None,
     ) -> List:
         """Window-keyed memoization around the selection pipeline.
 
@@ -328,10 +353,15 @@ class FChainSlave:
         cost) and the final selected changes, so the validation loop and
         repeated diagnoses of one violation skip the work entirely.
         """
+        from repro.obs.trace import NULL_SPAN
+
+        if span is None:
+            span = NULL_SPAN
         cache_key = (component, metric, raw.start, raw.end)
         cached = self._selection_cache.get(cache_key)
         if cached is not None:
             self._selection_cache.move_to_end(cache_key)
+            span.count("selection_cache_hits", 1)
             return list(cached)
 
         detected = None
@@ -339,11 +369,13 @@ class FChainSlave:
             detected = self._cusum_cache.get(cache_key)
             if detected is None:
                 detected = detect_window_change_points(
-                    raw, metric, self.config, seed=(self.seed, component)
+                    raw, metric, self.config, seed=(self.seed, component),
+                    span=span,
                 )
                 self._cache_put(self._cusum_cache, cache_key, detected)
             else:
                 self._cusum_cache.move_to_end(cache_key)
+                span.count("cusum_cache_hits", 1)
 
         changes = select_abnormal_changes(
             raw,
@@ -355,6 +387,7 @@ class FChainSlave:
             history_errors=errors[:split],
             detected=detected,
             full_series=full,
+            span=span,
         )
         self._cache_put(self._selection_cache, cache_key, changes)
         return list(changes)
@@ -394,6 +427,7 @@ class FChainMaster:
         self.jobs = jobs
         self.slave_timeout = slave_timeout
         self.incremental = incremental
+        self.tracer = make_tracer(self.config.telemetry)
         self._slave: Optional[FChainSlave] = (
             FChainSlave(self.config, seed=seed) if incremental else None
         )
@@ -436,10 +470,29 @@ class FChainMaster:
                     slave, jobs=self.jobs, timeout=self.slave_timeout
                 )
             pool = self._pool
-        reports, _ = pool.analyze_all(store, violation_time)
-        return pinpoint_faulty_components(
-            reports, self.config, self.dependency_graph
+        trace = self.tracer.span(
+            STAGE_DIAGNOSIS,
+            executor=pool.executor,
+            jobs=self.jobs or 1,
+            violation_time=violation_time,
         )
+        with trace:
+            reports, _ = pool.analyze_all(store, violation_time, span=trace)
+            with trace.child(STAGE_PINPOINT) as pin_span:
+                result = pinpoint_faulty_components(
+                    reports, self.config, self.dependency_graph
+                )
+                pin_span.count("components_reported", len(reports))
+                pin_span.count(
+                    "abnormal_components",
+                    sum(1 for r in reports if r.is_abnormal),
+                )
+                pin_span.count("chain_length", len(result.chain.links))
+                pin_span.count("faulty_pinpointed", len(result.faulty))
+        if self.tracer.enabled:
+            self.tracer.observe(trace)
+            result.trace = trace
+        return result
 
     def validate(
         self, app, result: PinpointResult
@@ -577,13 +630,29 @@ class FChain:
         unvalidated: Optional[PinpointResult] = None
         if validate_with is not None:
             unvalidated = result
-            result, outcomes = self.master.validate(validate_with, result)
+            trace = result.trace
+            if trace is not None:
+                with trace.child(STAGE_VALIDATION) as validation_span:
+                    result, outcomes = self.master.validate(
+                        validate_with, result
+                    )
+                    validation_span.count("validated_components", len(outcomes))
+                    validation_span.count(
+                        "false_alarms_removed",
+                        sum(1 for o in outcomes.values() if not o.confirmed),
+                    )
+                # The diagnosis root was already aggregated; fold the
+                # post-hoc validation span in on its own.
+                self.master.tracer.observe(validation_span)
+            else:
+                result, outcomes = self.master.validate(validate_with, result)
         return Diagnosis(
             result=result,
             violation_time=violation_time,
             outcomes=outcomes,
             unvalidated=unvalidated,
             latency_seconds=time.perf_counter() - started,
+            trace=result.trace,
         )
 
     def localize_and_validate(

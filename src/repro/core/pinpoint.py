@@ -45,6 +45,9 @@ class PinpointResult:
         skipped: Components the slaves could not examine — typically
             because no metric had enough recorded history, or a slave
             timed out. They are neither faulty nor known-normal.
+        trace: The diagnosis-wide telemetry span tree (worker spans
+            merged back in), or None when telemetry is off. Excluded
+            from equality.
     """
 
     faulty: FrozenSet[ComponentId]
@@ -52,6 +55,7 @@ class PinpointResult:
     chain: PropagationChain
     reports: Dict[ComponentId, ComponentReport] = field(default_factory=dict)
     skipped: FrozenSet[ComponentId] = frozenset()
+    trace: Optional[object] = field(default=None, compare=False, repr=False)
 
     def implicated_metrics(self, component: ComponentId) -> List[Metric]:
         """Abnormal metrics of a pinpointed component (for validation)."""

@@ -28,11 +28,16 @@ class ComponentReport:
             timed out in a :class:`~repro.core.engine.SlavePool`). Such a
             component is *unknown*, not normal, and is surfaced through
             ``PinpointResult.skipped`` instead of being silently dropped.
+        trace: The telemetry span tree of this component's analysis, or
+            None when telemetry is off. Excluded from equality — two
+            analyses of the same data are the same report regardless of
+            how long each stage took.
     """
 
     component: ComponentId
     abnormal_changes: List[AbnormalChange] = field(default_factory=list)
     skipped: bool = False
+    trace: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property
     def is_abnormal(self) -> bool:

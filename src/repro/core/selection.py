@@ -27,6 +27,14 @@ from repro.core.cusum import ChangePoint, detect_change_points
 from repro.core.outliers import outlier_change_points
 from repro.core.prediction import prediction_errors
 from repro.core.smoothing import smooth_series
+from repro.obs.trace import (
+    NULL_SPAN,
+    STAGE_BURST,
+    STAGE_CUSUM,
+    STAGE_OUTLIERS,
+    STAGE_ROLLBACK,
+    STAGE_SMOOTHING,
+)
 
 
 @dataclass(frozen=True)
@@ -289,6 +297,7 @@ def detect_window_change_points(
     config: FChainConfig,
     *,
     seed: object = 0,
+    span=NULL_SPAN,
 ) -> Tuple[TimeSeries, List[ChangePoint]]:
     """Smooth one look-back window and run CUSUM + bootstrap on it.
 
@@ -304,14 +313,17 @@ def detect_window_change_points(
         ``(smoothed, points)`` — the smoothed window and its change
         points, exactly as the inline path computes them.
     """
-    smoothed = smooth_series(raw, config.smoothing_window)
-    points = detect_change_points(
-        smoothed,
-        bootstraps=config.cusum_bootstraps,
-        confidence=config.cusum_confidence,
-        min_segment=config.min_segment,
-        seed=(seed, str(metric)),
-    )
+    with span.child(STAGE_SMOOTHING):
+        smoothed = smooth_series(raw, config.smoothing_window)
+    with span.child(STAGE_CUSUM) as cusum_span:
+        points = detect_change_points(
+            smoothed,
+            bootstraps=config.cusum_bootstraps,
+            confidence=config.cusum_confidence,
+            min_segment=config.min_segment,
+            seed=(seed, str(metric)),
+        )
+        cusum_span.count("change_points_found", len(points))
     return smoothed, points
 
 
@@ -326,6 +338,7 @@ def select_abnormal_changes(
     history_errors: Optional[np.ndarray] = None,
     detected: Optional[Tuple[TimeSeries, List[ChangePoint]]] = None,
     full_series: Optional[TimeSeries] = None,
+    span=NULL_SPAN,
 ) -> List[AbnormalChange]:
     """Run the full slave-side selection pipeline on one metric window.
 
@@ -353,6 +366,9 @@ def select_abnormal_changes(
             contiguously. Callers that already hold such a series (the
             slave's windowed store views) pass it to avoid an O(history)
             concatenation per metric.
+        span: Optional parent telemetry span; stage child spans (PAL
+            outlier filter, burst thresholds, onset rollback) attach to
+            it. Defaults to the shared no-op span.
 
     Returns:
         Abnormal changes, possibly empty.
@@ -360,14 +376,19 @@ def select_abnormal_changes(
     if len(raw) < 2 * config.min_segment:
         return []
     if detected is None:
-        detected = detect_window_change_points(raw, metric, config, seed=seed)
+        detected = detect_window_change_points(
+            raw, metric, config, seed=seed, span=span
+        )
     smoothed, points = detected
     if not points:
         return []
-    reference = reference_change_magnitudes(history)
-    outliers = outlier_change_points(
-        points, reference, smoothed, zscore=config.outlier_zscore
-    )
+    with span.child(STAGE_OUTLIERS) as outlier_span:
+        reference = reference_change_magnitudes(history)
+        outliers = outlier_change_points(
+            points, reference, smoothed, zscore=config.outlier_zscore
+        )
+        outlier_span.count("change_points_filtered", len(points) - len(outliers))
+        outlier_span.count("outliers_survived", len(outliers))
     if not outliers:
         return []
 
@@ -394,51 +415,55 @@ def select_abnormal_changes(
     # One stacked rfft/irfft over all surviving change points of this
     # metric instead of one FFT pair per point (bit-identical; see
     # repro.core.burst.expected_prediction_errors).
-    burst_thresholds = expected_prediction_errors(
-        full,
-        [point.time for point in outliers],
-        burst_window=config.burst_window,
-        high_frequency_fraction=config.high_frequency_fraction,
-        percentile=config.burst_percentile,
-    )
+    with span.child(STAGE_BURST) as burst_span:
+        burst_thresholds = expected_prediction_errors(
+            full,
+            [point.time for point in outliers],
+            burst_window=config.burst_window,
+            high_frequency_fraction=config.high_frequency_fraction,
+            percentile=config.burst_percentile,
+        )
+        burst_span.count("burst_thresholds_computed", len(burst_thresholds))
 
     abnormal: List[AbnormalChange] = []
-    for point, burst_threshold in zip(outliers, burst_thresholds):
-        history_reference = 0.0
-        if history_errors is not None:
-            history_reference = history_error_reference(
-                history_errors,
-                point.direction,
-                config.history_error_percentile,
+    with span.child(STAGE_ROLLBACK) as rollback_span:
+        for point, burst_threshold in zip(outliers, burst_thresholds):
+            history_reference = 0.0
+            if history_errors is not None:
+                history_reference = history_error_reference(
+                    history_errors,
+                    point.direction,
+                    config.history_error_percentile,
+                )
+            actual = actual_prediction_error(
+                errors, raw, point.time, direction=point.direction
             )
-        actual = actual_prediction_error(
-            errors, raw, point.time, direction=point.direction
-        )
-        expected = float(burst_threshold)
-        # The expected error is the larger of the burstiness-derived
-        # threshold and the model's own routine error level under normal
-        # operation: an error the model already produced regularly (e.g.
-        # at recurring flash bursts) does not indicate a fault.
-        expected = max(expected, history_reference)
-        if actual <= config.prediction_error_margin * expected:
-            continue
-        if not shift_persists(raw.values, point.time - raw.start, point.magnitude):
-            continue
-        onset = rollback_onset(
-            smoothed, points, point, tolerance=config.tangent_tolerance
-        )
-        if config.censor_slow_onsets:
-            onset = censored_onset(
-                raw, onset, point.direction, point.magnitude
+            expected = float(burst_threshold)
+            # The expected error is the larger of the burstiness-derived
+            # threshold and the model's own routine error level under normal
+            # operation: an error the model already produced regularly (e.g.
+            # at recurring flash bursts) does not indicate a fault.
+            expected = max(expected, history_reference)
+            if actual <= config.prediction_error_margin * expected:
+                continue
+            if not shift_persists(raw.values, point.time - raw.start, point.magnitude):
+                continue
+            onset = rollback_onset(
+                smoothed, points, point, tolerance=config.tangent_tolerance
             )
-        abnormal.append(
-            AbnormalChange(
-                metric=metric,
-                change_point=point,
-                onset_time=onset,
-                prediction_error=actual,
-                expected_error=expected,
-                direction=point.direction,
+            if config.censor_slow_onsets:
+                onset = censored_onset(
+                    raw, onset, point.direction, point.magnitude
+                )
+            abnormal.append(
+                AbnormalChange(
+                    metric=metric,
+                    change_point=point,
+                    onset_time=onset,
+                    prediction_error=actual,
+                    expected_error=expected,
+                    direction=point.direction,
+                )
             )
-        )
+        rollback_span.count("abnormal_selected", len(abnormal))
     return abnormal

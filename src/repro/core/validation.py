@@ -224,4 +224,5 @@ def apply_validation(
         chain=result.chain,
         reports=result.reports,
         skipped=result.skipped,
+        trace=result.trace,
     )

@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass
+from datetime import datetime, timezone
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
@@ -29,6 +30,22 @@ from repro.common.types import METRIC_NAMES, ComponentId
 from repro.core.config import FChainConfig
 from repro.core.fchain import FChainMaster, FChainSlave
 from repro.monitoring.store import MetricStore
+
+
+#: Version of the ``BENCH_*.json`` payload layout. Bump when fields are
+#: renamed or re-scaled; the CI regression gate
+#: (:mod:`repro.eval.regression`) rejects payloads from other versions
+#: rather than comparing incomparable numbers.
+BENCH_SCHEMA_VERSION = 2
+
+
+def _json_header(benchmark: str) -> Dict:
+    """Common envelope of every benchmark JSON payload."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "benchmark": benchmark,
+    }
 
 
 def _percentile_ms(latencies: Sequence[float], q: float) -> float:
@@ -147,7 +164,7 @@ class LatencyReport:
     def to_json(self) -> Dict:
         """Machine-readable payload (``repro bench --json``, CI artifact)."""
         return {
-            "benchmark": "incremental_engine",
+            **_json_header("incremental_engine"),
             "samples": self.samples,
             "components": self.components,
             "metrics": self.metrics,
@@ -326,7 +343,7 @@ class IngestReport:
     def to_json(self) -> Dict:
         """Machine-readable payload (``repro bench --json``, CI artifact)."""
         return {
-            "benchmark": "ingest",
+            **_json_header("ingest"),
             "samples": self.samples,
             "components": self.components,
             "metrics": self.metrics,

@@ -1,0 +1,227 @@
+"""Benchmark regression gating against committed baselines.
+
+The CI ``bench-regression`` job (and ``repro bench --check`` locally)
+regenerates the ``BENCH_*.json`` payloads and compares them against the
+committed baselines under ``benchmarks/baselines/``. A *regression* is:
+
+* throughput (any ``ops_per_second`` field) dropping below
+  ``(1 - tolerance)`` of the baseline, or
+* tail latency (any ``p99_ms`` field) rising above
+  ``(1 + p99_tolerance)`` times the baseline.
+
+The tolerance band is deliberately generous by default — CI runners are
+noisy and heterogeneous — so the gate catches the erosion of order-of-
+magnitude speedups (the 7.8x engine / 16.9x ingest wins), not single-
+digit-percent jitter. Comparisons are refused outright (not failed
+softly) when the payloads are not comparable: a missing or mismatched
+``schema_version`` (stale format) or different workload parameters
+(samples / components / metrics).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from repro.eval.bench import BENCH_SCHEMA_VERSION
+
+#: Default fraction of baseline throughput a run may lose before the
+#: gate fails (0.5 == fail below half the baseline ops/s).
+DEFAULT_OPS_TOLERANCE = 0.5
+
+#: Default fractional p99 rise allowed (1.5 == fail above 2.5x baseline).
+DEFAULT_P99_TOLERANCE = 1.5
+
+#: Workload parameters that must match for numbers to be comparable.
+_PARAM_FIELDS = ("benchmark", "samples", "components", "metrics")
+
+
+class BaselineMismatch(ValueError):
+    """The two payloads cannot be meaningfully compared."""
+
+
+@dataclass(frozen=True)
+class RegressionCheck:
+    """One compared number.
+
+    Attributes:
+        metric: Dotted path of the compared field (``"ingest.batched.ops_per_second"``).
+        kind: ``"throughput"`` (higher is better) or ``"latency"``
+            (lower is better).
+        current: The freshly measured value.
+        baseline: The committed baseline value.
+        limit: The tolerance-adjusted bound the current value had to stay
+            on the right side of.
+        ok: Whether the check passed.
+    """
+
+    metric: str
+    kind: str
+    current: float
+    baseline: float
+    limit: float
+    ok: bool
+
+    @property
+    def ratio(self) -> float:
+        """Current over baseline (1.0 == identical)."""
+        return self.current / self.baseline if self.baseline else float("inf")
+
+
+def _require_comparable(current: Dict, baseline: Dict) -> None:
+    for payload, who in ((current, "current"), (baseline, "baseline")):
+        version = payload.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise BaselineMismatch(
+                f"{who} payload has schema_version={version!r}, expected "
+                f"{BENCH_SCHEMA_VERSION} — regenerate it with "
+                "`repro bench --json` (stale formats are not compared)"
+            )
+    for field in _PARAM_FIELDS:
+        if current.get(field) != baseline.get(field):
+            raise BaselineMismatch(
+                f"workload parameter {field!r} differs: current "
+                f"{current.get(field)!r} vs baseline {baseline.get(field)!r} "
+                "— rerun the benchmark with the baseline's parameters or "
+                "regenerate the baseline"
+            )
+
+
+def compare_report(
+    current: Dict,
+    baseline: Dict,
+    *,
+    ops_tolerance: float = DEFAULT_OPS_TOLERANCE,
+    p99_tolerance: float = DEFAULT_P99_TOLERANCE,
+) -> List[RegressionCheck]:
+    """Compare one benchmark payload against its baseline.
+
+    Walks every section of the payload that carries an
+    ``ops_per_second`` (throughput, higher is better) or ``p99_ms``
+    (latency, lower is better) field and checks it against the
+    tolerance-adjusted baseline.
+
+    Raises:
+        BaselineMismatch: When schema versions or workload parameters
+            make the payloads incomparable.
+    """
+    _require_comparable(current, baseline)
+    name = current.get("benchmark", "bench")
+    checks: List[RegressionCheck] = []
+    for section, entry in sorted(current.items()):
+        if not isinstance(entry, dict):
+            continue
+        base_entry = baseline.get(section)
+        if not isinstance(base_entry, dict):
+            continue
+        if "ops_per_second" in entry and "ops_per_second" in base_entry:
+            base = float(base_entry["ops_per_second"])
+            cur = float(entry["ops_per_second"])
+            limit = base * (1.0 - ops_tolerance)
+            checks.append(
+                RegressionCheck(
+                    metric=f"{name}.{section}.ops_per_second",
+                    kind="throughput",
+                    current=cur,
+                    baseline=base,
+                    limit=limit,
+                    ok=cur >= limit,
+                )
+            )
+        if "p99_ms" in entry and "p99_ms" in base_entry:
+            base = float(base_entry["p99_ms"])
+            cur = float(entry["p99_ms"])
+            limit = base * (1.0 + p99_tolerance)
+            checks.append(
+                RegressionCheck(
+                    metric=f"{name}.{section}.p99_ms",
+                    kind="latency",
+                    current=cur,
+                    baseline=base,
+                    limit=limit,
+                    ok=cur <= limit,
+                )
+            )
+    return checks
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> Dict:
+    """Read one committed baseline payload."""
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def check_against_baselines(
+    reports: Dict[str, Dict],
+    baseline_dir: Union[str, pathlib.Path],
+    *,
+    ops_tolerance: float = DEFAULT_OPS_TOLERANCE,
+    p99_tolerance: float = DEFAULT_P99_TOLERANCE,
+) -> Tuple[List[RegressionCheck], List[str]]:
+    """Compare fresh reports to the committed baseline directory.
+
+    Args:
+        reports: ``{file name: payload}`` of freshly produced benchmark
+            JSON payloads (the names ``repro bench --json`` writes, e.g.
+            ``BENCH_ingest.json``).
+        baseline_dir: Directory holding baselines under the same file
+            names.
+
+    Returns:
+        ``(checks, missing)`` — every comparison performed, plus the
+        report names that had no committed baseline (surfaced so a new
+        benchmark cannot silently bypass the gate).
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    checks: List[RegressionCheck] = []
+    missing: List[str] = []
+    for filename, payload in sorted(reports.items()):
+        baseline_path = baseline_dir / filename
+        if not baseline_path.exists():
+            missing.append(filename)
+            continue
+        checks.extend(
+            compare_report(
+                payload,
+                load_baseline(baseline_path),
+                ops_tolerance=ops_tolerance,
+                p99_tolerance=p99_tolerance,
+            )
+        )
+    return checks, missing
+
+
+def format_checks(checks: List[RegressionCheck]) -> str:
+    """Human-readable regression gate table."""
+    if not checks:
+        return "no comparable benchmark numbers found"
+    width = max(len(c.metric) for c in checks)
+    lines = []
+    for check in checks:
+        verdict = "ok  " if check.ok else "FAIL"
+        bound = "min" if check.kind == "throughput" else "max"
+        lines.append(
+            f"{verdict} {check.metric:<{width}} "
+            f"current {check.current:12.2f} vs baseline {check.baseline:12.2f} "
+            f"({check.ratio:6.2f}x, {bound} allowed {check.limit:.2f})"
+        )
+    failed = sum(1 for c in checks if not c.ok)
+    lines.append(
+        f"{len(checks) - failed}/{len(checks)} checks passed"
+        + (f" — {failed} REGRESSION(S)" if failed else "")
+    )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "BaselineMismatch",
+    "DEFAULT_OPS_TOLERANCE",
+    "DEFAULT_P99_TOLERANCE",
+    "RegressionCheck",
+    "check_against_baselines",
+    "compare_report",
+    "format_checks",
+    "load_baseline",
+]

@@ -1,0 +1,65 @@
+"""Observability for the diagnosis pipeline (``repro.obs``).
+
+A zero-dependency telemetry subsystem: :class:`~repro.obs.trace.Tracer`
+produces nested :class:`~repro.obs.trace.Span` trees with wall-clock
+timings and counters for every pipeline stage, and
+:class:`~repro.obs.registry.MetricsRegistry` aggregates finished traces
+into Prometheus-exportable counters and histograms.
+
+Telemetry is governed by ``FChainConfig.telemetry``:
+
+* ``"off"`` (default) — no spans are created; the instrumentation
+  reduces to calls on a shared no-op singleton;
+* ``"timings"`` — spans with stage names and wall times only;
+* ``"full"`` — spans plus per-stage counters and component/metric tags.
+"""
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    PIPELINE_STAGES,
+    STAGE_BURST,
+    STAGE_COMPONENT,
+    STAGE_CUSUM,
+    STAGE_DIAGNOSIS,
+    STAGE_METRIC,
+    STAGE_OUTLIERS,
+    STAGE_PINPOINT,
+    STAGE_ROLLBACK,
+    STAGE_SMOOTHING,
+    STAGE_STORE_SYNC,
+    STAGE_VALIDATION,
+    NullTracer,
+    Span,
+    Tracer,
+    make_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "NULL_SPAN",
+    "PIPELINE_STAGES",
+    "STAGE_BURST",
+    "STAGE_COMPONENT",
+    "STAGE_CUSUM",
+    "STAGE_DIAGNOSIS",
+    "STAGE_METRIC",
+    "STAGE_OUTLIERS",
+    "STAGE_PINPOINT",
+    "STAGE_ROLLBACK",
+    "STAGE_SMOOTHING",
+    "STAGE_STORE_SYNC",
+    "STAGE_VALIDATION",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "make_tracer",
+]

@@ -1,0 +1,183 @@
+"""Prometheus text-format rendering/parsing and JSON dumps.
+
+The renderer emits the Prometheus text exposition format (version
+0.0.4): ``# HELP`` / ``# TYPE`` headers, escaped label values,
+cumulative histogram buckets with a trailing ``+Inf``, and ``_sum`` /
+``_count`` series. :func:`parse_prometheus_text` is the matching reader
+used by the round-trip tests and by the CI regression tooling — it
+understands exactly what the renderer produces (the common subset of the
+format), not arbitrary exposition payloads.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Exact, round-trippable sample value (integers stay integral)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _render_labels(names, values, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = list(zip(names, values)) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _format_le(bound: float) -> str:
+    return _format_value(bound)
+
+
+def render_prometheus(registry) -> str:
+    """Render every metric of a registry to exposition text."""
+    lines = []
+    for metric in registry.metrics():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if metric.kind == "counter":
+            for key, value in metric.samples():
+                labels = _render_labels(metric.label_names, key)
+                lines.append(f"{metric.name}{labels} {_format_value(value)}")
+        elif metric.kind == "histogram":
+            for key, cumulative, total_sum, count in metric.samples():
+                bounds = [_format_le(b) for b in metric.buckets] + ["+Inf"]
+                for bound, running in zip(bounds, cumulative):
+                    labels = _render_labels(
+                        metric.label_names, key, extra=(("le", bound),)
+                    )
+                    lines.append(
+                        f"{metric.name}_bucket{labels} {running}"
+                    )
+                labels = _render_labels(metric.label_names, key)
+                lines.append(
+                    f"{metric.name}_sum{labels} {_format_value(total_sum)}"
+                )
+                lines.append(f"{metric.name}_count{labels} {count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_to_json(registry) -> Dict:
+    """JSON-ready dump of a registry (one entry per metric)."""
+    payload: Dict = {}
+    for metric in registry.metrics():
+        entry: Dict = {
+            "type": metric.kind,
+            "help": metric.help,
+            "label_names": list(metric.label_names),
+        }
+        if metric.kind == "counter":
+            entry["samples"] = [
+                {"labels": dict(zip(metric.label_names, key)), "value": value}
+                for key, value in metric.samples()
+            ]
+        elif metric.kind == "histogram":
+            entry["buckets"] = list(metric.buckets)
+            entry["samples"] = [
+                {
+                    "labels": dict(zip(metric.label_names, key)),
+                    "cumulative_counts": list(cumulative),
+                    "sum": total_sum,
+                    "count": count,
+                }
+                for key, cumulative, total_sum, count in metric.samples()
+            ]
+        payload[metric.name] = entry
+    return payload
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+@dataclass
+class ParsedExposition:
+    """Structured view of a parsed exposition payload.
+
+    Attributes:
+        types: ``# TYPE`` declarations, metric name -> kind.
+        helps: ``# HELP`` declarations, metric name -> help text.
+        samples: Sample series: ``(series name, sorted label items)`` ->
+            value. Series names include histogram suffixes
+            (``*_bucket``, ``*_sum``, ``*_count``).
+    """
+
+    types: Dict[str, str] = field(default_factory=dict)
+    helps: Dict[str, str] = field(default_factory=dict)
+    samples: Dict[Tuple[str, LabelItems], float] = field(default_factory=dict)
+
+    def value(self, name: str, **labels) -> float:
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        return self.samples[(name, key)]
+
+
+def _parse_labels(body: str) -> LabelItems:
+    items = []
+    pos = 0
+    while pos < len(body):
+        match = _LABEL_PAIR_RE.match(body, pos)
+        if match is None:
+            raise ValueError(f"unparseable label body: {body[pos:]!r}")
+        items.append((match.group("key"), _unescape_label(match.group("value"))))
+        pos = match.end()
+    return tuple(sorted(items))
+
+
+def parse_prometheus_text(text: str) -> ParsedExposition:
+    """Parse exposition text produced by :func:`render_prometheus`."""
+    parsed = ParsedExposition()
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            parsed.helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            parsed.types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        labels = _parse_labels(match.group("labels") or "")
+        value_text = match.group("value")
+        value = float("inf") if value_text == "+Inf" else float(value_text)
+        parsed.samples[(match.group("name"), labels)] = value
+    return parsed
+
+
+__all__ = [
+    "ParsedExposition",
+    "parse_prometheus_text",
+    "registry_to_json",
+    "render_prometheus",
+]

@@ -1,0 +1,237 @@
+"""Tests for the benchmark regression gate (``repro.eval.regression``).
+
+The gate must pass when current numbers match the baseline, fail when
+throughput erodes or tail latency inflates past the tolerance band, and
+refuse (rather than silently mis-compare) payloads with mismatched
+schema versions or workload parameters.
+"""
+
+import json
+
+import pytest
+
+from repro.eval.bench import BENCH_SCHEMA_VERSION
+from repro.eval.regression import (
+    BaselineMismatch,
+    RegressionCheck,
+    check_against_baselines,
+    compare_report,
+    format_checks,
+    load_baseline,
+)
+
+
+def _payload(**overrides):
+    """A minimal bench payload in the committed BENCH_*.json shape."""
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "timestamp": "2026-08-05T00:00:00+00:00",
+        "benchmark": "ingest",
+        "samples": 2000,
+        "components": 8,
+        "metrics": 3,
+        "scalar": {"ops_per_second": 100_000.0, "p99_ms": 2.0},
+        "batched": {"ops_per_second": 1_600_000.0, "p99_ms": 0.5},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestCompareReport:
+    def test_identical_payloads_pass_every_check(self):
+        checks = compare_report(_payload(), _payload())
+        assert len(checks) == 4  # 2 sections x (ops + p99)
+        assert all(c.ok for c in checks)
+        assert {c.metric for c in checks} == {
+            "ingest.scalar.ops_per_second",
+            "ingest.scalar.p99_ms",
+            "ingest.batched.ops_per_second",
+            "ingest.batched.p99_ms",
+        }
+        assert all(c.ratio == pytest.approx(1.0) for c in checks)
+
+    def test_throughput_drop_beyond_tolerance_fails(self):
+        slow = _payload(
+            batched={"ops_per_second": 700_000.0, "p99_ms": 0.5}
+        )
+        checks = compare_report(slow, _payload(), ops_tolerance=0.5)
+        by_metric = {c.metric: c for c in checks}
+        failed = by_metric["ingest.batched.ops_per_second"]
+        assert not failed.ok
+        assert failed.kind == "throughput"
+        assert failed.limit == pytest.approx(800_000.0)
+        # The other numbers still pass.
+        assert by_metric["ingest.scalar.ops_per_second"].ok
+
+    def test_throughput_drop_within_tolerance_passes(self):
+        slower = _payload(
+            batched={"ops_per_second": 900_000.0, "p99_ms": 0.5}
+        )
+        checks = compare_report(slower, _payload(), ops_tolerance=0.5)
+        assert all(c.ok for c in checks)
+
+    def test_p99_inflation_beyond_tolerance_fails(self):
+        spiky = _payload(scalar={"ops_per_second": 100_000.0, "p99_ms": 6.0})
+        checks = compare_report(spiky, _payload(), p99_tolerance=1.5)
+        by_metric = {c.metric: c for c in checks}
+        failed = by_metric["ingest.scalar.p99_ms"]
+        assert not failed.ok
+        assert failed.kind == "latency"
+        assert failed.limit == pytest.approx(5.0)
+
+    def test_inflated_baseline_fails_the_gate(self):
+        # The acceptance demo: against a baseline claiming 100x the real
+        # throughput, the fresh run must register as a regression.
+        inflated = _payload(
+            scalar={"ops_per_second": 10_000_000.0, "p99_ms": 2.0},
+            batched={"ops_per_second": 160_000_000.0, "p99_ms": 0.5},
+        )
+        checks = compare_report(_payload(), inflated)
+        failed = [c for c in checks if not c.ok]
+        assert {c.metric for c in failed} == {
+            "ingest.scalar.ops_per_second",
+            "ingest.batched.ops_per_second",
+        }
+
+    def test_schema_version_mismatch_refused(self):
+        stale = _payload(schema_version=BENCH_SCHEMA_VERSION - 1)
+        with pytest.raises(BaselineMismatch, match="schema_version"):
+            compare_report(_payload(), stale)
+        with pytest.raises(BaselineMismatch, match="schema_version"):
+            compare_report(stale, _payload())
+        missing = _payload()
+        del missing["schema_version"]
+        with pytest.raises(BaselineMismatch, match="schema_version"):
+            compare_report(missing, _payload())
+
+    def test_workload_parameter_mismatch_refused(self):
+        with pytest.raises(BaselineMismatch, match="samples"):
+            compare_report(_payload(samples=4000), _payload())
+        with pytest.raises(BaselineMismatch, match="benchmark"):
+            compare_report(_payload(benchmark="other"), _payload())
+
+    def test_ratio_of_zero_baseline_is_infinite(self):
+        check = RegressionCheck(
+            metric="m", kind="throughput", current=1.0, baseline=0.0,
+            limit=0.0, ok=True,
+        )
+        assert check.ratio == float("inf")
+
+
+class TestCheckAgainstBaselines:
+    def test_matching_directory_passes(self, tmp_path):
+        (tmp_path / "BENCH_ingest.json").write_text(json.dumps(_payload()))
+        checks, missing = check_against_baselines(
+            {"BENCH_ingest.json": _payload()}, tmp_path
+        )
+        assert missing == []
+        assert len(checks) == 4 and all(c.ok for c in checks)
+
+    def test_missing_baseline_is_surfaced_not_skipped(self, tmp_path):
+        checks, missing = check_against_baselines(
+            {"BENCH_new_thing.json": _payload()}, tmp_path
+        )
+        assert checks == []
+        assert missing == ["BENCH_new_thing.json"]
+
+    def test_load_baseline_reads_json(self, tmp_path):
+        path = tmp_path / "BENCH_ingest.json"
+        path.write_text(json.dumps(_payload()))
+        assert load_baseline(path) == _payload()
+
+    def test_committed_baselines_are_current_schema(self):
+        # The baselines the CI gate compares against must always be
+        # regenerated alongside schema bumps.
+        import pathlib
+
+        baseline_dir = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "benchmarks" / "baselines"
+        )
+        paths = sorted(baseline_dir.glob("BENCH_*.json"))
+        assert paths, "no committed baselines found"
+        for path in paths:
+            payload = load_baseline(path)
+            assert payload["schema_version"] == BENCH_SCHEMA_VERSION, path
+            assert "timestamp" in payload, path
+
+
+class TestFormatChecks:
+    def test_table_marks_failures_and_counts(self):
+        ok = RegressionCheck(
+            metric="ingest.batched.ops_per_second", kind="throughput",
+            current=100.0, baseline=100.0, limit=50.0, ok=True,
+        )
+        bad = RegressionCheck(
+            metric="ingest.scalar.p99_ms", kind="latency",
+            current=9.0, baseline=2.0, limit=5.0, ok=False,
+        )
+        text = format_checks([ok, bad])
+        assert "FAIL ingest.scalar.p99_ms" in text
+        assert "1/2 checks passed" in text
+        assert "1 REGRESSION(S)" in text
+        assert "min allowed 50.00" in text
+        assert "max allowed 5.00" in text
+
+    def test_empty_checks_message(self):
+        assert "no comparable" in format_checks([])
+
+
+class TestCliGate:
+    def test_bench_check_passes_and_fails_end_to_end(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        run = [
+            "bench", "--quick", "--json",
+            "--samples", "600", "--components", "2", "--metrics", "1",
+            "--repeats", "1",
+        ]
+        # First run produces the payloads that become the baselines.
+        assert main(run) == 0
+        capsys.readouterr()
+        baseline_dir = tmp_path / "baselines"
+        baseline_dir.mkdir()
+        for name in ("BENCH_ingest.json", "BENCH_incremental_engine.json"):
+            (baseline_dir / name).write_text((tmp_path / name).read_text())
+
+        # Gate against its own numbers with a wide band: must pass.
+        assert main(run + ["--check", str(baseline_dir),
+                           "--tolerance", "0.99",
+                           "--p99-tolerance", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+
+        # Inflate the ingest baseline 1000x (well past even the wide
+        # 0.99 tolerance band): the gate must fail.
+        inflated = json.loads(
+            (baseline_dir / "BENCH_ingest.json").read_text()
+        )
+        for section in ("scalar", "batched"):
+            inflated[section]["ops_per_second"] *= 1000.0
+        (baseline_dir / "BENCH_ingest.json").write_text(
+            json.dumps(inflated)
+        )
+        assert main(run + ["--check", str(baseline_dir),
+                           "--tolerance", "0.99",
+                           "--p99-tolerance", "99"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_bench_check_fails_on_missing_baselines(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        empty = tmp_path / "no-baselines"
+        empty.mkdir()
+        code = main([
+            "bench", "--quick", "--json",
+            "--samples", "600", "--components", "2", "--metrics", "1",
+            "--repeats", "1", "--check", str(empty),
+        ])
+        assert code == 1
+        assert "no committed baseline" in capsys.readouterr().out
