@@ -19,3 +19,7 @@ class SimulationError(ReproError):
 
 class DiagnosisError(ReproError):
     """Fault localization was asked to operate on unusable input."""
+
+
+class DataQualityError(ReproError):
+    """Telemetry ingestion rejected a sample under the active policy."""

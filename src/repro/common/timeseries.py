@@ -9,9 +9,71 @@ pipeline needs (look-back windows, burst windows around a change point).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+
+def fill_gaps(
+    values: np.ndarray, *, max_gap: int, method: str = "interpolate"
+) -> Tuple[np.ndarray, int, int]:
+    """Fill NaN runs of length ``<= max_gap`` in a 1-D array.
+
+    Degraded telemetry leaves holes (missing samples, rejected NaN
+    readings) as NaN entries; this bounded repair makes short holes
+    analysable without fabricating data across long outages.
+
+    * ``"forward"`` repeats the last observed value;
+    * ``"interpolate"`` draws the line between the observed neighbours.
+
+    Both are clamped by construction to the closed range of the observed
+    neighbours, so no filled value ever falls outside the observed
+    min/max of the series (property-tested). Leading runs (no previous
+    observation) fall back to the next observed value. Runs longer than
+    ``max_gap``, and arrays with no finite sample at all, are left
+    untouched.
+
+    Returns:
+        ``(filled copy, samples filled, samples left missing)``. When
+        nothing needs filling the input array itself is returned
+        (no copy), with ``(values, 0, 0)``.
+    """
+    if method not in ("none", "forward", "interpolate"):
+        raise ValueError(f"unknown fill method {method!r}")
+    finite = np.isfinite(values)
+    n_missing = int(len(values) - finite.sum())
+    if n_missing == 0:
+        return values, 0, 0
+    if method == "none" or not finite.any():
+        return values, 0, n_missing
+    out = values.copy()
+    filled = 0
+    missing = 0
+    idx = np.flatnonzero(~finite)
+    # Split the missing indices into maximal consecutive runs.
+    run_breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+    for run in np.split(idx, run_breaks):
+        lo, hi = int(run[0]), int(run[-1])
+        if len(run) > max_gap:
+            missing += len(run)
+            continue
+        prev = values[lo - 1] if lo > 0 else None
+        nxt = values[hi + 1] if hi + 1 < len(values) else None
+        if prev is not None and not np.isfinite(prev):
+            prev = None
+        if nxt is not None and not np.isfinite(nxt):
+            nxt = None
+        if prev is None and nxt is None:
+            missing += len(run)
+            continue
+        if prev is None:
+            out[run] = nxt
+        elif nxt is None or method == "forward":
+            out[run] = prev
+        else:
+            out[run] = np.linspace(prev, nxt, len(run) + 2)[1:-1]
+        filled += len(run)
+    return out, filled, missing
 
 
 @dataclass
@@ -129,6 +191,58 @@ class TimeSeries:
             )
             groups.append((indices, matrix))
         return groups
+
+    # ------------------------------------------------------------------
+    # Data quality (gap awareness)
+    # ------------------------------------------------------------------
+    def coverage(
+        self, t_from: Optional[int] = None, t_to: Optional[int] = None
+    ) -> float:
+        """Fraction of ``[t_from, t_to)`` covered by finite samples.
+
+        Bounds default to the series' own extent. Ticks outside the
+        recorded series (a look-back window reaching past a late-joining
+        VM's first sample, or past the last sample of one that left)
+        count as uncovered — absence of data is a gap, not a shorter
+        denominator. An empty span has coverage 0.
+        """
+        lo = self.start if t_from is None else t_from
+        hi = self.end if t_to is None else t_to
+        expected = hi - lo
+        if expected <= 0:
+            return 0.0
+        piece = self.window(lo, hi)
+        observed = int(np.isfinite(piece.values).sum())
+        return observed / expected
+
+    def gaps(self) -> List[Tuple[int, int]]:
+        """Maximal NaN runs as ``(start timestamp, length)`` pairs."""
+        idx = np.flatnonzero(~np.isfinite(self.values))
+        if len(idx) == 0:
+            return []
+        run_breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+        return [
+            (self.start + int(run[0]), len(run))
+            for run in np.split(idx, run_breaks)
+        ]
+
+    def longest_gap(self) -> int:
+        """Length of the longest NaN run (0 when fully observed)."""
+        return max((length for _, length in self.gaps()), default=0)
+
+    def filled(
+        self, *, max_gap: int, method: str = "interpolate"
+    ) -> "TimeSeries":
+        """Copy with NaN runs of length ``<= max_gap`` repaired.
+
+        See :func:`fill_gaps` for the fill semantics; a series with no
+        gaps is returned as-is (same backing array, zero copies), which
+        keeps the clean-data path bit-identical.
+        """
+        out, filled, _ = fill_gaps(self.values, max_gap=max_gap, method=method)
+        if filled == 0 and out is self.values:
+            return self
+        return TimeSeries(out, start=self.start)
 
     # ------------------------------------------------------------------
     # Construction / combination

@@ -63,6 +63,14 @@ class FChainConfig:
         markov_bins: Number of value bins in the Markov prediction model.
         markov_halflife: Updates after which old transition counts decay to
             half weight (online learning forgetting rate).
+        slave_retries: How many times a :class:`~repro.core.engine.SlavePool`
+            re-submits a slave analysis that hit its timeout before the
+            component is surfaced as ``skipped`` (default 0 — a timeout
+            skips immediately, the historical behaviour). Retries guard
+            against transient wedges (a descheduled worker, a cold
+            process pool), not systematic overload.
+        slave_retry_backoff: Seconds slept before the first retry wave;
+            doubles per wave (exponential backoff).
         executor: How a :class:`~repro.core.engine.SlavePool` fans
             per-component analyses out when ``jobs >= 2``: ``"thread"``
             (default — shares the warm slave state, cheap to start, but
@@ -105,6 +113,8 @@ class FChainConfig:
     censor_slow_onsets: bool = True
     markov_bins: int = 40
     markov_halflife: int = 2000
+    slave_retries: int = 0
+    slave_retry_backoff: float = 0.1
     executor: str = "thread"
     telemetry: str = "off"
     external_trend_fraction: float = 0.75
@@ -193,6 +203,16 @@ class FChainConfig:
             raise ConfigurationError(
                 f"markov_halflife={self.markov_halflife} must be >= 1: it "
                 "is a decay period measured in model updates"
+            )
+        if self.slave_retries < 0:
+            raise ConfigurationError(
+                f"slave_retries={self.slave_retries} must be >= 0: it "
+                "counts extra analysis attempts after a slave timeout"
+            )
+        if self.slave_retry_backoff < 0:
+            raise ConfigurationError(
+                f"slave_retry_backoff={self.slave_retry_backoff} must be "
+                ">= 0 seconds: it is the sleep before the first retry wave"
             )
         if self.validation_horizon <= 0:
             raise ConfigurationError(

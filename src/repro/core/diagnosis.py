@@ -82,6 +82,54 @@ class Diagnosis:
         """Whether online pinpointing validation ran."""
         return self.outcomes is not None
 
+    # ------------------------------------------------------------------
+    # Data-quality surface (degraded-telemetry resilience layer)
+    # ------------------------------------------------------------------
+    @property
+    def quality(self) -> Dict[ComponentId, object]:
+        """Per-component :class:`~repro.monitoring.quality.DataQualityReport`s."""
+        return self.result.quality
+
+    @property
+    def skipped_reasons(self) -> Dict[ComponentId, str]:
+        """Why each skipped component could not be examined."""
+        return self.result.skipped_reasons
+
+    @property
+    def confidence(self) -> str:
+        """How much the verdict can be trusted given the telemetry quality.
+
+        ``"full"`` — every analysed component saw clean data and nothing
+        was skipped. ``"degraded"`` — a verdict was reached, but some
+        component's analysis ran on repaired/partial data or was skipped,
+        so the ranking rests on weaker evidence. ``"inconclusive"`` — no
+        verdict *and* at least one component could not be examined: the
+        absence of a finding must not be read as "no fault", because the
+        unexamined components could not be ruled out.
+        """
+        from repro.monitoring.quality import (
+            CONFIDENCE_DEGRADED,
+            CONFIDENCE_FULL,
+            CONFIDENCE_INCONCLUSIVE,
+        )
+
+        degraded = bool(self.result.skipped) or any(
+            report.confidence != CONFIDENCE_FULL
+            for report in self.result.quality.values()
+        )
+        if self.faulty or self.external_factor:
+            return CONFIDENCE_DEGRADED if degraded else CONFIDENCE_FULL
+        if degraded:
+            return CONFIDENCE_INCONCLUSIVE
+        return CONFIDENCE_FULL
+
+    @property
+    def is_inconclusive(self) -> bool:
+        """True when the diagnosis must not be trusted either way."""
+        from repro.monitoring.quality import CONFIDENCE_INCONCLUSIVE
+
+        return self.confidence == CONFIDENCE_INCONCLUSIVE
+
     def implicated_metrics(self, component: ComponentId) -> List[Metric]:
         return self.result.implicated_metrics(component)
 

@@ -32,6 +32,7 @@ Two executors are available (``FChainConfig.executor`` or the pool's
 from __future__ import annotations
 
 import multiprocessing
+import time
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -100,9 +101,17 @@ class SlavePool:
         timeout: Optional per-slave timeout in seconds. A slave that has
             not produced its report within the timeout (counted from when
             the master starts waiting on it; earlier waits overlap later
-            slaves' compute) is abandoned and its component reported as
-            ``skipped`` — diagnosis latency stays bounded even if one
-            component's analysis wedges.
+            slaves' compute) is abandoned; after the configured retries
+            are exhausted its component is reported as ``skipped`` with a
+            timeout ``skip_reason`` — diagnosis latency stays bounded
+            even if one component's analysis wedges.
+        retries: How many extra waves a timed-out analysis is re-submitted
+            before giving up (``None`` takes the slave config's
+            ``slave_retries``, default 0 — the historical skip-immediately
+            behaviour). Retries target transient wedges: a descheduled
+            worker thread, a cold or poisoned process pool.
+        retry_backoff: Seconds slept before the first retry wave, doubling
+            each wave (``None`` takes the config's ``slave_retry_backoff``).
         executor: ``"thread"`` or ``"process"`` (see module docstring);
             ``None`` takes the slave config's ``executor`` field. Both
             modes produce identical reports, ordering and ``skipped``
@@ -117,12 +126,18 @@ class SlavePool:
         *,
         jobs: Optional[int] = None,
         timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+        retry_backoff: Optional[float] = None,
         executor: Optional[str] = None,
     ) -> None:
         if jobs is not None and jobs < 0:
             raise ConfigurationError("jobs must be >= 0 (0/1 mean serial)")
         if timeout is not None and timeout <= 0:
             raise ConfigurationError("timeout must be positive seconds")
+        if retries is not None and retries < 0:
+            raise ConfigurationError("retries must be >= 0 attempts")
+        if retry_backoff is not None and retry_backoff < 0:
+            raise ConfigurationError("retry_backoff must be >= 0 seconds")
         slave.config.validate()
         if executor is None:
             executor = slave.config.executor
@@ -134,6 +149,14 @@ class SlavePool:
         self.slave = slave
         self.jobs = jobs
         self.timeout = timeout
+        self.retries = (
+            slave.config.slave_retries if retries is None else retries
+        )
+        self.retry_backoff = (
+            slave.config.slave_retry_backoff
+            if retry_backoff is None
+            else retry_backoff
+        )
         self.executor = executor
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers = 0
@@ -209,34 +232,47 @@ class SlavePool:
             self.slave.sync_with_store(store, horizon)
             sync_span.count("components_warmed", len(store.components))
 
-        reports: List[ComponentReport] = []
-        timed_out = set()
-        executor = ThreadPoolExecutor(
-            max_workers=min(self.jobs, len(ordered)),
-            thread_name_prefix="fchain-slave",
-        )
-        try:
-            futures = [
-                executor.submit(
-                    self.slave.analyze, store, component, violation_time
-                )
-                for component in ordered
-            ]
-            for component, future in zip(ordered, futures):
-                try:
-                    reports.append(future.result(timeout=self.timeout))
-                except FutureTimeoutError:
-                    future.cancel()
-                    timed_out.add(component)
-                    reports.append(
-                        ComponentReport(component=component, skipped=True)
+        results: Dict[ComponentId, ComponentReport] = {}
+        pending: Sequence[ComponentId] = ordered
+        attempts = 0
+        while True:
+            attempts += 1
+            wave_timed_out: List[ComponentId] = []
+            executor = ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                thread_name_prefix="fchain-slave",
+            )
+            try:
+                futures = [
+                    executor.submit(
+                        self.slave.analyze, store, component, violation_time
                     )
-        finally:
-            # Never block the master on an abandoned worker: queued
-            # futures are cancelled, running ones finish in the
-            # background without being waited for.
-            executor.shutdown(wait=not timed_out, cancel_futures=True)
-        return reports, frozenset(timed_out)
+                    for component in pending
+                ]
+                for component, future in zip(pending, futures):
+                    try:
+                        results[component] = future.result(
+                            timeout=self.timeout
+                        )
+                    except FutureTimeoutError:
+                        future.cancel()
+                        wave_timed_out.append(component)
+            finally:
+                # Never block the master on an abandoned worker: queued
+                # futures are cancelled, running ones finish in the
+                # background without being waited for. (An abandoned
+                # analyze only reads the serially pre-warmed model state,
+                # so a retry racing it is safe.)
+                executor.shutdown(
+                    wait=not wave_timed_out, cancel_futures=True
+                )
+            if not wave_timed_out or attempts > self.retries:
+                break
+            time.sleep(self.retry_backoff * 2 ** (attempts - 1))
+            pending = wave_timed_out
+        timed_out = frozenset(wave_timed_out)
+        self._skip_timed_out(results, timed_out, attempts)
+        return [results[component] for component in ordered], timed_out
 
     def _analyze_process(
         self,
@@ -249,40 +285,70 @@ class SlavePool:
         with span.child(STAGE_STORE_SYNC, scope="export") as export_span:
             export = SharedStoreExport(store)
             export_span.count("components_exported", len(store.components))
-        reports: List[ComponentReport] = []
-        timed_out = set()
-        executor = self._process_pool(len(ordered))
+        results: Dict[ComponentId, ComponentReport] = {}
+        pending: Sequence[ComponentId] = ordered
+        attempts = 0
         try:
-            futures = [
-                executor.submit(
-                    _process_analyze,
-                    export.handle,
-                    self.slave.config,
-                    self.slave.seed,
-                    component,
-                    violation_time,
-                )
-                for component in ordered
-            ]
-            for component, future in zip(ordered, futures):
+            while True:
+                attempts += 1
+                wave_timed_out: List[ComponentId] = []
+                executor = self._process_pool(len(pending))
                 try:
-                    reports.append(future.result(timeout=self.timeout))
-                except FutureTimeoutError:
-                    future.cancel()
-                    timed_out.add(component)
-                    reports.append(
-                        ComponentReport(component=component, skipped=True)
-                    )
+                    futures = [
+                        executor.submit(
+                            _process_analyze,
+                            export.handle,
+                            self.slave.config,
+                            self.slave.seed,
+                            component,
+                            violation_time,
+                        )
+                        for component in pending
+                    ]
+                    for component, future in zip(pending, futures):
+                        try:
+                            results[component] = future.result(
+                                timeout=self.timeout
+                            )
+                        except FutureTimeoutError:
+                            future.cancel()
+                            wave_timed_out.append(component)
+                finally:
+                    if wave_timed_out:
+                        # A wedged worker must never poison a later
+                        # diagnosis (or retry wave): drop the whole pool
+                        # without waiting on it — the next wave forks a
+                        # fresh one.
+                        self._discard_process_pool(wait=False)
+                if not wave_timed_out or attempts > self.retries:
+                    break
+                time.sleep(self.retry_backoff * 2 ** (attempts - 1))
+                pending = wave_timed_out
         finally:
-            if timed_out:
-                # A wedged worker must never poison a later diagnosis:
-                # drop the whole pool without waiting on it.
-                self._discard_process_pool(wait=False)
             # Unlinking only removes the segment's name; workers that
             # already attached (including abandoned ones) keep reading
             # valid memory until their own mappings go away.
             export.close()
-        return reports, frozenset(timed_out)
+        timed_out = frozenset(wave_timed_out)
+        self._skip_timed_out(results, timed_out, attempts)
+        return [results[component] for component in ordered], timed_out
+
+    def _skip_timed_out(
+        self,
+        results: Dict[ComponentId, ComponentReport],
+        timed_out: FrozenSet[ComponentId],
+        attempts: int,
+    ) -> None:
+        """Fill skipped placeholder reports for exhausted components."""
+        for component in timed_out:
+            results[component] = ComponentReport(
+                component=component,
+                skipped=True,
+                skip_reason=(
+                    f"analysis timed out after {attempts} attempt(s) "
+                    f"({self.timeout:g}s timeout each)"
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Process-pool lifecycle

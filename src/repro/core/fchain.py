@@ -52,6 +52,7 @@ from repro.core.validation import (
     apply_validation,
     validate_pinpointing,
 )
+from repro.monitoring.quality import DEFAULT_POLICY, DataQualityReport
 from repro.monitoring.store import MetricStore
 from repro.obs.trace import (
     STAGE_COMPONENT,
@@ -162,6 +163,12 @@ class FChainSlave:
         O(1) numpy calls per chunk instead of O(samples) Python calls.
         This is the path the engine uses to catch a slave up with a store
         and the one streaming collectors should prefer.
+
+        NaN entries mark missing ticks (unfillable telemetry gaps): they
+        produce NaN prediction errors, update no model state, and sever
+        the Markov transition chain across the gap (see
+        :meth:`~repro.core.prediction.MarkovPredictor.update_many_gapped`).
+        An all-finite chunk takes the strict vectorized path unchanged.
         """
         key = (component, metric)
         model = self._models.get(key)
@@ -179,7 +186,7 @@ class FChainSlave:
                 values if isinstance(values, (list, tuple)) else list(values),
                 dtype=float,
             )
-        errors = model.update_many(chunk)
+        errors = model.update_many_gapped(chunk)
         self._streams[key].extend(errors)
         self._consumed[key] = self._consumed.get(key, 0) + len(chunk)
 
@@ -282,12 +289,17 @@ class FChainSlave:
         Returns:
             The component report with any selected abnormal changes. The
             report is marked ``skipped`` when no metric had enough
-            recorded history to analyse.
+            recorded history to analyse, or when every metric with
+            history fell below the data-quality coverage floor; the
+            report's ``quality`` carries the per-component
+            :class:`~repro.monitoring.quality.DataQualityReport`.
         """
         config = self.config
         window_start = violation_time - config.look_back_window
         window_end = violation_time + config.analysis_grace + 1
         self.bind_store(store)
+        policy = getattr(store, "policy", None) or DEFAULT_POLICY
+        revision = getattr(store, "revision", 0)
         tracer = self.tracer
         with tracer.span(STAGE_COMPONENT, component=component) as comp_span:
             # Catch the online models up with the store first — identical
@@ -296,6 +308,10 @@ class FChainSlave:
             # per-(component, metric), so syncing every metric before any
             # selection is equivalent to the interleaved order.
             windows = []
+            metrics_total = 0
+            metrics_inconclusive = 0
+            expected_total = observed_total = 0
+            filled_total = missing_total = 0
             with comp_span.child(STAGE_STORE_SYNC) as sync_span:
                 for metric in store.metrics_for(component):
                     full = store.series(component, metric).window(
@@ -303,6 +319,7 @@ class FChainSlave:
                     )
                     if len(full) < 2 * config.min_segment:
                         continue
+                    metrics_total += 1
                     key = (component, metric)
                     have = self._consumed.get(key, 0)
                     if have < len(full):
@@ -310,28 +327,147 @@ class FChainSlave:
                             component, metric, full.values[have:]
                         )
                         sync_span.count("samples_synced", len(full) - have)
-                    windows.append((metric, full))
+                    finite = np.isfinite(full.values)
+                    raw_lo = max(window_start, full.start)
+                    expected = max(0, min(window_end, store.end) - raw_lo)
+                    span_lo = raw_lo - full.start
+                    # Slots the ingest policy synthesized are finite in
+                    # the array but are *not* observations: they must not
+                    # count toward the coverage floor, or heavy loss
+                    # hidden by an eager fill policy would escape gating.
+                    synth = 0
+                    if getattr(store, "policy", None) is not None:
+                        slots = store.series_quality(
+                            component, metric
+                        ).gap_slots
+                        if slots:
+                            synth = sum(
+                                1
+                                for s, kind in slots.items()
+                                if span_lo <= s < len(full)
+                                and kind != "missing"
+                            )
+                    observed = int(finite[span_lo:].sum()) - synth
+                    expected_total += expected
+                    observed_total += observed
+                    filled_total += synth
+                    if (
+                        synth == 0
+                        and finite.all()
+                        and len(full) - span_lo >= expected
+                    ):
+                        # Clean series: the strict, bit-identical path.
+                        windows.append((metric, full))
+                        continue
+                    analysis, n_filled, analyzable = self._degraded_series(
+                        full, finite, span_lo, expected, observed, policy
+                    )
+                    filled_total += n_filled
+                    missing_total += max(
+                        0, expected - observed - n_filled - synth
+                    )
+                    if analyzable:
+                        windows.append((metric, analysis))
+                    else:
+                        metrics_inconclusive += 1
             changes = []
             for metric, full in windows:
                 with comp_span.child(STAGE_METRIC, metric=metric) as metric_span:
-                    errors = self._streams[(component, metric)].view(len(full))
+                    offset = full.start - store.start
+                    errors = self._streams[(component, metric)].view(
+                        offset + len(full)
+                    )[offset:]
                     raw = full.window(window_start, window_end)
                     history = full.window(full.start, raw.start)
                     split = raw.start - full.start
                     changes.extend(
                         self._select_cached(
                             component, metric, full, raw, history, errors,
-                            split, span=metric_span,
+                            split, revision, span=metric_span,
                         )
                     )
             comp_span.count("metrics_analyzed", len(windows))
             comp_span.count("abnormal_changes", len(changes))
+        quality = DataQualityReport.build(
+            component=component,
+            samples_expected=expected_total,
+            samples_observed=observed_total,
+            samples_filled=filled_total,
+            samples_missing=missing_total,
+            samples_dropped=(
+                store.quality_for(component).dropped
+                if getattr(store, "policy", None) is not None
+                else 0
+            ),
+            metrics_total=metrics_total,
+            metrics_analyzed=len(windows),
+            metrics_inconclusive=metrics_inconclusive,
+        )
+        skip_reason = None
+        if not windows:
+            if metrics_total == 0:
+                skip_reason = "insufficient recorded history"
+            else:
+                skip_reason = (
+                    f"telemetry coverage below the "
+                    f"{policy.min_coverage:.0%} policy floor on all "
+                    f"{metrics_total} metric(s)"
+                )
         return ComponentReport(
             component=component,
             abnormal_changes=changes,
             skipped=not windows,
+            skip_reason=skip_reason,
+            quality=quality,
             trace=comp_span if tracer.enabled else None,
         )
+
+    def _degraded_series(
+        self,
+        full: TimeSeries,
+        finite: np.ndarray,
+        span_lo: int,
+        expected: int,
+        observed: int,
+        policy,
+    ) -> Tuple[TimeSeries, int, bool]:
+        """Repair, coverage-gate and clip a gap-afflicted series.
+
+        Returns ``(series, filled_in_window, analyzable)``. The series is
+        the bounded-fill repair of ``full``, clipped past any unfillable
+        gap that lies before the look-back window (``span_lo``); it is
+        only ``analyzable`` when the window's *observed* coverage meets
+        the policy floor and no unfillable gap remains inside the window
+        — a metric failing either test is inconclusive and must not vote,
+        because selection on mostly-synthesized data risks a confident
+        mis-ranking.
+        """
+        coverage = observed / expected if expected else 0.0
+        repaired = full
+        if policy.fill != "none" and not finite.all():
+            repaired = full.filled(max_gap=policy.max_gap, method=policy.fill)
+        n_filled = 0
+        if repaired is not full:
+            now_finite = np.isfinite(repaired.values)
+            n_filled = int((now_finite & ~finite)[span_lo:].sum())
+        else:
+            now_finite = finite
+        if coverage < policy.min_coverage:
+            return repaired, n_filled, False
+        bad = np.flatnonzero(~now_finite)
+        if len(bad) == 0:
+            return repaired, n_filled, True
+        last_bad = int(bad[-1])
+        if last_bad >= span_lo:
+            # An unfillable gap inside the look-back window itself.
+            return repaired, n_filled, False
+        # The window is whole but the history has an unfillable hole:
+        # clip the series to the contiguous finite suffix so CUSUM and
+        # the history references see finite data only.
+        clipped = repaired.window(full.start + last_bad + 1, repaired.end)
+        if len(clipped) < 2 * self.config.min_segment:
+            return repaired, n_filled, False
+        return clipped, n_filled, True
 
     def _select_cached(
         self,
@@ -342,22 +478,26 @@ class FChainSlave:
         history: TimeSeries,
         errors: np.ndarray,
         split: int,
+        revision: int = 0,
         span=None,
     ) -> List:
         """Window-keyed memoization around the selection pipeline.
 
-        Keys are ``(component, metric, window bounds)``; the store is
-        append-only so equal bounds imply equal samples, equal error
-        slices (online errors are causal) and therefore equal output. Two
-        levels are kept: the CUSUM/bootstrap intermediates (the dominant
-        cost) and the final selected changes, so the validation loop and
-        repeated diagnoses of one violation skip the work entirely.
+        Keys are ``(component, metric, window bounds, store revision)``;
+        the store is append-only so equal bounds imply equal samples,
+        equal error slices (online errors are causal) and therefore equal
+        output — except when a late arrival backfilled a past slot in
+        place, which bumps the store's ``revision`` and thereby invalidates
+        every window cached before the repair. Two levels are kept: the
+        CUSUM/bootstrap intermediates (the dominant cost) and the final
+        selected changes, so the validation loop and repeated diagnoses
+        of one violation skip the work entirely.
         """
         from repro.obs.trace import NULL_SPAN
 
         if span is None:
             span = NULL_SPAN
-        cache_key = (component, metric, raw.start, raw.end)
+        cache_key = (component, metric, raw.start, raw.end, revision)
         cached = self._selection_cache.get(cache_key)
         if cached is not None:
             self._selection_cache.move_to_end(cache_key)

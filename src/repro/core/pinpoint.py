@@ -62,6 +62,25 @@ class PinpointResult:
         report = self.reports.get(component)
         return report.implicated_metrics if report else []
 
+    @property
+    def skipped_reasons(self) -> Dict[ComponentId, str]:
+        """Why each skipped component could not be examined."""
+        reasons: Dict[ComponentId, str] = {}
+        for component in self.skipped:
+            report = self.reports.get(component)
+            reason = getattr(report, "skip_reason", None) if report else None
+            reasons[component] = reason or "insufficient recorded history"
+        return reasons
+
+    @property
+    def quality(self) -> Dict[ComponentId, object]:
+        """Per-component data-quality reports, where the slaves built one."""
+        return {
+            component: report.quality
+            for component, report in self.reports.items()
+            if getattr(report, "quality", None) is not None
+        }
+
     def summary(self) -> str:
         """Human-readable diagnosis summary (for logs and operators)."""
         if self.external_factor:
@@ -73,8 +92,15 @@ class PinpointResult:
         if not self.chain.links:
             text = "no abnormal changes found in the look-back window"
             if self.skipped:
+                reasons = self.skipped_reasons
+                detail = ", ".join(
+                    f"{component} ({reasons[component]})"
+                    for component in sorted(self.skipped)
+                )
+                text += f"; skipped: {detail}"
                 text += (
-                    f"; skipped for insufficient data: {sorted(self.skipped)}"
+                    "\nverdict is inconclusive: the skipped components "
+                    "could not be ruled out"
                 )
             return text
         lines = ["abnormal change propagation chain:"]

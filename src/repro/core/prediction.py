@@ -284,6 +284,45 @@ class MarkovPredictor:
         self._previous_bin = int(bins_arr[-1])
         return errors
 
+    def update_many_gapped(self, values) -> np.ndarray:
+        """Feed a chunk that may contain NaN gap markers; return errors.
+
+        Degraded telemetry leaves unfillable holes as NaN slots. This
+        wrapper keeps the Markov state sound across them: finite runs go
+        through :meth:`update_many` unchanged (an all-finite chunk takes
+        exactly that path — bit-identical to the clean pipeline), while
+        each gap yields NaN errors, performs *no* model update, and
+        breaks the transition chain — the pre-gap and post-gap samples
+        were not consecutive, so counting a transition between them
+        would teach the model a jump that never happened.
+
+        After a gap the next finite sample only re-seeds the chain state
+        (no prediction, no transition), exactly like the first
+        post-warmup sample.
+        """
+        arr = np.asarray(values, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("update_many_gapped expects a 1-D array")
+        finite = np.isfinite(arr)
+        if finite.all():
+            return self.update_many(arr)
+        errors = np.full(len(arr), np.nan)
+        idx = np.flatnonzero(finite)
+        if len(idx) == 0:
+            return errors
+        run_breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+        for run in np.split(idx, run_breaks):
+            lo, hi = int(run[0]), int(run[-1]) + 1
+            if lo > 0:
+                # The samples of this run follow a gap: sever the chain
+                # so no cross-gap transition is learned.
+                self._previous_bin = None
+            errors[lo:hi] = self.update_many(arr[lo:hi])
+        if not finite[-1]:
+            # A trailing gap severs the chain for the *next* chunk too.
+            self._previous_bin = None
+        return errors
+
     def _batch_epoch(
         self, rows: np.ndarray, cols: np.ndarray, out: np.ndarray
     ) -> None:

@@ -24,10 +24,20 @@ class ComponentReport:
         abnormal_changes: Selected abnormal changes across all metrics
             (empty when the component looks normal).
         skipped: True when the slave could not analyse the component at
-            all — no metric had enough recorded history (or the analysis
-            timed out in a :class:`~repro.core.engine.SlavePool`). Such a
-            component is *unknown*, not normal, and is surfaced through
+            all — no metric had enough recorded history, no metric met
+            the data-quality coverage floor, or the analysis timed out
+            in a :class:`~repro.core.engine.SlavePool`. Such a component
+            is *unknown*, not normal, and is surfaced through
             ``PinpointResult.skipped`` instead of being silently dropped.
+        skip_reason: Human-readable reason when ``skipped`` is True
+            (insufficient history / coverage below the policy floor /
+            timeout after N attempts). Excluded from equality — the
+            verdict is defined by the data, not its narration.
+        quality: The per-component
+            :class:`~repro.monitoring.quality.DataQualityReport` of the
+            analysis window (None for hand-built or pre-layer reports).
+            Excluded from equality like ``trace``: two analyses agreeing
+            on the abnormal changes are the same finding.
         trace: The telemetry span tree of this component's analysis, or
             None when telemetry is off. Excluded from equality — two
             analyses of the same data are the same report regardless of
@@ -37,6 +47,8 @@ class ComponentReport:
     component: ComponentId
     abnormal_changes: List[AbnormalChange] = field(default_factory=list)
     skipped: bool = False
+    skip_reason: Optional[str] = field(default=None, compare=False)
+    quality: Optional[object] = field(default=None, compare=False, repr=False)
     trace: Optional[object] = field(default=None, compare=False, repr=False)
 
     @property

@@ -7,6 +7,7 @@ the identical recorded data to every localization scheme;
 :mod:`repro.eval.report` prints the rows/series of each table and figure.
 """
 
+from repro.eval.chaos import ChaosSpec, corrupt_store
 from repro.eval.metrics import PrecisionRecall, RocPoint
 from repro.eval.plotting import sparkline, strip_chart
 from repro.eval.runner import (
@@ -35,8 +36,10 @@ __all__ = [
     "PrecisionRecall",
     "RocPoint",
     "RunRecord",
+    "ChaosSpec",
     "Scenario",
     "all_scenarios",
+    "corrupt_store",
     "dependency_graph_for",
     "evaluate_schemes",
     "execute_run",

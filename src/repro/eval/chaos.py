@@ -1,0 +1,158 @@
+"""Seeded telemetry-corruption harness for chaos testing.
+
+The resilience layer (:mod:`repro.monitoring.quality`) promises graceful
+degradation on broken telemetry; this module manufactures the breakage.
+:func:`corrupt_store` replays a clean recorded :class:`MetricStore`
+through the tolerant timestamped ingestion path while injecting the
+defect classes a production collector produces:
+
+* random sample loss (``gap_fraction``),
+* NaN readings (``nan_fraction``),
+* constant per-series clock skew (``max_skew``),
+* delayed out-of-order delivery (``delay_fraction`` / ``delay_max``),
+* VM churn — components silent for a contiguous interval (``churn``).
+
+Everything is driven by one :class:`numpy.random.Generator` seeded from
+``ChaosSpec.seed`` and iterated in sorted series order, so a given
+``(store, spec, policy)`` triple always yields the same corrupted store
+— the chaos suite asserts determinism per seed on exactly this
+property.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.store import MetricStore
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One reproducible corruption recipe.
+
+    Attributes:
+        seed: Seeds every random choice the corruption makes.
+        gap_fraction: Per-sample probability of the sample never being
+            delivered (a missing tick).
+        nan_fraction: Per-sample probability of the delivered value being
+            NaN (a broken reading; the ingest policy decides its fate).
+        max_skew: Per-series constant clock offset drawn uniformly from
+            ``[-max_skew, max_skew]`` ticks and added to every timestamp
+            of the series.
+        delay_fraction: Per-sample probability of delayed delivery: the
+            sample arrives ``1..delay_max`` ticks late, out of order.
+        delay_max: Upper bound on the delivery delay in ticks.
+        churn: Number of components that go silent (VM churn) for one
+            contiguous interval each.
+        churn_max: Longest silence interval in ticks.
+    """
+
+    seed: int
+    gap_fraction: float = 0.0
+    nan_fraction: float = 0.0
+    max_skew: int = 0
+    delay_fraction: float = 0.0
+    delay_max: int = 5
+    churn: int = 0
+    churn_max: int = 40
+
+
+def corrupt_store(
+    source: MetricStore,
+    spec: ChaosSpec,
+    policy: Optional[DataQualityPolicy] = None,
+) -> MetricStore:
+    """Replay a clean store through tolerant ingestion with faults injected.
+
+    The first tick of every series is always delivered intact so the
+    per-series skew offset is learnable (a real collector's registration
+    handshake anchors the clock the same way); all later samples are
+    subject to the spec's loss, NaN, delay and churn processes. Delayed
+    samples are delivered in timestamp-sorted batches after each tick,
+    and any still pending at the end of the run are flushed in order.
+
+    Args:
+        source: The clean recorded store to corrupt (read-only).
+        spec: The corruption recipe.
+        policy: Data-quality policy of the corrupted store (defaults to
+            :data:`~repro.monitoring.quality.DEFAULT_POLICY` semantics
+            via ``DataQualityPolicy()``).
+
+    Returns:
+        A new policy-enabled store covering the same time span.
+    """
+    policy = policy or DataQualityPolicy()
+    rng = np.random.default_rng(spec.seed)
+    out = MetricStore(start=source.start, policy=policy)
+    keys = [
+        (component, metric)
+        for component in source.components
+        for metric in source.metrics_for(component)
+    ]
+    values = {key: source.series(*key).values for key in keys}
+    skews = {
+        key: (
+            int(rng.integers(-spec.max_skew, spec.max_skew + 1))
+            if spec.max_skew
+            else 0
+        )
+        for key in keys
+    }
+    absent = _churn_intervals(source, spec, rng)
+    pending: Dict[int, List[Tuple]] = {}
+    for t in range(source.start, source.end):
+        for key in keys:
+            component, metric = key
+            interval = absent.get(component)
+            if interval and interval[0] <= t < interval[1]:
+                continue
+            value = float(values[key][t - source.start])
+            if t > source.start:
+                if spec.gap_fraction and rng.random() < spec.gap_fraction:
+                    continue
+                if spec.nan_fraction and rng.random() < spec.nan_fraction:
+                    value = math.nan
+                if spec.delay_fraction and rng.random() < spec.delay_fraction:
+                    deliver = t + 1 + int(rng.integers(0, spec.delay_max))
+                    pending.setdefault(deliver, []).append(
+                        (component, metric, t + skews[key], value)
+                    )
+                    continue
+            out.ingest(component, metric, t + skews[key], value)
+        for late in pending.pop(t, ()):
+            out.ingest(*late)
+    for deliver in sorted(pending):
+        for late in pending[deliver]:
+            out.ingest(*late)
+    out.advance_to(source.end)
+    return out
+
+
+def _churn_intervals(
+    source: MetricStore, spec: ChaosSpec, rng: np.random.Generator
+) -> Dict[str, Tuple[int, int]]:
+    """Draw one silence interval per churned component (never tick 0)."""
+    if not spec.churn or source.length <= 2:
+        return {}
+    components = source.components
+    picked = rng.choice(
+        len(components), size=min(spec.churn, len(components)), replace=False
+    )
+    intervals: Dict[str, Tuple[int, int]] = {}
+    for index in sorted(int(i) for i in picked):
+        component = components[index]
+        length = int(rng.integers(1, spec.churn_max + 1))
+        offset = int(rng.integers(1, max(2, source.length - length)))
+        intervals[component] = (
+            source.start + offset,
+            source.start + offset + length,
+        )
+    return intervals
+
+
+__all__ = ["ChaosSpec", "corrupt_store"]

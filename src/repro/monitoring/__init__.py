@@ -6,6 +6,11 @@ progress, or per-tuple processing time). This package holds the metric
 store both sides share and the SLO detectors that trigger diagnosis.
 """
 
+from repro.monitoring.quality import (
+    DataQualityPolicy,
+    DataQualityReport,
+    SeriesQuality,
+)
 from repro.monitoring.slo import (
     LatencySLO,
     ProgressSLO,
@@ -15,9 +20,12 @@ from repro.monitoring.slo import (
 from repro.monitoring.store import MetricStore
 
 __all__ = [
+    "DataQualityPolicy",
+    "DataQualityReport",
     "LatencySLO",
     "MetricStore",
     "ProgressSLO",
+    "SeriesQuality",
     "SLODetector",
     "SLOStatus",
 ]

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import csv
 import pathlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError
 from repro.common.types import ComponentId, Metric
+from repro.monitoring.quality import DataQualityPolicy
 from repro.monitoring.store import MetricStore
 
 #: CSV header, fixed.
@@ -42,18 +43,29 @@ def save_store_csv(store: MetricStore, path) -> None:
                     )
 
 
-def load_store_csv(path) -> MetricStore:
+def load_store_csv(
+    path, policy: Optional[DataQualityPolicy] = None
+) -> MetricStore:
     """Load a long-format CSV into a :class:`MetricStore`.
 
-    Requirements: the header above; one row per (time, component, metric);
-    every series sampled at 1 Hz over the same contiguous time range.
+    By default (``policy=None``) the loader is strict: the header above,
+    one row per (time, component, metric), every series sampled at 1 Hz
+    over the same contiguous time range — anything else raises.
+
+    With a :class:`~repro.monitoring.quality.DataQualityPolicy` the load
+    is tolerant: rows stream through :meth:`MetricStore.ingest` in file
+    order, so gaps are repaired or recorded as missing, non-finite
+    values and duplicates are resolved, and out-of-order rows backfill —
+    recorded production telemetry can be diagnosed offline without
+    pre-cleaning.
 
     Raises:
-        ReproError: On malformed headers, unknown metrics, gaps, or
-            ragged series.
+        ReproError: On malformed headers, unknown metrics, and (strict
+            mode only) gaps or ragged series.
     """
     path = pathlib.Path(path)
     by_series: Dict[Tuple[ComponentId, Metric], Dict[int, float]] = {}
+    rows: List[Tuple[int, ComponentId, Metric, float]] = []
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         header = tuple(next(reader, ()))
@@ -72,10 +84,20 @@ def load_store_csv(path) -> MetricStore:
                 raise ReproError(
                     f"{path}:{line_number}: bad row {row!r}: {error}"
                 ) from error
+            rows.append((time, row[1], metric, value))
             by_series.setdefault((row[1], metric), {})[time] = value
 
     if not by_series:
         raise ReproError(f"{path}: no samples")
+
+    if policy is not None:
+        start = min(min(samples) for samples in by_series.values())
+        end = max(max(samples) for samples in by_series.values())
+        store = MetricStore(start=start, policy=policy)
+        for time, component, metric, value in rows:
+            store.ingest(component, metric, time, value)
+        store.advance_to(end + 1)
+        return store
 
     starts = {min(samples) for samples in by_series.values()}
     ends = {max(samples) for samples in by_series.values()}

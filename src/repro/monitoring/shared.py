@@ -22,26 +22,39 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.common.types import ComponentId, Metric
+from repro.monitoring.quality import DataQualityPolicy, SeriesQuality
 from repro.monitoring.store import MetricStore
 
 #: One column of the flattened layout: (component, metric value, element
 #: offset into the segment, element count).
 _ColumnSpec = Tuple[ComponentId, str, int, int]
 
+#: One series' ingest-quality snapshot: (component, metric value, stats).
+_QualitySpec = Tuple[ComponentId, str, SeriesQuality]
+
 
 @dataclass(frozen=True)
 class SharedStoreHandle:
-    """Picklable description of an exported store segment."""
+    """Picklable description of an exported store segment.
+
+    Besides the column layout, the handle carries the store's
+    data-quality context (policy, per-series ingest counters, revision)
+    so a worker's attached view reproduces the master's
+    ``DataQualityReport``s bit for bit.
+    """
 
     shm_name: str
     start: int
     length: int
     layout: Tuple[_ColumnSpec, ...]
+    policy: Optional[DataQualityPolicy] = None
+    quality: Tuple[_QualitySpec, ...] = ()
+    revision: int = 0
 
     @property
     def total_elements(self) -> int:
@@ -78,6 +91,14 @@ class SharedStoreExport:
             start=store.start,
             length=store.length,
             layout=tuple(layout),
+            policy=store.policy,
+            quality=tuple(
+                (component, metric.value, qual.snapshot())
+                for (component, metric), qual in sorted(
+                    store._quality.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+                )
+            ),
+            revision=store.revision,
         )
 
     def close(self) -> None:
@@ -117,7 +138,7 @@ def attach_store(handle: SharedStoreHandle) -> MetricStore:
     flat = np.ndarray(
         (handle.total_elements,), dtype=np.float64, buffer=shm.buf
     )
-    store = MetricStore(start=handle.start)
+    store = MetricStore(start=handle.start, policy=handle.policy)
     store._length = handle.length
     for component, metric_value, offset, count in handle.layout:
         key = (component, Metric(metric_value))
@@ -127,5 +148,8 @@ def attach_store(handle: SharedStoreHandle) -> MetricStore:
         store._data[key] = column
         store._columns[key] = column
         store._filled[key] = count
+    for component, metric_value, qual in handle.quality:
+        store._quality[(component, Metric(metric_value))] = qual
+    store._revision = handle.revision
     store._shm = shm  # keep the mapping alive as long as the store
     return store

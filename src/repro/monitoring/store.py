@@ -16,12 +16,19 @@ slice windows out of a live store without snapshotting it.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Tuple
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.common.errors import DataQualityError
 from repro.common.timeseries import TimeSeries
 from repro.common.types import METRIC_NAMES, ComponentId, Metric
+from repro.monitoring.quality import (
+    DataQualityPolicy,
+    IngestMetrics,
+    SeriesQuality,
+)
 
 _Key = Tuple[ComponentId, Metric]
 
@@ -32,18 +39,43 @@ _MIN_COLUMN_CAPACITY = 256
 class MetricStore:
     """Append-only storage of per-component metric samples.
 
-    Samples must be appended tick by tick (1 Hz); the store derives
-    timestamps from the append order and the configured start time.
+    Two write interfaces exist:
+
+    * :meth:`record` / :meth:`advance` — the strict clean-data path:
+      samples arrive tick by tick (1 Hz) and timestamps are derived from
+      append order. This path is untouched by the resilience layer and
+      stays bit-identical to the historical behaviour.
+    * :meth:`ingest` / :meth:`record_at` / :meth:`advance_to` — the
+      tolerant timestamped path, available when the store was built with
+      a :class:`~repro.monitoring.quality.DataQualityPolicy`. It
+      validates each sample, repairs bounded gaps, aligns constant clock
+      skew, backfills late out-of-order arrivals and resolves
+      duplicates, keeping per-series
+      :class:`~repro.monitoring.quality.SeriesQuality` counters that the
+      diagnosis surfaces as per-component ``DataQualityReport``s.
+
+    One caveat on the tolerant path: a late arrival backfills an
+    already-padded slot in place, so views handed out *while the slot
+    was still open* observe the repair. :attr:`revision` increments on
+    every such in-place write; window-keyed caches include it so a
+    repaired window is never served from a stale cache entry.
     """
 
-    def __init__(self, start: int = 0) -> None:
+    def __init__(
+        self, start: int = 0, policy: Optional[DataQualityPolicy] = None
+    ) -> None:
         self.start = start
+        self.policy = policy
         self._data: Dict[_Key, List[float]] = {}
         self._length = 0
         # Lazily synced numpy mirrors of ``_data``: column array plus how
         # many leading entries of it are valid.
         self._columns: Dict[_Key, np.ndarray] = {}
         self._filled: Dict[_Key, int] = {}
+        # Data-quality bookkeeping (tolerant path only).
+        self._quality: Dict[_Key, SeriesQuality] = {}
+        self._revision = 0
+        self._ingest_metrics: Optional[IngestMetrics] = None
 
     # ------------------------------------------------------------------
     # Writing
@@ -60,6 +92,206 @@ class MetricStore:
     def advance(self) -> None:
         """Mark the end of a tick (all components recorded)."""
         self._length += 1
+
+    # ------------------------------------------------------------------
+    # Tolerant timestamped ingestion (the data-quality path)
+    # ------------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        """Bumped whenever a past slot is rewritten (backfill/overwrite)."""
+        return self._revision
+
+    def record_at(
+        self, component: ComponentId, values: Mapping[Metric, float], time: int
+    ) -> None:
+        """Ingest one component's tick of samples at an explicit timestamp."""
+        for metric, value in values.items():
+            self.ingest(component, metric, time, value)
+
+    def advance_to(self, time: int) -> None:
+        """Mark every tick before ``time`` as complete (monotonic)."""
+        self._length = max(self._length, time - self.start)
+
+    def ingest(
+        self, component: ComponentId, metric: Metric, time: int, value: float
+    ) -> None:
+        """Ingest one timestamped sample under the data-quality policy.
+
+        Handles, per the store's policy: NaN/inf validation, gap
+        detection and bounded fill, constant clock-skew alignment, late
+        out-of-order backfill, and duplicate resolution. Requires the
+        store to have been constructed with a policy.
+        """
+        policy = self.policy
+        if policy is None:
+            raise DataQualityError(
+                "timestamped ingestion needs a DataQualityPolicy: "
+                "construct MetricStore(policy=...) or use record()/advance()"
+            )
+        key = (component, metric)
+        samples = self._data.setdefault(key, [])
+        qual = self._quality.get(key)
+        if qual is None:
+            qual = self._quality[key] = SeriesQuality()
+        qual.seen += 1
+        value = float(value)
+        if not math.isfinite(value):
+            if policy.on_invalid == "reject":
+                raise DataQualityError(
+                    f"non-finite sample {value!r} for {component}/{metric} "
+                    f"at t={time}"
+                )
+            qual.invalid += 1
+            self._metrics().dropped.inc(1, reason="invalid")
+            value = math.nan
+
+        # Constant clock-skew alignment: the offset of the first sample
+        # (bounded by max_skew) is treated as the slave's clock error
+        # and subtracted from every timestamp of this series. A first
+        # sample far off the grid is a genuine gap (late-joining VM),
+        # not skew.
+        if qual.skew_offset is None:
+            offset = 0
+            if policy.align_skew:
+                delta = time - (self.start + len(samples))
+                if delta != 0 and abs(delta) <= policy.max_skew:
+                    offset = delta
+                    self._metrics().skew_aligned.inc(1)
+            qual.skew_offset = offset
+        time -= qual.skew_offset
+
+        slot = time - self.start
+        head = len(samples)
+        if slot == head:
+            self._append_sample(key, qual, value)
+        elif slot > head:
+            self._fill_gap(key, qual, head, slot, value, policy)
+            self._append_sample(key, qual, value)
+        else:
+            self._backfill(key, qual, slot, value, policy)
+
+    def _append_sample(
+        self, key: _Key, qual: SeriesQuality, value: float
+    ) -> None:
+        samples = self._data[key]
+        if math.isnan(value):
+            qual.gap_slots[len(samples)] = "missing"
+            qual.missing += 1
+        else:
+            qual.observed += 1
+        samples.append(value)
+
+    def _fill_gap(
+        self,
+        key: _Key,
+        qual: SeriesQuality,
+        head: int,
+        slot: int,
+        arriving: float,
+        policy: DataQualityPolicy,
+    ) -> None:
+        """Pad ``[head, slot)`` — repaired per policy or left missing."""
+        samples = self._data[key]
+        gap = slot - head
+        prev = samples[-1] if samples else math.nan
+        fillable = (
+            policy.fill != "none"
+            and gap <= policy.max_gap
+            and math.isfinite(prev)
+        )
+        if fillable and policy.fill == "interpolate" and math.isfinite(arriving):
+            step = (arriving - prev) / (gap + 1)
+            for i in range(1, gap + 1):
+                samples.append(prev + step * i)
+                qual.gap_slots[head + i - 1] = "interpolate"
+            qual.filled_interpolated += gap
+            self._metrics().filled.inc(gap, method="interpolate")
+        elif fillable:
+            # Forward fill — also the fallback when the sample closing
+            # the gap is itself invalid (nothing to interpolate toward).
+            samples.extend([prev] * gap)
+            for i in range(head, slot):
+                qual.gap_slots[i] = "forward"
+            qual.filled_forward += gap
+            self._metrics().filled.inc(gap, method="forward")
+        else:
+            samples.extend([math.nan] * gap)
+            for i in range(head, slot):
+                qual.gap_slots[i] = "missing"
+            qual.missing += gap
+            self._metrics().gap_ticks.inc(gap)
+
+    def _backfill(
+        self,
+        key: _Key,
+        qual: SeriesQuality,
+        slot: int,
+        value: float,
+        policy: DataQualityPolicy,
+    ) -> None:
+        """Resolve a sample older than the series head (out-of-order)."""
+        samples = self._data[key]
+        age = len(samples) - slot
+        if slot < 0 or age > policy.max_skew:
+            qual.late_dropped += 1
+            self._metrics().dropped.inc(1, reason="late")
+            return
+        synthesized = qual.gap_slots.get(slot)
+        if synthesized is not None:
+            if not math.isfinite(value):
+                # An invalid late sample cannot repair anything.
+                return
+            self._rewrite(key, slot, value)
+            del qual.gap_slots[slot]
+            if synthesized == "missing":
+                qual.missing -= 1
+            elif synthesized == "forward":
+                qual.filled_forward -= 1
+            else:
+                qual.filled_interpolated -= 1
+            qual.observed += 1
+            qual.late_accepted += 1
+            self._metrics().backfilled.inc(1)
+            return
+        # The slot already holds an observed value: a duplicate delivery.
+        if policy.on_duplicate == "reject":
+            raise DataQualityError(
+                f"duplicate sample for {key[0]}/{key[1]} at slot "
+                f"t={self.start + slot}"
+            )
+        qual.duplicates += 1
+        self._metrics().dropped.inc(1, reason="duplicate")
+        if policy.on_duplicate == "last" and math.isfinite(value):
+            self._rewrite(key, slot, value)
+
+    def _rewrite(self, key: _Key, slot: int, value: float) -> None:
+        """Write into a past slot, keeping the numpy mirror coherent."""
+        self._data[key][slot] = value
+        if self._filled.get(key, 0) > slot:
+            self._columns[key][slot] = value
+        self._revision += 1
+
+    def _metrics(self) -> IngestMetrics:
+        if self._ingest_metrics is None:
+            self._ingest_metrics = IngestMetrics()
+        return self._ingest_metrics
+
+    # ------------------------------------------------------------------
+    # Data-quality introspection
+    # ------------------------------------------------------------------
+    def series_quality(
+        self, component: ComponentId, metric: Metric
+    ) -> SeriesQuality:
+        """Ingest counters of one series (zeros when never ingested)."""
+        return self._quality.get((component, metric), SeriesQuality())
+
+    def quality_for(self, component: ComponentId) -> SeriesQuality:
+        """Aggregated ingest counters across a component's metrics."""
+        total = SeriesQuality()
+        for (comp, _metric), qual in self._quality.items():
+            if comp == component:
+                total.merge(qual)
+        return total
 
     # ------------------------------------------------------------------
     # Reading
@@ -137,9 +369,15 @@ class MetricStore:
         cls,
         data: Mapping[ComponentId, Mapping[Metric, Iterable[float]]],
         start: int = 0,
+        policy: Optional[DataQualityPolicy] = None,
     ) -> "MetricStore":
-        """Build a store from complete per-series arrays (tests, examples)."""
-        store = cls(start=start)
+        """Build a store from complete per-series arrays (tests, examples).
+
+        The arrays are taken verbatim (no validation or repair) — a
+        ``policy`` only parameterizes later ``ingest`` calls and the
+        analysis-side gap handling.
+        """
+        store = cls(start=start, policy=policy)
         lengths = set()
         for component, metrics in data.items():
             for metric, values in metrics.items():

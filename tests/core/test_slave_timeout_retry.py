@@ -1,0 +1,181 @@
+"""Regression tests for SlavePool timeout retry-with-backoff.
+
+A slave analysis that hits its timeout is re-submitted up to
+``slave_retries`` times (wave-based, exponential backoff) before its
+component is surfaced as ``skipped`` with a timeout reason — for both
+the thread and the process executor. A transiently wedged worker (one
+slow first attempt) must therefore not cost a component its verdict.
+"""
+
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.types import Metric
+from repro.core import engine
+from repro.core.config import FChainConfig
+from repro.core.engine import SlavePool, _process_analyze
+from repro.core.fchain import FChainSlave
+from repro.monitoring.store import MetricStore
+
+CONFIG = FChainConfig(cusum_bootstraps=40)
+
+_SENTINEL_ENV = "FCHAIN_TEST_WEDGE_SENTINEL"
+
+
+def _store(components=3, samples=300, seed=9):
+    rng = np.random.default_rng(seed)
+    data = {}
+    for i in range(components):
+        cpu = 30 + rng.normal(0, 1.5, samples)
+        if i == 1:
+            cpu[-60:] += np.linspace(0, 30, 60)
+        data[f"comp-{i}"] = {Metric.CPU_USAGE: cpu}
+    return MetricStore.from_arrays(data)
+
+
+class _FlakySlave(FChainSlave):
+    """Wedges the first ``wedge_calls`` analyses of one component."""
+
+    def __init__(self, config, wedge_component, wedge_calls=1, sleep=1.0):
+        super().__init__(config, seed=1)
+        self.wedge_component = wedge_component
+        self.wedge_calls = wedge_calls
+        self.sleep = sleep
+        self.calls = {}
+
+    def analyze(self, store, component, violation_time):
+        count = self.calls.get(component, 0) + 1
+        self.calls[component] = count
+        if component == self.wedge_component and count <= self.wedge_calls:
+            time.sleep(self.sleep)
+        return super().analyze(store, component, violation_time)
+
+
+class TestThreadExecutorRetry:
+    def test_transient_wedge_recovers_on_retry(self):
+        store = _store()
+        slave = _FlakySlave(CONFIG, "comp-0", wedge_calls=1)
+        pool = SlavePool(
+            slave, jobs=2, timeout=0.25, retries=1, retry_backoff=0.0,
+            executor="thread",
+        )
+        reports, timed_out = pool.analyze_all(store, store.end - 5)
+        assert timed_out == frozenset()
+        assert not any(r.skipped for r in reports)
+        assert [r.component for r in reports] == store.components
+        assert slave.calls["comp-0"] == 2
+        # The untouched components were analysed once, not re-run.
+        assert slave.calls["comp-1"] == slave.calls["comp-2"] == 1
+
+    def test_exhausted_retries_surface_reasoned_skip(self):
+        store = _store()
+        slave = _FlakySlave(CONFIG, "comp-0", wedge_calls=99)
+        pool = SlavePool(
+            slave, jobs=2, timeout=0.2, retries=1, retry_backoff=0.0,
+            executor="thread",
+        )
+        reports, timed_out = pool.analyze_all(store, store.end - 5)
+        assert timed_out == frozenset({"comp-0"})
+        skipped = {r.component: r for r in reports}["comp-0"]
+        assert skipped.skipped
+        assert "timed out" in skipped.skip_reason
+        assert "2 attempt(s)" in skipped.skip_reason
+
+    def test_zero_retries_keeps_historical_behaviour(self):
+        store = _store()
+        slave = _FlakySlave(CONFIG, "comp-0", wedge_calls=99)
+        pool = SlavePool(
+            slave, jobs=2, timeout=0.2, retries=0, executor="thread"
+        )
+        reports, timed_out = pool.analyze_all(store, store.end - 5)
+        assert timed_out == frozenset({"comp-0"})
+        assert slave.calls["comp-0"] == 1
+        assert "1 attempt(s)" in (
+            {r.component: r for r in reports}["comp-0"].skip_reason
+        )
+
+
+def _wedge_once_analyze(handle, config, seed, component, violation_time):
+    """Module-level (picklable) wedge: slow until the sentinel exists.
+
+    The sentinel file is written before sleeping, so the retry wave's
+    fresh worker process sees it and proceeds — a transient wedge.
+    """
+    if component == "comp-0":
+        sentinel = os.environ[_SENTINEL_ENV]
+        if not os.path.exists(sentinel):
+            with open(sentinel, "w") as f:
+                f.write("wedged")
+            time.sleep(5.0)
+    return _process_analyze(handle, config, seed, component, violation_time)
+
+
+class TestProcessExecutorRetry:
+    def test_transient_wedge_recovers_on_retry(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(_SENTINEL_ENV, str(tmp_path / "wedged"))
+        monkeypatch.setattr(engine, "_process_analyze", _wedge_once_analyze)
+        store = _store()
+        pool = SlavePool(
+            FChainSlave(CONFIG, seed=1), jobs=2, timeout=1.0, retries=1,
+            retry_backoff=0.0, executor="process",
+        )
+        try:
+            reports, timed_out = pool.analyze_all(store, store.end - 5)
+        finally:
+            pool.close()
+        assert timed_out == frozenset()
+        assert not any(r.skipped for r in reports)
+        assert [r.component for r in reports] == store.components
+
+    def test_exhausted_retries_surface_reasoned_skip(self, monkeypatch):
+        monkeypatch.setattr(
+            engine, "_process_analyze", _always_wedged_analyze
+        )
+        store = _store()
+        pool = SlavePool(
+            FChainSlave(CONFIG, seed=1), jobs=2, timeout=0.3, retries=1,
+            retry_backoff=0.0, executor="process",
+        )
+        try:
+            reports, timed_out = pool.analyze_all(store, store.end - 5)
+        finally:
+            pool.close()
+        assert timed_out == frozenset({"comp-0"})
+        skipped = {r.component: r for r in reports}["comp-0"]
+        assert skipped.skipped
+        assert "timed out" in skipped.skip_reason
+        # The poisoned pool was discarded after the final wave.
+        assert pool._pool is None
+
+
+def _always_wedged_analyze(handle, config, seed, component, violation_time):
+    """Module-level (picklable) wedge that never recovers."""
+    if component == "comp-0":
+        time.sleep(5.0)
+    return _process_analyze(handle, config, seed, component, violation_time)
+
+
+class TestConfigurationPlumbing:
+    def test_pool_defaults_from_config(self):
+        config = replace(CONFIG, slave_retries=3, slave_retry_backoff=0.5)
+        pool = SlavePool(FChainSlave(config))
+        assert pool.retries == 3
+        assert pool.retry_backoff == 0.5
+        override = SlavePool(
+            FChainSlave(config), retries=0, retry_backoff=0.0
+        )
+        assert override.retries == 0
+        assert override.retry_backoff == 0.0
+
+    def test_invalid_retry_settings_rejected(self):
+        with pytest.raises(ConfigurationError, match="retries"):
+            SlavePool(FChainSlave(CONFIG), retries=-1)
+        with pytest.raises(ConfigurationError, match="retry_backoff"):
+            SlavePool(FChainSlave(CONFIG), retry_backoff=-0.1)
+        with pytest.raises(ConfigurationError, match="slave_retries"):
+            FChainConfig(slave_retries=-2).validate()

@@ -1,0 +1,286 @@
+"""Tests for the data-quality resilience layer (policy, ingest, reports).
+
+Covers the tolerant timestamped ingestion path of ``MetricStore`` —
+validation, bounded gap fill, clock-skew alignment, out-of-order
+backfill, duplicate resolution — plus the ``SeriesQuality`` /
+``DataQualityReport`` bookkeeping and the tolerant CSV loader. The
+companion regression ``TestCleanPathUnchanged`` pins the tentpole
+invariant: a policy-enabled store fed clean data is indistinguishable
+from a plain store.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError, DataQualityError
+from repro.common.types import Metric
+from repro.monitoring.io import load_store_csv, save_store_csv
+from repro.monitoring.quality import (
+    CONFIDENCE_DEGRADED,
+    CONFIDENCE_FULL,
+    CONFIDENCE_INCONCLUSIVE,
+    DataQualityPolicy,
+    DataQualityReport,
+    SeriesQuality,
+)
+from repro.monitoring.store import MetricStore
+
+CPU = Metric.CPU_USAGE
+
+
+def ingest_series(store, values_by_time, component="web", metric=CPU):
+    for t, value in values_by_time:
+        store.ingest(component, metric, t, value)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        policy = DataQualityPolicy()
+        assert policy.fill == "interpolate"
+        assert policy.min_coverage == 0.6
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_invalid": "explode"},
+            {"fill": "spline"},
+            {"on_duplicate": "merge"},
+            {"max_gap": -1},
+            {"max_skew": -2},
+            {"min_coverage": 1.5},
+        ],
+    )
+    def test_rejects_bad_settings(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DataQualityPolicy(**kwargs)
+
+
+class TestIngest:
+    def test_requires_policy(self):
+        store = MetricStore()
+        with pytest.raises(DataQualityError, match="policy"):
+            store.ingest("web", CPU, 0, 1.0)
+
+    def test_contiguous_samples_match_record_path(self):
+        tolerant = MetricStore(policy=DataQualityPolicy())
+        strict = MetricStore()
+        for t in range(20):
+            tolerant.ingest("web", CPU, t, float(t))
+            strict.record("web", {CPU: float(t)})
+            strict.advance()
+        tolerant.advance_to(20)
+        np.testing.assert_array_equal(
+            tolerant.series("web", CPU).values,
+            strict.series("web", CPU).values,
+        )
+        qual = tolerant.series_quality("web", CPU)
+        assert qual.observed == 20
+        assert qual.filled == qual.missing == qual.dropped == 0
+        assert tolerant.revision == 0
+
+    def test_short_gap_is_interpolated(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=3))
+        ingest_series(store, [(0, 10.0), (1, 11.0), (4, 14.0)])
+        store.advance_to(5)
+        np.testing.assert_allclose(
+            store.series("web", CPU).values, [10.0, 11.0, 12.0, 13.0, 14.0]
+        )
+        qual = store.series_quality("web", CPU)
+        assert qual.filled_interpolated == 2
+        assert qual.missing == 0
+
+    def test_forward_fill_repeats_last_observation(self):
+        store = MetricStore(
+            policy=DataQualityPolicy(fill="forward", max_gap=3)
+        )
+        ingest_series(store, [(0, 10.0), (3, 16.0)])
+        store.advance_to(4)
+        np.testing.assert_allclose(
+            store.series("web", CPU).values, [10.0, 10.0, 10.0, 16.0]
+        )
+        assert store.series_quality("web", CPU).filled_forward == 2
+
+    def test_long_gap_stays_missing(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=2))
+        ingest_series(store, [(0, 1.0), (5, 6.0)])
+        store.advance_to(6)
+        values = store.series("web", CPU).values
+        assert np.isnan(values[1:5]).all()
+        qual = store.series_quality("web", CPU)
+        assert qual.missing == 4
+        assert qual.filled == 0
+
+    def test_fill_none_leaves_gaps(self):
+        store = MetricStore(policy=DataQualityPolicy(fill="none"))
+        ingest_series(store, [(0, 1.0), (2, 3.0)])
+        store.advance_to(3)
+        assert math.isnan(store.series("web", CPU).values[1])
+
+    def test_invalid_sample_becomes_gap(self):
+        store = MetricStore(policy=DataQualityPolicy())
+        ingest_series(store, [(0, 1.0), (1, math.nan), (2, 3.0)])
+        store.advance_to(3)
+        qual = store.series_quality("web", CPU)
+        assert qual.invalid == 1
+        # The NaN tick is a slot like any other; it stays NaN until a
+        # late delivery repairs it.
+        assert math.isnan(store.series("web", CPU).values[1])
+
+    def test_invalid_sample_rejected_under_strict_policy(self):
+        store = MetricStore(policy=DataQualityPolicy(on_invalid="reject"))
+        with pytest.raises(DataQualityError, match="non-finite"):
+            store.ingest("web", CPU, 0, math.inf)
+
+
+class TestSkewAlignment:
+    def test_constant_offset_is_learned_and_removed(self):
+        store = MetricStore(policy=DataQualityPolicy(max_skew=5))
+        for t in range(10):
+            store.ingest("web", CPU, t + 3, float(t))
+        store.advance_to(10)
+        np.testing.assert_allclose(
+            store.series("web", CPU).values, np.arange(10.0)
+        )
+        assert store.series_quality("web", CPU).skew_offset == 3
+
+    def test_offset_beyond_tolerance_is_a_gap_not_skew(self):
+        store = MetricStore(policy=DataQualityPolicy(max_skew=2, max_gap=2))
+        store.ingest("web", CPU, 8, 1.0)
+        store.advance_to(9)
+        qual = store.series_quality("web", CPU)
+        assert qual.skew_offset == 0
+        assert qual.missing == 8
+
+    def test_alignment_can_be_disabled(self):
+        store = MetricStore(
+            policy=DataQualityPolicy(align_skew=False, max_gap=10)
+        )
+        store.ingest("web", CPU, 3, 1.0)
+        store.advance_to(4)
+        assert store.series_quality("web", CPU).skew_offset == 0
+        assert len(store.series("web", CPU)) == 4
+
+
+class TestBackfill:
+    def test_late_sample_repairs_missing_slot(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=0, max_skew=5))
+        ingest_series(store, [(0, 1.0), (2, 3.0), (1, 2.0)])
+        store.advance_to(3)
+        np.testing.assert_allclose(
+            store.series("web", CPU).values, [1.0, 2.0, 3.0]
+        )
+        qual = store.series_quality("web", CPU)
+        assert qual.late_accepted == 1
+        assert qual.missing == 0
+        assert store.revision == 1
+
+    def test_late_sample_replaces_synthesized_fill(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=3, max_skew=5))
+        ingest_series(store, [(0, 10.0), (2, 30.0), (1, 99.0)])
+        store.advance_to(3)
+        assert store.series("web", CPU).values[1] == 99.0
+        qual = store.series_quality("web", CPU)
+        assert qual.filled_interpolated == 0
+        assert qual.observed == 3
+
+    def test_stale_sample_is_dropped(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=0, max_skew=2))
+        ingest_series(store, [(0, 1.0), (8, 9.0), (1, 2.0)])
+        store.advance_to(9)
+        qual = store.series_quality("web", CPU)
+        assert qual.late_dropped == 1
+        assert math.isnan(store.series("web", CPU).values[1])
+
+    def test_duplicate_first_keeps_original(self):
+        store = MetricStore(policy=DataQualityPolicy())
+        ingest_series(store, [(0, 1.0), (1, 2.0), (1, 7.0)])
+        store.advance_to(2)
+        assert store.series("web", CPU).values[1] == 2.0
+        assert store.series_quality("web", CPU).duplicates == 1
+
+    def test_duplicate_last_overwrites(self):
+        store = MetricStore(policy=DataQualityPolicy(on_duplicate="last"))
+        ingest_series(store, [(0, 1.0), (1, 2.0), (1, 7.0)])
+        store.advance_to(2)
+        assert store.series("web", CPU).values[1] == 7.0
+        assert store.revision == 1
+
+    def test_duplicate_reject_raises(self):
+        store = MetricStore(policy=DataQualityPolicy(on_duplicate="reject"))
+        with pytest.raises(DataQualityError, match="duplicate"):
+            ingest_series(store, [(0, 1.0), (1, 2.0), (1, 7.0)])
+
+
+class TestQualityAccounting:
+    def test_quality_for_merges_metrics(self):
+        store = MetricStore(policy=DataQualityPolicy(max_gap=0))
+        ingest_series(store, [(0, 1.0), (2, 3.0)], metric=Metric.CPU_USAGE)
+        ingest_series(
+            store, [(0, 1.0), (1, 2.0)], metric=Metric.MEMORY_USAGE
+        )
+        total = store.quality_for("web")
+        assert total.observed == 4
+        assert total.missing == 1
+
+    def test_snapshot_is_detached_and_complete(self):
+        qual = SeriesQuality(observed=3, gap_slots={4: "forward"})
+        snap = qual.snapshot()
+        snap.gap_slots[9] = "missing"
+        assert 9 not in qual.gap_slots
+        assert snap.observed == 3 and snap.gap_slots[4] == "forward"
+
+    def test_report_grades(self):
+        clean = DataQualityReport.build(
+            component="web", samples_expected=100, samples_observed=100,
+            samples_filled=0, samples_missing=0, samples_dropped=0,
+            metrics_total=2, metrics_analyzed=2, metrics_inconclusive=0,
+        )
+        assert clean.confidence == CONFIDENCE_FULL and clean.clean
+        degraded = DataQualityReport.build(
+            component="web", samples_expected=100, samples_observed=90,
+            samples_filled=10, samples_missing=0, samples_dropped=0,
+            metrics_total=2, metrics_analyzed=2, metrics_inconclusive=0,
+        )
+        assert degraded.confidence == CONFIDENCE_DEGRADED
+        assert degraded.coverage == pytest.approx(0.9)
+        inconclusive = DataQualityReport.build(
+            component="web", samples_expected=100, samples_observed=30,
+            samples_filled=0, samples_missing=70, samples_dropped=0,
+            metrics_total=2, metrics_analyzed=0, metrics_inconclusive=2,
+        )
+        assert inconclusive.confidence == CONFIDENCE_INCONCLUSIVE
+
+
+class TestTolerantCsvLoad:
+    def test_holey_csv_loads_under_policy(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text(
+            "time,component,metric,value\n"
+            "0,web,cpu_usage,1.0\n"
+            "1,web,cpu_usage,2.0\n"
+            "4,web,cpu_usage,5.0\n"
+        )
+        with pytest.raises(Exception):
+            load_store_csv(path)  # the strict loader still rejects holes
+        store = load_store_csv(path, policy=DataQualityPolicy(max_gap=5))
+        np.testing.assert_allclose(
+            store.series("web", CPU).values, [1.0, 2.0, 3.0, 4.0, 5.0]
+        )
+        assert store.series_quality("web", CPU).filled_interpolated == 2
+
+    def test_clean_csv_identical_between_loaders(self, tmp_path):
+        store = MetricStore.from_arrays(
+            {"web": {CPU: np.linspace(1, 9, 30)}}, start=50
+        )
+        path = tmp_path / "m.csv"
+        save_store_csv(store, path)
+        strict = load_store_csv(path)
+        tolerant = load_store_csv(path, policy=DataQualityPolicy())
+        assert strict.start == tolerant.start
+        assert strict.length == tolerant.length
+        np.testing.assert_array_equal(
+            strict.series("web", CPU).values,
+            tolerant.series("web", CPU).values,
+        )
