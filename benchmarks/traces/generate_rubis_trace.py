@@ -1,0 +1,56 @@
+"""Regenerate the bundled RUBiS CPU-hog trace for the CI soak job.
+
+The soak job replays a recorded incident through ``repro replay`` and
+asserts the online loop raises exactly one incident naming the injected
+culprit. This script produces that recording deterministically: the
+standard RUBiS topology (web → app1/app2 → db), seed 42, a CPU hog on
+the database at t=1300, 1380 ticks of 1 Hz telemetry.
+
+Outputs (committed next to this script):
+
+* ``rubis_cpuhog_metrics.csv`` — the full metric store
+  (``time,component,metric,value``), loadable with
+  :func:`repro.monitoring.io.load_store_csv`;
+* ``rubis_cpuhog_performance.csv`` — the client-side response-time
+  signal (``time,value``), loadable with
+  :func:`repro.service.sources.load_performance_csv`.
+
+Rerun after any change to the simulator that shifts its random streams,
+and update the soak job's expectations if the incident moves::
+
+    PYTHONPATH=src python benchmarks/traces/generate_rubis_trace.py
+"""
+
+import pathlib
+
+from repro.apps.rubis import DB, RubisApplication
+from repro.faults.library import CpuHogFault
+from repro.monitoring.io import save_store_csv
+from repro.service.sources import save_performance_csv
+
+SEED = 42
+DURATION = 1380
+FAULT_AT = 1300
+
+HERE = pathlib.Path(__file__).parent
+
+
+def main() -> None:
+    app = RubisApplication(seed=SEED, duration=DURATION + 600)
+    app.inject(CpuHogFault(FAULT_AT, DB))
+    app.run(DURATION)
+
+    metrics_path = HERE / "rubis_cpuhog_metrics.csv"
+    performance_path = HERE / "rubis_cpuhog_performance.csv"
+    save_store_csv(app.store, metrics_path)
+    save_performance_csv(
+        performance_path, dict(zip(app.slo.ticks, app.slo.samples))
+    )
+    print(f"wrote {metrics_path} ({metrics_path.stat().st_size} bytes)")
+    print(
+        f"wrote {performance_path} ({performance_path.stat().st_size} bytes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -154,6 +154,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.bench import (
         run_benchmark,
         run_ingest_benchmark,
+        run_service_loop_benchmark,
         write_benchmark_json,
     )
 
@@ -197,11 +198,28 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
 
+    print()
+    print(
+        f"Benchmarking service loop steady state: {samples} ticks x "
+        f"{args.components} components x {args.metrics} metrics"
+    )
+    service = run_service_loop_benchmark(
+        samples=samples,
+        components=args.components,
+        metrics=args.metrics,
+        seed=args.seed,
+        config=config,
+    )
+    print()
+    print(service.summary())
+
     if args.json:
         write_benchmark_json("BENCH_ingest.json", ingest)
         write_benchmark_json("BENCH_incremental_engine.json", report)
+        write_benchmark_json("BENCH_service_loop.json", service)
         print(
-            "\nwrote BENCH_ingest.json and BENCH_incremental_engine.json"
+            "\nwrote BENCH_ingest.json, BENCH_incremental_engine.json "
+            "and BENCH_service_loop.json"
         )
 
     if args.emit_metrics:
@@ -221,6 +239,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         reports = {
             "BENCH_ingest.json": ingest.to_json(),
             "BENCH_incremental_engine.json": report.to_json(),
+            "BENCH_service_loop.json": service.to_json(),
         }
         print(f"\nregression gate vs baselines in {args.check}:")
         try:
@@ -240,6 +259,134 @@ def cmd_bench(args: argparse.Namespace) -> int:
             gate_ok = all(c.ok for c in checks) and not missing
 
     ok = report.results_match and ingest.streams_match and gate_ok
+    return 0 if ok else 1
+
+
+def _service_config(args) -> "FChainConfig":
+    from repro.core.config import FChainConfig
+
+    return FChainConfig(
+        service_cooldown=args.cooldown,
+        service_queue_depth=args.queue_depth,
+        executor=args.executor,
+        telemetry=args.telemetry,
+    )
+
+
+def _print_loop_outcome(pipeline, incidents) -> None:
+    for incident in incidents:
+        print(incident.summary())
+    if not incidents:
+        print("no incidents")
+    print(
+        f"loop: {pipeline.ticks} ticks, {pipeline.triggered} trigger(s), "
+        f"{pipeline.dropped} shed, "
+        f"{pipeline.warm_sync_skipped} warm-sync skip(s)"
+    )
+    for violation_tick, error in pipeline.failures:
+        print(f"FAIL diagnosis at t={violation_tick} raised: {error!r}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the online service loop against the live RUBiS simulation."""
+    from repro.apps.rubis import RubisApplication
+    from repro.monitoring.slo import LatencySLO
+    from repro.service import JsonlSink, OnlinePipeline, SimFeed
+
+    app = RubisApplication(seed=args.seed, duration=args.duration + 600)
+    if args.fault_at is not None:
+        from repro.faults.library import CpuHogFault
+
+        app.inject(CpuHogFault(args.fault_at, args.fault_component))
+        print(
+            f"injecting cpuhog on {args.fault_component!r} at "
+            f"t={args.fault_at}s"
+        )
+    feed = SimFeed(app, duration=args.duration)
+    if args.chaos is not None:
+        from repro.eval.chaos import ChaosSpec, CorruptedFeed
+
+        feed = CorruptedFeed(
+            feed,
+            ChaosSpec(
+                seed=args.chaos,
+                gap_fraction=0.05,
+                nan_fraction=0.02,
+                delay_fraction=0.05,
+                delay_max=3,
+            ),
+        )
+        print(f"chaos: corrupting the live feed (seed {args.chaos})")
+    detector = LatencySLO(
+        RubisApplication.SLO_THRESHOLD, sustain=10, retention=600
+    )
+    sinks = [JsonlSink(args.incidents)] if args.incidents else []
+    pipeline = OnlinePipeline(
+        feed,
+        detector,
+        config=_service_config(args),
+        seed=args.seed,
+        jobs=args.jobs,
+        sinks=sinks,
+    )
+    print(f"serving rubis for {args.duration} simulated seconds ...")
+    incidents = pipeline.run()
+    _print_loop_outcome(pipeline, incidents)
+    if args.incidents:
+        print(f"incident records appended to {args.incidents}")
+    return 0 if not pipeline.failures else 1
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace through the online service loop."""
+    from repro.monitoring.io import load_store_csv
+    from repro.monitoring.quality import DataQualityPolicy
+    from repro.monitoring.slo import LatencySLO
+    from repro.service import (
+        JsonlSink,
+        OnlinePipeline,
+        StoreReplayFeed,
+        load_performance_csv,
+    )
+
+    store = load_store_csv(args.metrics, policy=DataQualityPolicy())
+    performance = load_performance_csv(args.performance)
+    feed = StoreReplayFeed(store, performance=performance)
+    detector = LatencySLO(args.threshold, sustain=args.sustain)
+    sinks = [JsonlSink(args.incidents)] if args.incidents else []
+    pipeline = OnlinePipeline(
+        feed,
+        detector,
+        config=_service_config(args),
+        seed=args.seed,
+        jobs=args.jobs,
+        sinks=sinks,
+    )
+    print(
+        f"replaying {store.length} ticks x {len(store.components)} "
+        f"components from {args.metrics} ..."
+    )
+    incidents = pipeline.run()
+    _print_loop_outcome(pipeline, incidents)
+
+    ok = not pipeline.failures
+    if args.expect_incidents is not None and len(incidents) != args.expect_incidents:
+        print(
+            f"FAIL expected exactly {args.expect_incidents} incident(s), "
+            f"got {len(incidents)}"
+        )
+        ok = False
+    if args.expect_culprit is not None:
+        if not incidents:
+            print(f"FAIL no incident names culprit {args.expect_culprit!r}")
+            ok = False
+        for incident in incidents:
+            if args.expect_culprit not in incident.faulty:
+                print(
+                    f"FAIL incident #{incident.index} pinpointed "
+                    f"{incident.faulty}, expected {args.expect_culprit!r}"
+                )
+                ok = False
     return 0 if ok else 1
 
 
@@ -389,6 +536,96 @@ def main(argv: List[str] = None) -> int:
         help="hide tree spans shorter than this many milliseconds",
     )
     trace.set_defaults(func=cmd_trace)
+
+    def _add_service_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--cooldown", type=int, default=60,
+            help="service_cooldown: minimum ticks between diagnosis "
+            "triggers (dedups flapping violations; default 60)",
+        )
+        parser.add_argument(
+            "--queue-depth", type=int, default=4,
+            help="service_queue_depth: triggers that may wait behind an "
+            "in-flight diagnosis before shedding (default 4)",
+        )
+        parser.add_argument(
+            "--jobs", type=int, default=None,
+            help="slave fan-out width (default serial)",
+        )
+        parser.add_argument(
+            "--executor", choices=("thread", "process"), default="thread",
+            help="slave pool executor used when --jobs >= 2",
+        )
+        parser.add_argument(
+            "--telemetry", choices=("off", "timings", "full"), default="off",
+            help="service-loop tracing level",
+        )
+        parser.add_argument(
+            "--incidents", metavar="FILE", default=None,
+            help="append one JSON line per incident to this file",
+        )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the online service loop against the live RUBiS sim",
+    )
+    serve.add_argument(
+        "--duration", type=int, default=1380,
+        help="simulated seconds to serve (default 1380)",
+    )
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--fault-at", type=int, default=1300,
+        help="inject a cpuhog at this tick (pass a negative value via "
+        "--no-fault instead to serve a healthy run)",
+    )
+    serve.add_argument(
+        "--no-fault", dest="fault_at", action="store_const", const=None,
+        help="serve a healthy run without any injected fault",
+    )
+    serve.add_argument(
+        "--fault-component", default="db",
+        help="component the cpuhog is injected on (default db)",
+    )
+    serve.add_argument(
+        "--chaos", type=int, metavar="SEED", default=None,
+        help="corrupt the live feed (gaps, NaN readings, delayed "
+        "delivery) with this chaos seed",
+    )
+    _add_service_options(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded CSV trace through the online service loop",
+    )
+    replay.add_argument(
+        "metrics", help="long-format metrics CSV: time,component,metric,value"
+    )
+    replay.add_argument(
+        "performance", help="performance-signal CSV: time,value"
+    )
+    replay.add_argument("--seed", type=int, default=42)
+    replay.add_argument(
+        "--threshold", type=float, default=0.100,
+        help="latency SLO threshold in seconds (default 0.100 = RUBiS)",
+    )
+    replay.add_argument(
+        "--sustain", type=int, default=10,
+        help="consecutive seconds above threshold before a violation",
+    )
+    replay.add_argument(
+        "--expect-incidents", type=int, default=None,
+        help="exit non-zero unless exactly this many incidents occurred "
+        "(the CI soak assertion)",
+    )
+    replay.add_argument(
+        "--expect-culprit", default=None,
+        help="exit non-zero unless every incident pinpoints this "
+        "component (the CI soak assertion)",
+    )
+    _add_service_options(replay)
+    replay.set_defaults(func=cmd_replay)
 
     sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
         func=cmd_demo

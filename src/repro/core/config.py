@@ -86,6 +86,16 @@ class FChainConfig:
             every ``Diagnosis`` carries a ``trace`` and finished traces
             aggregate into the default metrics registry for Prometheus
             export.
+        service_cooldown: Online service loop (``repro.service``): minimum
+            ticks between two diagnosis triggers. Within the window a
+            sustained (or re-flapping) violation is deduplicated into the
+            incident already dispatched, so one incident produces one
+            diagnosis rather than one per tick.
+        service_queue_depth: Online service loop: how many triggered
+            incidents may wait behind an in-flight diagnosis. Ingest
+            never blocks on diagnosis — when the queue is full, further
+            triggers are shed with a counted drop
+            (``fchain_dispatch_dropped_total``).
         external_trend_fraction: Fraction of components that must share a
             common monotone trend (with every component abnormal, and the
             majority-trend onsets tightly clustered) for the anomaly to be
@@ -117,6 +127,8 @@ class FChainConfig:
     slave_retry_backoff: float = 0.1
     executor: str = "thread"
     telemetry: str = "off"
+    service_cooldown: int = 60
+    service_queue_depth: int = 4
     external_trend_fraction: float = 0.75
     validation_horizon: int = 30
     validation_improvement: float = 0.3
@@ -213,6 +225,17 @@ class FChainConfig:
             raise ConfigurationError(
                 f"slave_retry_backoff={self.slave_retry_backoff} must be "
                 ">= 0 seconds: it is the sleep before the first retry wave"
+            )
+        if self.service_cooldown < 0:
+            raise ConfigurationError(
+                f"service_cooldown={self.service_cooldown} must be >= 0 "
+                "ticks: it is the dedup window between diagnosis triggers"
+            )
+        if self.service_queue_depth < 1:
+            raise ConfigurationError(
+                f"service_queue_depth={self.service_queue_depth} must be "
+                ">= 1: the dispatch queue needs room for at least one "
+                "waiting incident (excess triggers are shed, not queued)"
             )
         if self.validation_horizon <= 0:
             raise ConfigurationError(

@@ -17,6 +17,11 @@ Everything is driven by one :class:`numpy.random.Generator` seeded from
 ``(store, spec, policy)`` triple always yields the same corrupted store
 — the chaos suite asserts determinism per seed on exactly this
 property.
+
+:class:`CorruptedFeed` applies the same defect processes to a *live*
+feed of the online service loop (:mod:`repro.service`), so degraded
+telemetry is exercised in continuous operation, not only in batch
+replay.
 """
 
 from __future__ import annotations
@@ -133,6 +138,91 @@ def corrupt_store(
     return out
 
 
+class CorruptedFeed:
+    """Wrap a live feed with the seeded corruption processes of a spec.
+
+    Mirrors :func:`corrupt_store` sample for sample, but online: each
+    :class:`~repro.service.sources.TickBatch` flowing through is
+    subjected to the spec's loss, NaN, skew and delay processes before
+    it reaches the pipeline. As in the batch harness, the first sample
+    of every series is delivered intact so the ingest policy can learn
+    the series' clock offset, and delayed samples re-enter in later
+    batches (any still pending when the upstream feed ends are flushed
+    in extra trailing batches). The churn process needs to know the run
+    length up front and is batch-only — use :func:`corrupt_store` for
+    it.
+
+    Determinism: a given ``(feed, spec)`` pair always produces the same
+    corrupted stream — the RNG is seeded from ``spec.seed`` and consumed
+    in the feed's own sample order.
+    """
+
+    def __init__(self, feed, spec: ChaosSpec) -> None:
+        self.feed = iter(feed)
+        self.spec = spec
+        self._rng = np.random.default_rng(spec.seed)
+        self._skews: Dict[Tuple[str, object], int] = {}
+        self._pending: Dict[int, List] = {}
+        self._exhausted = False
+
+    def __iter__(self) -> "CorruptedFeed":
+        return self
+
+    def __next__(self):
+        from repro.service.sources import TickBatch
+
+        if self._exhausted:
+            if not self._pending:
+                raise StopIteration
+            deliver = min(self._pending)
+            return TickBatch(
+                time=deliver, samples=self._pending.pop(deliver)
+            )
+        try:
+            batch = next(self.feed)
+        except StopIteration:
+            self._exhausted = True
+            return self.__next__()
+        spec, rng = self.spec, self._rng
+        samples = []
+        for sample in batch.samples:
+            key = (sample.component, sample.metric)
+            skew = self._skews.get(key)
+            if skew is None:
+                skew = (
+                    int(rng.integers(-spec.max_skew, spec.max_skew + 1))
+                    if spec.max_skew
+                    else 0
+                )
+                self._skews[key] = skew
+                samples.append(
+                    _resample(sample, sample.time + skew, sample.value)
+                )
+                continue
+            if spec.gap_fraction and rng.random() < spec.gap_fraction:
+                continue
+            value = sample.value
+            if spec.nan_fraction and rng.random() < spec.nan_fraction:
+                value = math.nan
+            corrupted = _resample(sample, sample.time + skew, value)
+            if spec.delay_fraction and rng.random() < spec.delay_fraction:
+                deliver = batch.time + 1 + int(rng.integers(0, spec.delay_max))
+                self._pending.setdefault(deliver, []).append(corrupted)
+                continue
+            samples.append(corrupted)
+        samples.extend(self._pending.pop(batch.time, ()))
+        return TickBatch(
+            time=batch.time, samples=samples, performance=batch.performance
+        )
+
+
+def _resample(sample, time: int, value: float):
+    """A copy of a frozen :class:`MetricSample` with new time/value."""
+    from repro.common.types import MetricSample
+
+    return MetricSample(sample.component, sample.metric, time, value)
+
+
 def _churn_intervals(
     source: MetricStore, spec: ChaosSpec, rng: np.random.Generator
 ) -> Dict[str, Tuple[int, int]]:
@@ -155,4 +245,4 @@ def _churn_intervals(
     return intervals
 
 
-__all__ = ["ChaosSpec", "corrupt_store"]
+__all__ = ["ChaosSpec", "CorruptedFeed", "corrupt_store"]

@@ -7,16 +7,36 @@ SLO definitions used in the evaluation:
 * RUBiS — average request response time above 100 ms;
 * Hadoop — no job progress for more than 30 seconds;
 * System S — average per-tuple processing time above 20 ms.
+
+Detectors are built for *continuous* operation (the online service loop
+feeds them one sample per tick, indefinitely):
+
+* samples are keyed by their actual tick — a telemetry gap no longer
+  misaligns the series, and :meth:`SLODetector.performance_series`
+  reconstructs the missing ticks as NaN slots (the same convention as
+  :meth:`repro.common.timeseries.TimeSeries.gaps`);
+* a sustained-breach rule never counts samples across a gap — latency
+  that was high before and after an outage is two separate streaks;
+* history is bounded by an optional ``retention`` window, so a detector
+  fed for days does not grow without bound, and :meth:`SLODetector.reset`
+  returns a detector to its pristine state for reuse across incidents.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
 from repro.common.timeseries import TimeSeries
+
+#: Lazy-compaction slack: retention trimming only rewrites the backing
+#: lists once at least this many expired entries accumulated, keeping the
+#: per-observe cost amortized O(1) instead of O(history).
+_TRIM_SLACK = 64
 
 
 @dataclass
@@ -33,36 +53,121 @@ class SLOStatus:
 
 
 class SLODetector:
-    """Base class: feed one performance sample per tick, track violations."""
+    """Base class: feed one performance sample per tick, track violations.
 
-    def __init__(self) -> None:
+    Args:
+        retention: Optional bound, in ticks, on the retained performance
+            history and violation-tick log. Samples older than
+            ``newest tick - retention`` are discarded (``first_violation``
+            is remembered regardless). ``None`` (the default) retains
+            everything — the historical batch behaviour. Long-running
+            feeders (the online service loop) should set a window
+            comfortably larger than their evaluation horizon.
+
+    Out-of-order feeding: a sample for the tick already at the head
+    replaces the head value (last-wins duplicate resolution, mirroring
+    the metric store's tolerant path); a sample older than the head is
+    dropped and counted in ``stale_dropped`` — detectors evaluate a
+    *current* condition and cannot re-litigate the past.
+    """
+
+    def __init__(self, retention: Optional[int] = None) -> None:
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be at least one tick")
+        self.retention = retention
         self.samples: List[float] = []
+        self.ticks: List[int] = []
         self.first_violation: Optional[int] = None
         self.violation_ticks: List[int] = []
-        self._start = 0
+        self.duplicates = 0
+        self.stale_dropped = 0
 
     def observe(self, t: int, value: float) -> SLOStatus:
         """Record the performance sample for tick ``t`` and evaluate the SLO."""
-        if not self.samples:
-            self._start = t
+        t = int(t)
+        if self.ticks:
+            head = self.ticks[-1]
+            if t < head:
+                self.stale_dropped += 1
+                return SLOStatus(
+                    violated=bool(
+                        self.violation_ticks
+                        and self.violation_ticks[-1] == head
+                    ),
+                    first_violation=self.first_violation,
+                )
+            if t == head:
+                # Duplicate delivery for the head tick: last wins, and the
+                # verdict for the tick is re-evaluated against the new
+                # value (a previously recorded violation for it is undone
+                # unless it still holds).
+                self.duplicates += 1
+                self.samples[-1] = float(value)
+                if self.violation_ticks and self.violation_ticks[-1] == t:
+                    self.violation_ticks.pop()
+                return self._finish(t)
         self.samples.append(float(value))
+        self.ticks.append(t)
+        self._trim(t)
+        return self._finish(t)
+
+    def _finish(self, t: int) -> SLOStatus:
         violated = self._evaluate(t)
         if violated:
-            self.violation_ticks.append(t)
+            if not self.violation_ticks or self.violation_ticks[-1] != t:
+                self.violation_ticks.append(t)
             if self.first_violation is None:
                 self.first_violation = t
         return SLOStatus(violated=violated, first_violation=self.first_violation)
 
+    def _trim(self, t: int) -> None:
+        """Drop entries older than the retention window (amortized O(1))."""
+        if self.retention is None:
+            return
+        horizon = t - self.retention
+        cut = bisect_right(self.ticks, horizon)
+        if cut >= _TRIM_SLACK or cut == len(self.ticks):
+            del self.ticks[:cut]
+            del self.samples[:cut]
+        vcut = bisect_right(self.violation_ticks, horizon)
+        if vcut >= _TRIM_SLACK or vcut == len(self.violation_ticks):
+            del self.violation_ticks[:vcut]
+
+    def reset(self) -> None:
+        """Forget all samples and violations (reuse across incidents)."""
+        self.samples.clear()
+        self.ticks.clear()
+        self.violation_ticks.clear()
+        self.first_violation = None
+        self.duplicates = 0
+        self.stale_dropped = 0
+
     def first_violation_after(self, t_from: int) -> Optional[int]:
-        """First violating tick at or after ``t_from`` (None if none)."""
-        for tick in self.violation_ticks:
-            if tick >= t_from:
-                return tick
+        """First retained violating tick at or after ``t_from`` (else None)."""
+        index = bisect_left(self.violation_ticks, t_from)
+        if index < len(self.violation_ticks):
+            return self.violation_ticks[index]
         return None
 
     def performance_series(self) -> TimeSeries:
-        """The raw performance signal as a time series."""
-        return TimeSeries(np.asarray(self.samples, dtype=float), start=self._start)
+        """The performance signal as a gap-aware time series.
+
+        Ticks that were never observed appear as NaN slots, so the
+        series' time axis stays aligned with the metric store's (and
+        :meth:`~repro.common.timeseries.TimeSeries.gaps` reports exactly
+        the unobserved stretches). On contiguous feeding this is
+        bit-identical to the historical dense series.
+        """
+        if not self.ticks:
+            return TimeSeries(np.empty(0, dtype=float), start=0)
+        start = self.ticks[0]
+        span = self.ticks[-1] - start + 1
+        if span == len(self.ticks):
+            values = np.asarray(self.samples, dtype=float)
+        else:
+            values = np.full(span, math.nan)
+            values[np.asarray(self.ticks) - start] = self.samples
+        return TimeSeries(values, start=start)
 
     def _evaluate(self, t: int) -> bool:
         raise NotImplementedError
@@ -78,23 +183,38 @@ class LatencySLO(SLODetector):
     components *before* diagnosis is triggered, as in the paper's testbed,
     where the client-side detector reacted on sustained degradation.
 
+    The run is strictly consecutive in *tick time*: a telemetry gap
+    breaks the streak, so two separate breaches bracketing an outage are
+    never fused into one sustained violation.
+
     Args:
         threshold: Latency threshold in seconds (0.1 for RUBiS, 0.02 for
             System S).
         sustain: Consecutive seconds above threshold required to declare a
             violation.
+        retention: Optional history bound in ticks (see
+            :class:`SLODetector`); must exceed ``sustain``.
     """
 
-    def __init__(self, threshold: float, sustain: int = 10) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        threshold: float,
+        sustain: int = 10,
+        retention: Optional[int] = None,
+    ) -> None:
+        super().__init__(retention=retention)
         if threshold <= 0 or sustain <= 0:
             raise ValueError("threshold and sustain must be positive")
+        if retention is not None and retention <= sustain:
+            raise ValueError("retention must exceed the sustain period")
         self.threshold = threshold
         self.sustain = sustain
 
     def _evaluate(self, t: int) -> bool:
         if len(self.samples) < self.sustain:
             return False
+        if self.ticks[-1] - self.ticks[-self.sustain] != self.sustain - 1:
+            return False  # a gap interrupts the run
         recent = self.samples[-self.sustain :]
         return all(v > self.threshold for v in recent)
 
@@ -104,19 +224,47 @@ class ProgressSLO(SLODetector):
 
     Marks a violation when progress has not increased by at least
     ``min_delta`` over the last ``stall_seconds`` ticks (Hadoop: 30 s).
+    The comparison is tick-based: with gappy telemetry the reference is
+    the newest sample at least ``stall_seconds`` old, so a gap widens the
+    comparison window (conservative) instead of silently shrinking it.
+
+    Args:
+        stall_seconds: Stall horizon in ticks (paper: 30 s).
+        min_delta: Minimum progress gain over the horizon.
+        completion: Progress value at which the job counts as finished —
+            stalls at or beyond it are not failures. Defaults to the
+            fraction scale (1.0); Hadoop traces reporting percent should
+            pass ``completion=100.0``.
+        retention: Optional history bound in ticks (see
+            :class:`SLODetector`); must exceed ``stall_seconds``.
     """
 
-    def __init__(self, stall_seconds: int = 30, min_delta: float = 1e-6) -> None:
-        super().__init__()
+    def __init__(
+        self,
+        stall_seconds: int = 30,
+        min_delta: float = 1e-6,
+        completion: float = 1.0,
+        retention: Optional[int] = None,
+    ) -> None:
+        super().__init__(retention=retention)
         if stall_seconds <= 0:
             raise ValueError("stall_seconds must be positive")
+        if completion <= 0:
+            raise ValueError("completion must be positive")
+        if retention is not None and retention <= stall_seconds:
+            raise ValueError("retention must exceed the stall horizon")
         self.stall_seconds = stall_seconds
         self.min_delta = min_delta
+        self.completion = completion
 
     def _evaluate(self, t: int) -> bool:
-        if len(self.samples) <= self.stall_seconds:
+        reference = bisect_right(self.ticks, t - self.stall_seconds) - 1
+        if reference < 0:
             return False
-        gained = self.samples[-1] - self.samples[-1 - self.stall_seconds]
-        if self.samples[-1] >= 1.0 - 1e-9:
+        finished = self.samples[-1] >= self.completion - 1e-9 * max(
+            1.0, abs(self.completion)
+        )
+        if finished:
             return False  # job finished; stalls afterwards are not failures
+        gained = self.samples[-1] - self.samples[reference]
         return gained < self.min_delta

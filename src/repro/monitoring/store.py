@@ -17,6 +17,7 @@ slice windows out of a live store without snapshotting it.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -59,6 +60,14 @@ class MetricStore:
     was still open* observe the repair. :attr:`revision` increments on
     every such in-place write; window-keyed caches include it so a
     repaired window is never served from a stale cache entry.
+
+    Concurrency: the online service loop ingests from one thread while a
+    dispatched diagnosis reads columns from another. The numpy-mirror
+    bookkeeping (``_columns``/``_filled``) is guarded by a lock so a
+    reader syncing a column tail cannot interleave with a backfill
+    rewrite; single-writer ingest is still assumed. The lock is excluded
+    from pickling/deepcopy (``SimulationEngine.fork`` deep-copies
+    stores) and recreated on restore.
     """
 
     def __init__(
@@ -76,6 +85,18 @@ class MetricStore:
         self._quality: Dict[_Key, SeriesQuality] = {}
         self._revision = 0
         self._ingest_metrics: Optional[IngestMetrics] = None
+        # Guards the mirror bookkeeping against a diagnosis thread
+        # reading columns while the ingest thread rewrites a past slot.
+        self._mirror_lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_mirror_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._mirror_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Writing
@@ -266,10 +287,11 @@ class MetricStore:
 
     def _rewrite(self, key: _Key, slot: int, value: float) -> None:
         """Write into a past slot, keeping the numpy mirror coherent."""
-        self._data[key][slot] = value
-        if self._filled.get(key, 0) > slot:
-            self._columns[key][slot] = value
-        self._revision += 1
+        with self._mirror_lock:
+            self._data[key][slot] = value
+            if self._filled.get(key, 0) > slot:
+                self._columns[key][slot] = value
+            self._revision += 1
 
     def _metrics(self) -> IngestMetrics:
         if self._ingest_metrics is None:
@@ -299,7 +321,9 @@ class MetricStore:
     @property
     def components(self) -> List[ComponentId]:
         """All component ids present, sorted."""
-        return sorted({comp for comp, _ in self._data})
+        # list() snapshots the keys: a concurrent first-ever ingest of a
+        # new series must not blow up a reader mid-iteration.
+        return sorted({comp for comp, _ in list(self._data)})
 
     @property
     def length(self) -> int:
@@ -321,21 +345,25 @@ class MetricStore:
         views — the store is append-only, so an old (smaller) column is
         simply left behind with its then-current, still-correct prefix.
         """
-        samples = self._data[key]
-        n = len(samples)
-        column = self._columns.get(key)
-        filled = self._filled.get(key, 0)
-        if column is None or n > len(column):
-            capacity = max(_MIN_COLUMN_CAPACITY, 2 * n)
-            grown = np.empty(capacity, dtype=float)
-            if column is not None and filled:
-                grown[:filled] = column[:filled]
-            column = grown
-            self._columns[key] = column
-        if filled < n:
-            column[filled:n] = samples[filled:]
-            self._filled[key] = n
-        return column
+        with self._mirror_lock:
+            samples = self._data[key]
+            n = len(samples)
+            column = self._columns.get(key)
+            filled = self._filled.get(key, 0)
+            if column is None or n > len(column):
+                capacity = max(_MIN_COLUMN_CAPACITY, 2 * n)
+                grown = np.empty(capacity, dtype=float)
+                if column is not None and filled:
+                    grown[:filled] = column[:filled]
+                column = grown
+                self._columns[key] = column
+            if filled < n:
+                # Bound the source slice too: the ingest thread may append
+                # concurrently, and a bare ``samples[filled:]`` could have
+                # grown past ``n`` between the len() above and here.
+                column[filled:n] = samples[filled:n]
+                self._filled[key] = n
+            return column
 
     def series(self, component: ComponentId, metric: Metric) -> TimeSeries:
         """Full series for one (component, metric), as a :class:`TimeSeries`.
@@ -358,7 +386,7 @@ class MetricStore:
 
     def metrics_for(self, component: ComponentId) -> List[Metric]:
         """Metrics recorded for a component, in canonical order."""
-        present = {metric for comp, metric in self._data if comp == component}
+        present = {metric for comp, metric in list(self._data) if comp == component}
         return [m for m in METRIC_NAMES if m in present]
 
     # ------------------------------------------------------------------

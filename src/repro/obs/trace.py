@@ -45,6 +45,10 @@ STAGE_BURST = "burst_thresholds"
 STAGE_ROLLBACK = "onset_rollback"
 STAGE_PINPOINT = "pinpoint"
 STAGE_VALIDATION = "validation"
+STAGE_SERVICE_TICK = "service_tick"
+STAGE_SLO_EVAL = "slo_eval"
+STAGE_DISPATCH = "dispatch"
+STAGE_DRAIN = "drain"
 
 #: Every stage a full (cold-cache) diagnosis that selects at least one
 #: abnormal change passes through, in pipeline order.
@@ -59,6 +63,17 @@ PIPELINE_STAGES = (
     STAGE_BURST,
     STAGE_ROLLBACK,
     STAGE_PINPOINT,
+)
+
+#: Stages of one online service-loop tick (``repro.service``): the tick
+#: root, the SLO evaluation and the trigger/dispatch decision, plus the
+#: shutdown drain. Diagnoses dispatched by the loop carry the regular
+#: ``PIPELINE_STAGES`` vocabulary of their own.
+SERVICE_STAGES = (
+    STAGE_SERVICE_TICK,
+    STAGE_SLO_EVAL,
+    STAGE_DISPATCH,
+    STAGE_DRAIN,
 )
 
 #: Recognized ``FChainConfig.telemetry`` values.
@@ -294,15 +309,20 @@ __all__ = [
     "NULL_SPAN",
     "NULL_TRACER",
     "PIPELINE_STAGES",
+    "SERVICE_STAGES",
     "TELEMETRY_MODES",
     "STAGE_BURST",
     "STAGE_COMPONENT",
     "STAGE_CUSUM",
     "STAGE_DIAGNOSIS",
+    "STAGE_DISPATCH",
+    "STAGE_DRAIN",
     "STAGE_METRIC",
     "STAGE_OUTLIERS",
     "STAGE_PINPOINT",
     "STAGE_ROLLBACK",
+    "STAGE_SERVICE_TICK",
+    "STAGE_SLO_EVAL",
     "STAGE_SMOOTHING",
     "STAGE_STORE_SYNC",
     "STAGE_VALIDATION",

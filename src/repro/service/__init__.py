@@ -1,0 +1,47 @@
+"""Online service loop: continuous ingest → SLO detection → localization.
+
+The paper's deployment shape as a library: build a feed
+(:class:`SimFeed`, :class:`StoreReplayFeed`, :class:`CallableFeed`),
+hand it to an :class:`OnlinePipeline` with an SLO detector, and collect
+:class:`Incident` records from the returned list or from sinks
+(:class:`JsonlSink`, :class:`CallbackSink`)::
+
+    from repro.monitoring.slo import LatencySLO
+    from repro.service import OnlinePipeline, SimFeed
+
+    feed = SimFeed(app, duration=1500)
+    pipeline = OnlinePipeline(feed, LatencySLO(0.100, retention=600))
+    incidents = pipeline.run()
+
+``repro serve`` and ``repro replay`` are the CLI front-ends.
+"""
+
+from repro.service.incident import (
+    CallbackSink,
+    Incident,
+    JsonlSink,
+    ServiceMetrics,
+)
+from repro.service.pipeline import OnlinePipeline
+from repro.service.sources import (
+    CallableFeed,
+    SimFeed,
+    StoreReplayFeed,
+    TickBatch,
+    load_performance_csv,
+    save_performance_csv,
+)
+
+__all__ = [
+    "CallableFeed",
+    "CallbackSink",
+    "Incident",
+    "JsonlSink",
+    "OnlinePipeline",
+    "ServiceMetrics",
+    "SimFeed",
+    "StoreReplayFeed",
+    "TickBatch",
+    "load_performance_csv",
+    "save_performance_csv",
+]

@@ -1,0 +1,370 @@
+"""The long-running online localization loop.
+
+This is the paper's deployment shape (Sec. II-A): FChain runs *behind* a
+client-side SLO detector, its slave models stay warm on the live 1 Hz
+metric stream, and the master is invoked the moment a sustained
+violation is declared. :class:`OnlinePipeline` wires the existing pieces
+into that loop:
+
+1. **Ingest** — every :class:`~repro.service.sources.TickBatch` from the
+   feed goes through the tolerant :meth:`MetricStore.ingest` path, so
+   gaps, NaN readings, clock skew and late delivery are handled by the
+   data-quality policy, not by the loop.
+2. **Warm-up** — the persistent slave's Markov models are synced with
+   the store each tick (``sync_with_store``), keeping diagnosis cost
+   O(look-back window) no matter how long the loop has run.
+3. **Detect** — the batch's performance signal feeds the loop's
+   :class:`~repro.monitoring.slo.SLODetector`.
+4. **Dispatch** — a *rising edge* of the violation signal (subject to
+   the ``service_cooldown`` dedup window) creates one trigger; the
+   trigger waits until the post-violation ``analysis_grace`` data has
+   been recorded, then enters a bounded queue consumed by a single
+   background diagnosis worker.
+
+Backpressure invariant: **ingest never blocks on diagnosis.** The
+dispatch queue is bounded (``service_queue_depth``); when it is full, a
+new trigger is *shed* with a counted drop rather than making the feed
+wait. The per-tick warm-up sync is skipped (not awaited) while a
+diagnosis holds the slave — the slave catches itself up inside
+``analyze`` or on the next free tick.
+
+Shutdown is graceful: :meth:`close` flushes triggers still waiting for
+grace data, drains the queue, joins the worker and closes the sinks.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.common.errors import ReproError
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChain
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.slo import SLODetector
+from repro.monitoring.store import MetricStore
+from repro.obs.trace import (
+    STAGE_DISPATCH,
+    STAGE_DRAIN,
+    STAGE_SERVICE_TICK,
+    STAGE_SLO_EVAL,
+    STAGE_STORE_SYNC,
+    make_tracer,
+)
+from repro.service.incident import Incident, ServiceMetrics
+from repro.service.sources import TickBatch
+
+#: Queue item that tells the diagnosis worker to exit.
+_SENTINEL = None
+
+
+@dataclass
+class _Trigger:
+    """One deduplicated violation awaiting (or undergoing) diagnosis."""
+
+    violation_tick: int
+    detected_at: float  # time.monotonic() at SLO detection
+    dispatched_tick: Optional[int] = None
+
+
+class OnlinePipeline:
+    """Continuous ingest → SLO detection → triggered localization.
+
+    Args:
+        feed: Iterable of :class:`~repro.service.sources.TickBatch`
+            (see :mod:`repro.service.sources`).
+        detector: The SLO detector evaluating the feed's performance
+            signal. Use a dedicated instance (with a ``retention``
+            window for long runs), not one shared with a simulated app.
+        config: FChain configuration; ``service_cooldown`` and
+            ``service_queue_depth`` parameterize the loop itself.
+        dependency_graph: Optional offline-discovered dependency graph
+            for integrated pinpointing.
+        seed: Deterministic seed label for the diagnosis engine.
+        jobs: Slave fan-out width (``>= 2`` analyses components in
+            parallel on the configured executor).
+        slave_timeout: Optional per-slave analysis timeout in seconds.
+        store: The store to ingest into; defaults to a fresh
+            policy-enabled store. A caller-supplied store must carry a
+            :class:`~repro.monitoring.quality.DataQualityPolicy`.
+        policy: Policy of the default store (ignored when ``store`` is
+            given).
+        sinks: Callables receiving each finished
+            :class:`~repro.service.incident.Incident`; sinks with a
+            ``close()`` method are closed at drain time.
+        registry: Metrics registry for the incident/drop counters
+            (defaults to the process-wide registry).
+
+    Attributes:
+        incidents: Finished incidents, in completion order.
+        failures: ``(violation_tick, exception)`` pairs from diagnoses
+            or sinks that raised (the loop keeps running).
+        ticks: Batches processed.
+        triggered: Triggers created (after edge/cooldown dedup).
+        dropped: Triggers shed because the dispatch queue was full.
+        warm_sync_skipped: Ticks whose warm-up sync was skipped because
+            a diagnosis held the slave.
+    """
+
+    def __init__(
+        self,
+        feed,
+        detector: SLODetector,
+        *,
+        config: Optional[FChainConfig] = None,
+        dependency_graph: Optional[nx.DiGraph] = None,
+        seed: object = 0,
+        jobs: Optional[int] = None,
+        slave_timeout: Optional[float] = None,
+        store: Optional[MetricStore] = None,
+        policy: Optional[DataQualityPolicy] = None,
+        sinks=(),
+        registry=None,
+    ) -> None:
+        self.config = (config or FChainConfig()).validate()
+        self.feed = iter(feed)
+        self.detector = detector
+        if store is None:
+            store = MetricStore(policy=policy or DataQualityPolicy())
+        elif store.policy is None:
+            raise ReproError(
+                "the online pipeline ingests through the tolerant path: "
+                "construct the store with MetricStore(policy=...)"
+            )
+        self.store = store
+        self.fchain = FChain(
+            self.config,
+            dependency_graph,
+            seed=seed,
+            jobs=jobs,
+            slave_timeout=slave_timeout,
+        )
+        self.sinks = list(sinks)
+        self.tracer = make_tracer(self.config.telemetry, registry=registry)
+        self._registry = registry
+        self._metrics: Optional[ServiceMetrics] = None
+
+        self._queue: "queue.Queue" = queue.Queue(
+            maxsize=self.config.service_queue_depth
+        )
+        self._worker: Optional[threading.Thread] = None
+        # Serializes slave-state mutation between the ingest thread's
+        # warm-up sync and the worker's diagnosis. The ingest side only
+        # ever try-acquires it — see _warm_sync.
+        self._slave_lock = threading.Lock()
+        self._pending: List[_Trigger] = []
+        self._last_trigger: Optional[int] = None
+        self._violating = False
+        self._closed = False
+
+        self.incidents: List[Incident] = []
+        self.failures: List[Tuple[int, Exception]] = []
+        self.ticks = 0
+        self.triggered = 0
+        self.dropped = 0
+        self.warm_sync_skipped = 0
+
+    # ------------------------------------------------------------------
+    # Driving the loop
+    # ------------------------------------------------------------------
+    def run(self, max_ticks: Optional[int] = None) -> List[Incident]:
+        """Consume the feed (optionally bounded), drain, return incidents."""
+        processed = 0
+        for batch in self.feed:
+            self.process(batch)
+            processed += 1
+            if max_ticks is not None and processed >= max_ticks:
+                break
+        self.close()
+        return list(self.incidents)
+
+    def process(self, batch: TickBatch) -> None:
+        """Feed one tick's batch through ingest → SLO → dispatch."""
+        if self._closed:
+            raise ReproError("the pipeline is closed")
+        t = int(batch.time)
+        tracer = self.tracer
+        with tracer.span(STAGE_SERVICE_TICK, tick=t) as tick_span:
+            store = self.store
+            for sample in batch.samples:
+                store.ingest(
+                    sample.component, sample.metric, sample.time, sample.value
+                )
+            store.advance_to(t + 1)
+            tick_span.count("samples_ingested", len(batch.samples))
+            self._warm_sync(tick_span)
+            with tick_span.child(STAGE_SLO_EVAL) as slo_span:
+                rising = False
+                if batch.performance is not None:
+                    status = self.detector.observe(t, batch.performance)
+                    rising = status.violated and not self._violating
+                    self._violating = status.violated
+                    slo_span.tag(violated=status.violated)
+            if rising:
+                self._on_violation(t)
+            self._flush_ready(tick_span)
+            self.ticks += 1
+        if tracer.enabled:
+            tracer.observe(tick_span)
+
+    def __enter__(self) -> "OnlinePipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drain in-flight work, join the worker, close the sinks."""
+        if self._closed:
+            return
+        self._closed = True
+        tracer = self.tracer
+        with tracer.span(STAGE_DRAIN) as drain_span:
+            # Triggers still waiting for grace data will never see it —
+            # diagnose on what was recorded. Ingest has stopped, so a
+            # blocking put cannot stall anything but the drain itself.
+            pending, self._pending = self._pending, []
+            for trigger in pending:
+                trigger.dispatched_tick = self.store.end - 1
+                self._ensure_worker()
+                self._queue.put(trigger)
+            drain_span.count("pending_flushed", len(pending))
+            if self._worker is not None:
+                self._queue.put(_SENTINEL)
+                self._worker.join()
+                self._worker = None
+            drain_span.count("incidents", len(self.incidents))
+            drain_span.count("triggers_dropped", self.dropped)
+        if tracer.enabled:
+            tracer.observe(drain_span)
+        self.fchain.close()
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+    # ------------------------------------------------------------------
+    # Ingest-side stages
+    # ------------------------------------------------------------------
+    def _warm_sync(self, tick_span) -> None:
+        """Keep the slave's models caught up — without ever waiting.
+
+        The worker holds ``_slave_lock`` for the duration of a
+        diagnosis; blocking here would stall ingest behind it, which is
+        exactly the backpressure inversion the loop must not have. A
+        skipped sync costs nothing: ``analyze`` syncs the look-back
+        window itself, and the next free tick catches the rest up.
+        """
+        slave = self.fchain.master.slave
+        if slave is None:
+            return
+        if not self._slave_lock.acquire(blocking=False):
+            self.warm_sync_skipped += 1
+            return
+        try:
+            with tick_span.child(STAGE_STORE_SYNC):
+                slave.sync_with_store(self.store, self.store.end)
+        finally:
+            self._slave_lock.release()
+
+    def _on_violation(self, t: int) -> None:
+        """A rising violation edge: dedup against the cooldown window."""
+        cooldown = self.config.service_cooldown
+        if (
+            self._last_trigger is not None
+            and t - self._last_trigger < cooldown
+        ):
+            return  # flapping within the window folds into the incident
+        self._last_trigger = t
+        self.triggered += 1
+        self._pending.append(
+            _Trigger(violation_tick=t, detected_at=time.monotonic())
+        )
+
+    def _flush_ready(self, tick_span) -> None:
+        """Dispatch triggers whose post-violation grace data arrived."""
+        if not self._pending:
+            return
+        grace = self.config.analysis_grace
+        waiting: List[_Trigger] = []
+        for trigger in self._pending:
+            if self.store.end >= trigger.violation_tick + grace + 1:
+                self._dispatch(trigger, tick_span)
+            else:
+                waiting.append(trigger)
+        self._pending = waiting
+
+    def _dispatch(self, trigger: _Trigger, tick_span) -> None:
+        """Enqueue one trigger — or shed it if the queue is full."""
+        with tick_span.child(
+            STAGE_DISPATCH, violation_tick=trigger.violation_tick
+        ) as dispatch_span:
+            trigger.dispatched_tick = self.store.end - 1
+            self._ensure_worker()
+            try:
+                self._queue.put_nowait(trigger)
+                dispatch_span.tag(queued=True)
+            except queue.Full:
+                self.dropped += 1
+                self._service_metrics().dropped.inc(1)
+                dispatch_span.tag(queued=False)
+
+    # ------------------------------------------------------------------
+    # Diagnosis worker
+    # ------------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._worker is None:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="fchain-dispatch", daemon=True
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            trigger = self._queue.get()
+            try:
+                if trigger is _SENTINEL:
+                    return
+                self._diagnose(trigger)
+            finally:
+                self._queue.task_done()
+
+    def _diagnose(self, trigger: _Trigger) -> None:
+        try:
+            with self._slave_lock:
+                diagnosis = self.fchain.localize(
+                    self.store, violation_time=trigger.violation_tick
+                )
+        except Exception as error:  # keep the loop alive
+            self.failures.append((trigger.violation_tick, error))
+            return
+        incident = Incident(
+            index=len(self.incidents),
+            violation_tick=trigger.violation_tick,
+            dispatched_tick=trigger.dispatched_tick
+            if trigger.dispatched_tick is not None
+            else trigger.violation_tick,
+            trigger_latency_seconds=time.monotonic() - trigger.detected_at,
+            diagnosis=diagnosis,
+            quality=diagnosis.confidence,
+        )
+        self.incidents.append(incident)
+        self._service_metrics().incidents.inc(1, quality=incident.quality)
+        for sink in self.sinks:
+            try:
+                sink(incident)
+            except Exception as error:
+                self.failures.append((trigger.violation_tick, error))
+
+    def _service_metrics(self) -> ServiceMetrics:
+        if self._metrics is None:
+            self._metrics = ServiceMetrics(self._registry)
+        return self._metrics
+
+
+__all__ = ["OnlinePipeline"]

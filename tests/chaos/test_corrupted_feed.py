@@ -1,0 +1,125 @@
+"""Chaos suite: seeded corruption of a *live* feed (the online loop).
+
+:class:`~repro.eval.chaos.CorruptedFeed` is the online counterpart of
+:func:`~repro.eval.chaos.corrupt_store`: the same defect processes, but
+applied to the batch stream of the service loop. The contract mirrors
+the batch harness — deterministic per seed, first sample of every
+series intact, delayed samples re-enter in later batches — plus the
+loop-level guarantee that a corrupted stream still localizes or
+explicitly hedges, and never raises.
+"""
+
+import math
+
+import pytest
+
+from repro.eval.bench import synthetic_store
+from repro.eval.chaos import ChaosSpec, CorruptedFeed
+from repro.service.sources import StoreReplayFeed
+
+SPEC = ChaosSpec(
+    seed=23,
+    gap_fraction=0.08,
+    nan_fraction=0.04,
+    max_skew=2,
+    delay_fraction=0.08,
+    delay_max=3,
+)
+
+
+@pytest.fixture(scope="module")
+def clean_store():
+    return synthetic_store(samples=400, components=3, metrics=2, seed=11)
+
+
+def _flatten(feed):
+    return [
+        (b.time, b.performance, tuple(b.samples)) for b in feed
+    ]
+
+
+class TestCorruptedFeedContract:
+    def test_deterministic_per_seed(self, clean_store):
+        runs = [
+            _flatten(CorruptedFeed(StoreReplayFeed(clean_store), SPEC))
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_different_seed_differs(self, clean_store):
+        a = _flatten(CorruptedFeed(StoreReplayFeed(clean_store), SPEC))
+        other = ChaosSpec(
+            seed=SPEC.seed + 1,
+            gap_fraction=SPEC.gap_fraction,
+            nan_fraction=SPEC.nan_fraction,
+            max_skew=SPEC.max_skew,
+            delay_fraction=SPEC.delay_fraction,
+            delay_max=SPEC.delay_max,
+        )
+        b = _flatten(CorruptedFeed(StoreReplayFeed(clean_store), other))
+        assert a != b
+
+    def test_first_sample_per_series_intact(self, clean_store):
+        corrupted = CorruptedFeed(StoreReplayFeed(clean_store), SPEC)
+        clean_first = {}
+        for batch in StoreReplayFeed(clean_store):
+            for s in batch.samples:
+                clean_first.setdefault((s.component, s.metric), s)
+        seen = {}
+        for batch in corrupted:
+            for s in batch.samples:
+                seen.setdefault((s.component, s.metric), s)
+        for key, first in seen.items():
+            original = clean_first[key]
+            # The first delivered sample carries the (possibly skewed)
+            # original reading, never a NaN and never a drop.
+            assert first.value == original.value
+            assert abs(first.time - original.time) <= SPEC.max_skew
+
+    def test_delayed_samples_flushed_after_feed_ends(self, clean_store):
+        spec = ChaosSpec(seed=5, delay_fraction=0.5, delay_max=10)
+        batches = list(CorruptedFeed(StoreReplayFeed(clean_store), spec))
+        # Trailing flush batches extend past the recording's end.
+        assert batches[-1].time >= clean_store.end
+        delivered = sum(len(b.samples) for b in batches)
+        total = sum(
+            len(b.samples) for b in StoreReplayFeed(clean_store)
+        )
+        assert delivered == total  # delay reorders, never loses
+
+    def test_corrupted_stream_runs_the_loop(self, clean_store):
+        """A corrupted live feed never crashes the online pipeline."""
+        from repro.core.config import FChainConfig
+        from repro.monitoring.slo import LatencySLO
+        from repro.service import OnlinePipeline
+
+        onset = clean_store.end - 40
+        performance = {
+            t: (0.5 if t >= onset else 0.01)
+            for t in range(clean_store.start, clean_store.end)
+        }
+        feed = CorruptedFeed(
+            StoreReplayFeed(clean_store, performance=performance), SPEC
+        )
+        pipeline = OnlinePipeline(
+            feed,
+            LatencySLO(0.1, sustain=5),
+            config=FChainConfig(cusum_bootstraps=40),
+            seed=23,
+        )
+        incidents = pipeline.run()
+        assert not pipeline.failures
+        assert pipeline.triggered >= 1
+        for incident in incidents:
+            assert incident.quality in {"full", "degraded", "inconclusive"}
+
+    def test_nan_fraction_injects_nans(self, clean_store):
+        spec = ChaosSpec(seed=7, nan_fraction=0.2)
+        batches = list(CorruptedFeed(StoreReplayFeed(clean_store), spec))
+        nans = sum(
+            1
+            for b in batches
+            for s in b.samples
+            if isinstance(s.value, float) and math.isnan(s.value)
+        )
+        assert nans > 0

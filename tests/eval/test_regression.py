@@ -194,7 +194,11 @@ class TestCliGate:
         capsys.readouterr()
         baseline_dir = tmp_path / "baselines"
         baseline_dir.mkdir()
-        for name in ("BENCH_ingest.json", "BENCH_incremental_engine.json"):
+        for name in (
+            "BENCH_ingest.json",
+            "BENCH_incremental_engine.json",
+            "BENCH_service_loop.json",
+        ):
             (baseline_dir / name).write_text((tmp_path / name).read_text())
 
         # Gate against its own numbers with a wide band: must pass.

@@ -1,5 +1,7 @@
 """Tests for SLO detectors."""
 
+import math
+
 import pytest
 
 from repro.monitoring.slo import LatencySLO, ProgressSLO
@@ -57,6 +59,87 @@ class TestLatencySLO:
         assert list(series.values) == [0.01, 0.02]
 
 
+class TestLatencySLOGaps:
+    """Continuous-operation behaviour: gaps, duplicates, stale samples."""
+
+    def test_gap_breaks_sustain_streak(self):
+        slo = LatencySLO(0.1, sustain=3)
+        slo.observe(0, 0.5)
+        slo.observe(1, 0.5)
+        # tick 2 lost in transit; 3 ticks above threshold were recorded,
+        # but they do not span 3 *consecutive* ticks.
+        assert not slo.observe(3, 0.5).violated
+        slo.observe(4, 0.5)
+        assert slo.observe(5, 0.5).violated
+
+    def test_duplicate_tick_last_wins(self):
+        slo = LatencySLO(0.1, sustain=2)
+        slo.observe(0, 0.5)
+        assert slo.observe(1, 0.5).violated
+        # Re-delivery of tick 1 with a healthy reading undoes the verdict.
+        assert not slo.observe(1, 0.05).violated
+        assert slo.duplicates == 1
+        assert slo.violation_ticks == []
+        assert slo.samples == [0.5, 0.05]
+
+    def test_stale_sample_dropped(self):
+        slo = LatencySLO(0.1, sustain=1)
+        slo.observe(5, 0.05)
+        status = slo.observe(3, 0.5)
+        assert not status.violated
+        assert slo.stale_dropped == 1
+        assert slo.ticks == [5]
+
+    def test_performance_series_gap_aware(self):
+        slo = LatencySLO(0.1)
+        slo.observe(5, 0.01)
+        slo.observe(8, 0.04)
+        series = slo.performance_series()
+        assert series.start == 5
+        assert len(series.values) == 4
+        assert series.values[0] == 0.01
+        assert math.isnan(series.values[1]) and math.isnan(series.values[2])
+        assert series.values[3] == 0.04
+
+
+class TestRetention:
+    def test_retention_bounds_history(self):
+        slo = LatencySLO(0.1, sustain=2, retention=100)
+        for t in range(1000):
+            slo.observe(t, 0.5)
+        assert len(slo.samples) <= 100 + 64  # window + trim slack
+        assert slo.ticks[0] >= 999 - 100 - 64
+        assert len(slo.ticks) == len(slo.samples)
+        # first_violation survives trimming even once its tick expired.
+        assert slo.first_violation == 1
+
+    def test_first_violation_after_on_retained_log(self):
+        slo = LatencySLO(0.1, sustain=1, retention=200)
+        for t in range(1000):
+            slo.observe(t, 0.5 if t % 2 else 0.05)
+        assert slo.first_violation_after(995) == 995
+        assert slo.first_violation_after(996) == 997
+        assert slo.first_violation_after(1000) is None
+
+    def test_reset_restores_pristine_state(self):
+        slo = LatencySLO(0.1, sustain=1, retention=50)
+        slo.observe(0, 0.5)
+        slo.observe(0, 0.6)
+        slo.observe(-1, 0.5)
+        slo.reset()
+        assert slo.samples == [] and slo.ticks == []
+        assert slo.first_violation is None
+        assert slo.violation_ticks == []
+        assert slo.duplicates == 0 and slo.stale_dropped == 0
+        assert not slo.observe(0, 0.05).violated
+
+    def test_rejects_bad_retention(self):
+        with pytest.raises(ValueError):
+            LatencySLO(0.1, sustain=10, retention=10)
+        with pytest.raises(ValueError):
+            ProgressSLO(stall_seconds=30, retention=30)
+
+
 class TestProgressSLO:
     def test_steady_progress_ok(self):
         slo = ProgressSLO(stall_seconds=5, min_delta=0.001)
@@ -87,3 +170,31 @@ class TestProgressSLO:
     def test_rejects_bad_params(self):
         with pytest.raises(ValueError):
             ProgressSLO(stall_seconds=0)
+        with pytest.raises(ValueError):
+            ProgressSLO(stall_seconds=5, completion=0.0)
+
+    def test_completion_scale_percent(self):
+        """Hadoop traces report percent: completion=100 must be honored."""
+        slo = ProgressSLO(stall_seconds=5, min_delta=0.01, completion=100.0)
+        for t in range(10):
+            slo.observe(t, t * 10.0)
+        # Progress pinned at 95% — a genuine stall on the percent scale.
+        violated = False
+        for t in range(10, 20):
+            violated = slo.observe(t, 95.0).violated or violated
+        assert violated
+
+    def test_completion_scale_finished_percent(self):
+        slo = ProgressSLO(stall_seconds=5, min_delta=0.01, completion=100.0)
+        for t in range(10):
+            slo.observe(t, t * 10.0)
+        # Job done at 100%; sitting there is not a stall.
+        for t in range(10, 20):
+            assert not slo.observe(t, 100.0).violated
+
+    def test_gap_widens_stall_window(self):
+        slo = ProgressSLO(stall_seconds=5, min_delta=0.01)
+        slo.observe(0, 0.10)
+        # Ticks 1..8 lost. The reference for t=9 is the newest sample at
+        # least 5 ticks old — tick 0 — so the comparison still fires.
+        assert slo.observe(9, 0.10).violated

@@ -68,3 +68,65 @@ def test_bench_json_writes_reports(tmp_path, monkeypatch, capsys):
     assert engine["benchmark"] == "incremental_engine"
     assert engine["results_match"] is True
     assert "p50_ms" in engine["incremental"]
+
+
+def _write_replay_trace(tmp_path):
+    from repro.eval.bench import synthetic_store
+    from repro.monitoring.io import save_store_csv
+    from repro.service.sources import save_performance_csv
+
+    store = synthetic_store(samples=900, components=3, metrics=2, seed=7)
+    onset = store.end - 35
+    metrics_path = tmp_path / "metrics.csv"
+    performance_path = tmp_path / "perf.csv"
+    save_store_csv(store, metrics_path)
+    save_performance_csv(
+        performance_path,
+        {
+            t: (0.5 if t >= onset else 0.01)
+            for t in range(store.start, store.end)
+        },
+    )
+    return metrics_path, performance_path
+
+
+def test_replay_localizes_recorded_incident(tmp_path, capsys):
+    metrics_path, performance_path = _write_replay_trace(tmp_path)
+    incidents_path = tmp_path / "incidents.jsonl"
+    code = main(
+        [
+            "replay", str(metrics_path), str(performance_path),
+            "--sustain", "5",
+            "--expect-incidents", "1", "--expect-culprit", "c0",
+            "--incidents", str(incidents_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "incident #0" in out
+    assert "c0" in out
+    record = __import__("json").loads(incidents_path.read_text())
+    assert "c0" in record["faulty"]
+
+
+def test_replay_expectation_failure_exits_nonzero(tmp_path, capsys):
+    metrics_path, performance_path = _write_replay_trace(tmp_path)
+    code = main(
+        [
+            "replay", str(metrics_path), str(performance_path),
+            "--sustain", "5", "--expect-incidents", "3",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL expected exactly 3" in out
+
+
+def test_serve_runs_quietly_without_fault(capsys):
+    code = main(
+        ["serve", "--duration", "40", "--no-fault", "--seed", "3"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0, out
+    assert "no incidents" in out
+    assert "40 ticks" in out
