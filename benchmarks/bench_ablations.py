@@ -35,7 +35,9 @@ def _score(records, config, graph):
     pr = PrecisionRecall()
     for record in records:
         fchain = FChain(config, dependency_graph=graph, seed=record.seed)
-        result = fchain.localize(record.store, record.violation_time)
+        result = fchain.localize(
+            record.store, violation_time=record.violation_time
+        )
         pr.update(result.faulty, record.ground_truth)
     return pr
 
@@ -75,7 +77,7 @@ def test_ablations(ablations, benchmark):
     benchmark(
         lambda: FChain(
             FChainConfig(), dependency_graph=graph, seed=record.seed
-        ).localize(record.store, record.violation_time)
+        ).localize(record.store, violation_time=record.violation_time)
     )
     save_roc_svgs("ablations", {SCENARIO.split("/")[1]: results})
     save_and_print(

@@ -28,7 +28,9 @@ def _score(records, graph, window_for):
         windows.append(window)
         config = FChainConfig(look_back_window=window)
         fchain = FChain(config, dependency_graph=graph, seed=record.seed)
-        result = fchain.localize(record.store, record.violation_time)
+        result = fchain.localize(
+            record.store, violation_time=record.violation_time
+        )
         pr.update(result.faulty, record.ground_truth)
     return pr, windows
 

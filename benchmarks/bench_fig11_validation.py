@@ -36,8 +36,8 @@ def fig11():
             scheme.bind(record)
             pinpointed = scheme.localize(
                 record.store,
-                record.violation_time,
-                context_for(scenario, record),
+                violation_time=record.violation_time,
+                context=context_for(scenario, record),
             )
             validated.update(pinpointed, record.ground_truth)
         per_fault[name.split("/")[1]] = {
@@ -54,7 +54,11 @@ def test_fig11_online_validation(fig11, benchmark):
     scheme.bind(record)
     context = context_for(scenario, record)
     benchmark(
-        lambda: scheme.localize(record.store, record.violation_time, context)
+        lambda: scheme.localize(
+            record.store,
+            violation_time=record.violation_time,
+            context=context,
+        )
     )
     save_roc_svgs("fig11_validation", per_fault)
     save_and_print(

@@ -24,12 +24,27 @@ SAMPLES = 10_000
 COMPONENTS = 8
 METRICS = 3
 REQUIRED_TICKS_PER_SECOND = 100.0
+#: Ring retention for the wraparound case — small enough that the replay
+#: wraps the ring several times, so every steady-state tick overwrites
+#: the oldest retained slot.
+WRAP_RETENTION = 2_048
 
 
 @pytest.fixture(scope="module")
 def service_report():
     return run_service_loop_benchmark(
         samples=SAMPLES, components=COMPONENTS, metrics=METRICS, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def wraparound_report():
+    return run_service_loop_benchmark(
+        samples=SAMPLES,
+        components=COMPONENTS,
+        metrics=METRICS,
+        seed=7,
+        retention=WRAP_RETENTION,
     )
 
 
@@ -47,14 +62,47 @@ def test_steady_state_throughput(service_report):
     )
 
 
+def test_wraparound_steady_state(wraparound_report):
+    """Retention-by-overwrite must not slow or destabilize the loop.
+
+    With retention far below the replay length the loop spends most of
+    its life overwriting the oldest ring slot every tick. That steady
+    state must stay allocation-free: same throughput floor as the
+    unbounded store, and still zero spurious incidents.
+    """
+    save_and_print("service_loop_wrap", wraparound_report.summary())
+    assert wraparound_report.incidents == 0, (
+        "the violation-free wraparound replay dispatched a diagnosis — "
+        "ring eviction perturbed the SLO path"
+    )
+    assert (
+        wraparound_report.ticks_per_second >= REQUIRED_TICKS_PER_SECOND
+    ), (
+        f"wraparound steady state "
+        f"{wraparound_report.ticks_per_second:.0f} ticks/s below the "
+        f"required {REQUIRED_TICKS_PER_SECOND:.0f} with retention "
+        f"{WRAP_RETENTION} over {SAMPLES} ticks"
+    )
+
+
 def main() -> int:
     report = run_service_loop_benchmark(
         samples=SAMPLES, components=COMPONENTS, metrics=METRICS, seed=7
     )
     print(report.summary())
+    wrap = run_service_loop_benchmark(
+        samples=SAMPLES,
+        components=COMPONENTS,
+        metrics=METRICS,
+        seed=7,
+        retention=WRAP_RETENTION,
+    )
+    print(wrap.summary())
     ok = (
         report.incidents == 0
         and report.ticks_per_second >= REQUIRED_TICKS_PER_SECOND
+        and wrap.incidents == 0
+        and wrap.ticks_per_second >= REQUIRED_TICKS_PER_SECOND
     )
     return 0 if ok else 1
 

@@ -32,7 +32,9 @@ def _score(records, scenario, config):
     pr = PrecisionRecall()
     for record in records:
         fchain = FChain(config, dependency_graph=graph, seed=record.seed)
-        result = fchain.localize(record.store, record.violation_time)
+        result = fchain.localize(
+            record.store, violation_time=record.violation_time
+        )
         pr.update(result.faulty, record.ground_truth)
     return pr
 
@@ -71,7 +73,7 @@ def test_table1_parameter_sensitivity(table1, benchmark):
     benchmark(
         lambda: FChain(
             FChainConfig(), dependency_graph=graph, seed=record.seed
-        ).localize(record.store, record.violation_time)
+        ).localize(record.store, violation_time=record.violation_time)
     )
     text = format_sensitivity_table(rows)
     text += (

@@ -49,7 +49,7 @@ def main() -> None:
         f"({(disturbed / base - 1) * 100:+.0f}% — noisy-neighbour effect)"
     )
 
-    result = FChain(seed=15).localize(rubis.store, violation)
+    result = FChain(seed=15).localize(rubis.store, violation_time=violation)
     print("\nFChain diagnosis inside the affected tenant:")
     print(result.summary())
 

@@ -32,7 +32,7 @@ def main() -> None:
     )
 
     fchain = FChain(FChainConfig(), seed=42)
-    result = fchain.localize(app.store, violation)
+    result = fchain.localize(app.store, violation_time=violation)
 
     print("\nAbnormal change propagation chain (component @ onset):")
     for component, onset in result.chain.links:

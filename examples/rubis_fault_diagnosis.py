@@ -48,7 +48,7 @@ def main() -> None:
 
     print("\n== FChain diagnosis ==")
     fchain = FChain(FChainConfig(), dependency_graph=graph, seed=43)
-    result = fchain.localize(app.store, violation)
+    result = fchain.localize(app.store, violation_time=violation)
     for component, onset in result.chain.links:
         report = result.reports[component]
         metrics = ", ".join(str(m) for m in report.implicated_metrics)

@@ -53,7 +53,7 @@ def main() -> None:
     )
 
     fchain = FChain(FChainConfig(), dependency_graph=None, seed=44)
-    result = fchain.localize(app.store, violation)
+    result = fchain.localize(app.store, violation_time=violation)
 
     print("\nPropagation chain (earliest onset first):")
     for component, onset in result.chain.links:

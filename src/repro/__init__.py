@@ -17,7 +17,9 @@ Quickstart::
     app = RubisApplication(seed=1, duration=2400)
     app.inject(CpuHogFault(1300, DB))
     app.run(1400)
-    result = FChain().localize(app.store, app.slo.first_violation_after(1300))
+    result = FChain().localize(
+        app.store, violation_time=app.slo.first_violation_after(1300)
+    )
     print(result.faulty)  # frozenset({'db'})
 """
 

@@ -12,7 +12,6 @@ configuration.
 from __future__ import annotations
 
 import abc
-import warnings
 from dataclasses import dataclass, field
 from typing import FrozenSet, Optional
 
@@ -52,9 +51,7 @@ class Localizer(abc.ABC):
 
     Schemes implement :meth:`_localize`; callers invoke :meth:`localize`,
     whose call shape matches ``FChain.localize`` — the store positionally,
-    everything else by keyword. The historical fully-positional form
-    (``localize(store, violation_time, context)``) still works but emits a
-    :class:`DeprecationWarning`.
+    everything else by keyword.
     """
 
     #: Short scheme name used in reports.
@@ -63,8 +60,8 @@ class Localizer(abc.ABC):
     def localize(
         self,
         store: MetricStore,
-        *args,
-        violation_time: Optional[int] = None,
+        *,
+        violation_time: int,
         context: Optional[LocalizationContext] = None,
     ) -> FrozenSet[ComponentId]:
         """Pinpoint faulty components for a violation at ``violation_time``.
@@ -72,36 +69,13 @@ class Localizer(abc.ABC):
         Args:
             store: Recorded metric samples of the run.
             violation_time: ``t_v`` — when the SLO violation was detected
-                (keyword-only; the positional form is deprecated).
+                (keyword-only).
             context: Side information for this application; defaults to a
                 bare :class:`LocalizationContext`.
 
         Returns:
             The set of pinpointed components (possibly empty).
         """
-        if args:
-            if len(args) > 2:
-                raise TypeError(
-                    "localize() takes the store plus keyword arguments"
-                )
-            if violation_time is not None:
-                raise TypeError("violation_time given both ways")
-            warnings.warn(
-                "passing violation_time/context positionally is deprecated; "
-                "call localize(store, violation_time=..., context=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            violation_time = args[0]
-            if len(args) == 2:
-                if context is not None:
-                    raise TypeError("context given both ways")
-                context = args[1]
-        if violation_time is None:
-            raise TypeError(
-                "localize() missing required keyword argument "
-                "'violation_time'"
-            )
         return self._localize(
             store,
             violation_time=violation_time,

@@ -258,7 +258,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"FAIL no committed baseline for {name}")
             gate_ok = all(c.ok for c in checks) and not missing
 
-    ok = report.results_match and ingest.streams_match and gate_ok
+    ok = report.results_match and ingest.stores_match and gate_ok
     return 0 if ok else 1
 
 

@@ -13,7 +13,8 @@ from typing import Dict, Tuple
 
 from repro.cloud.host import Host
 from repro.cloud.vm import VirtualMachine
-from repro.monitoring.store import MetricStore
+from repro.common.types import MetricSample
+from repro.monitoring.store import IngestBatch, MetricStore
 from repro.sim.component import QueueComponent
 from repro.sim.metrics import MetricSynthesizer
 
@@ -47,10 +48,14 @@ class DomainZeroMonitor:
 
     def sample_all(self, t: int) -> None:
         """Record one tick of samples for every registered VM."""
-        for name, (component, vm, host) in self._targets.items():
-            values = self._synths[name].sample(t, component, vm, host)
-            self.store.record(name, values)
-        self.store.advance()
+        samples = [
+            MetricSample(name, metric, t, value)
+            for name, (component, vm, host) in self._targets.items()
+            for metric, value in self._synths[name]
+            .sample(t, component, vm, host)
+            .items()
+        ]
+        self.store.ingest(IngestBatch(samples=samples, watermark=t + 1))
 
     @property
     def monitored(self) -> Tuple[str, ...]:

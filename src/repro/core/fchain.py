@@ -26,7 +26,6 @@ results (the equivalence is asserted by
 from __future__ import annotations
 
 import time
-import warnings
 import weakref
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
@@ -263,14 +262,46 @@ class FChainSlave:
         self, store: MetricStore, component: ComponentId, needed: int
     ) -> None:
         for metric in store.metrics_for(component):
-            key = (component, metric)
-            have = self._consumed.get(key, 0)
-            if have >= needed:
-                continue
-            values = store.series(component, metric).values
-            stop = min(needed, len(values))
-            if have < stop:
-                self.observe_many(component, metric, values[have:stop])
+            self._sync_series(store, component, metric, needed)
+
+    def _sync_series(
+        self,
+        store: MetricStore,
+        component: ComponentId,
+        metric: Metric,
+        needed: int,
+    ) -> int:
+        """Stream store slots ``[cursor, needed)`` of one series into the
+        models; returns how many slots were consumed.
+
+        The stream index must always equal the absolute store slot —
+        that is what lets :meth:`analyze` slice error windows by slot
+        even after the ring wrapped. Slots the ring evicted before this
+        slave consumed them are therefore fed as NaN: the fluctuation
+        model treats them like any other gap (severing the Markov
+        chain), and the cursor keeps counting in store slots.
+        """
+        key = (component, metric)
+        have = self._consumed.get(key, 0)
+        if have >= needed:
+            return 0
+        series = store.series(component, metric)
+        base = series.start - store.start
+        stop = min(needed, base + len(series))
+        if have >= stop:
+            return 0
+        synced = 0
+        pad = min(base, stop) - have
+        if pad > 0:
+            self.observe_many(component, metric, np.full(pad, np.nan))
+            have += pad
+            synced += pad
+        if have < stop:
+            self.observe_many(
+                component, metric, series.values[have - base : stop - base]
+            )
+            synced += stop - have
+        return synced
 
     # ------------------------------------------------------------------
     # On-demand abnormal change point selection
@@ -320,13 +351,12 @@ class FChainSlave:
                     if len(full) < 2 * config.min_segment:
                         continue
                     metrics_total += 1
-                    key = (component, metric)
-                    have = self._consumed.get(key, 0)
-                    if have < len(full):
-                        self.observe_many(
-                            component, metric, full.values[have:]
-                        )
-                        sync_span.count("samples_synced", len(full) - have)
+                    base = full.start - store.start
+                    synced = self._sync_series(
+                        store, component, metric, base + len(full)
+                    )
+                    if synced:
+                        sync_span.count("samples_synced", synced)
                     finite = np.isfinite(full.values)
                     raw_lo = max(window_start, full.start)
                     expected = max(0, min(window_end, store.end) - raw_lo)
@@ -341,10 +371,13 @@ class FChainSlave:
                             component, metric
                         ).gap_slots
                         if slots:
+                            # Slot keys are absolute (from store.start);
+                            # shift into the series' local index space,
+                            # which starts later once the ring wrapped.
                             synth = sum(
                                 1
                                 for s, kind in slots.items()
-                                if span_lo <= s < len(full)
+                                if span_lo <= s - base < len(full)
                                 and kind != "missing"
                             )
                     observed = int(finite[span_lo:].sum()) - synth
@@ -727,8 +760,8 @@ class FChain:
     def localize(
         self,
         store: MetricStore,
-        *args,
-        violation_time: Optional[int] = None,
+        *,
+        violation_time: int,
         validate_with=None,
     ) -> Diagnosis:
         """Diagnose the faulty components for a detected SLO violation.
@@ -736,34 +769,14 @@ class FChain:
         Args:
             store: Recorded metric samples of the run.
             violation_time: ``t_v`` — when the SLO violation was detected
-                (keyword-only; the positional form is deprecated).
+                (keyword-only).
             validate_with: Optional live application; when given, online
                 pinpointing validation runs and the returned diagnosis
-                carries the validated result plus per-component outcomes
-                (this subsumes the deprecated ``localize_and_validate``).
+                carries the validated result plus per-component outcomes.
 
         Returns:
             A :class:`~repro.core.diagnosis.Diagnosis`.
         """
-        if args:
-            if len(args) > 1:
-                raise TypeError(
-                    "localize() takes the store and keyword arguments only"
-                )
-            if violation_time is not None:
-                raise TypeError("violation_time given both ways")
-            warnings.warn(
-                "passing violation_time positionally is deprecated; call "
-                "localize(store, violation_time=...)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            violation_time = args[0]
-        if violation_time is None:
-            raise TypeError(
-                "localize() missing required keyword argument "
-                "'violation_time'"
-            )
         started = time.perf_counter()
         result = self.master.diagnose(store, violation_time)
         outcomes: Optional[Dict[ComponentId, ValidationOutcome]] = None
@@ -794,20 +807,3 @@ class FChain:
             latency_seconds=time.perf_counter() - started,
             trace=result.trace,
         )
-
-    def localize_and_validate(
-        self, app, violation_time: int
-    ) -> Tuple[PinpointResult, Dict[ComponentId, ValidationOutcome]]:
-        """Deprecated: use ``localize(app.store, violation_time=...,
-        validate_with=app)``, which returns a single
-        :class:`~repro.core.diagnosis.Diagnosis` instead of a tuple."""
-        warnings.warn(
-            "localize_and_validate() is deprecated; use localize(app.store, "
-            "violation_time=..., validate_with=app)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        diagnosis = self.localize(
-            app.store, violation_time=violation_time, validate_with=app
-        )
-        return diagnosis.result, diagnosis.outcomes

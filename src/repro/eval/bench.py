@@ -28,15 +28,23 @@ import numpy as np
 
 from repro.common.types import METRIC_NAMES, ComponentId
 from repro.core.config import FChainConfig
-from repro.core.fchain import FChainMaster, FChainSlave
-from repro.monitoring.store import MetricStore
+from repro.core.fchain import FChainMaster
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.store import IngestBatch, IngestRun, MetricStore
 
 
 #: Version of the ``BENCH_*.json`` payload layout. Bump when fields are
 #: renamed or re-scaled; the CI regression gate
 #: (:mod:`repro.eval.regression`) rejects payloads from other versions
 #: rather than comparing incomparable numbers.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
+
+#: Single-thread ingest throughput (samples/s) recorded by the
+#: schema-v2 ``BENCH_ingest.json`` baseline immediately before the ring
+#: store rewrite. The rewrite's acceptance bar is >= 10x this figure on
+#: the batched path; the constant is frozen here so the comparison
+#: survives baseline regeneration.
+PRE_REWRITE_INGEST_OPS = 152_953.37
 
 
 def _json_header(benchmark: str) -> Dict:
@@ -279,20 +287,22 @@ def run_benchmark(
 
 @dataclass
 class IngestReport:
-    """Outcome of one per-sample-vs-batched ingest comparison.
+    """Outcome of one per-sample-vs-batched store-ingest comparison.
 
     Attributes:
-        samples: History length (ticks) of the benchmarked store.
+        samples: History length (ticks) of the benchmarked data.
         components: Component count.
         metrics: Metrics per component.
         chunk: Chunk size (ticks) used by the batched feed.
-        scalar_seconds: Wall time of the per-sample ``observe()`` feed.
-        batched_seconds: Wall time of the chunked ``observe_many()`` feed.
+        scalar_seconds: Wall time of the per-sample tolerant
+            ``ingest(component, metric, t, value)`` feed.
+        batched_seconds: Wall time of the chunked
+            ``ingest(IngestBatch(runs=...))`` feed.
         scalar_tick_latencies: Per-tick latencies of the scalar feed (one
-            tick = one ``observe`` per monitored series).
+            tick = one sample per monitored series plus the watermark).
         batched_call_latencies: Per-call latencies of the chunked feed.
-        streams_match: Whether both feeds produced bit-identical
-            prediction-error streams for every series.
+        stores_match: Whether both feeds produced bit-identical stored
+            series (values and start) for every series.
     """
 
     samples: int
@@ -303,7 +313,7 @@ class IngestReport:
     batched_seconds: float
     scalar_tick_latencies: List[float]
     batched_call_latencies: List[float]
-    streams_match: bool
+    stores_match: bool
 
     @property
     def total_samples(self) -> int:
@@ -323,20 +333,25 @@ class IngestReport:
     def speedup(self) -> float:
         return self.scalar_seconds / max(self.batched_seconds, 1e-12)
 
+    @property
+    def speedup_vs_pre_rewrite(self) -> float:
+        """Batched ring throughput over the frozen pre-rewrite figure."""
+        return self.batched_ops / PRE_REWRITE_INGEST_OPS
+
     def summary(self) -> str:
         lines = [
-            f"ingest: {self.samples} samples x {self.components} "
+            f"store ingest: {self.samples} samples x {self.components} "
             f"components x {self.metrics} metrics "
             f"({self.total_samples} total samples)",
-            f"per-sample observe():  {self.scalar_ops:12.0f} samples/s "
+            f"per-sample ingest():   {self.scalar_ops:12.0f} samples/s "
             f"(tick p50 {_percentile_ms(self.scalar_tick_latencies, 50):.3f} ms, "
             f"p99 {_percentile_ms(self.scalar_tick_latencies, 99):.3f} ms)",
-            f"batched observe_many({self.chunk}): {self.batched_ops:8.0f} "
-            f"samples/s "
+            f"batched runs({self.chunk}): {self.batched_ops:14.0f} samples/s "
             f"(call p50 {_percentile_ms(self.batched_call_latencies, 50):.3f} ms, "
             f"p99 {_percentile_ms(self.batched_call_latencies, 99):.3f} ms)",
-            f"speedup: {self.speedup:.1f}x "
-            f"(streams {'identical' if self.streams_match else 'DIVERGED'})",
+            f"speedup: {self.speedup:.1f}x over per-sample, "
+            f"{self.speedup_vs_pre_rewrite:.1f}x over the pre-rewrite store "
+            f"(stores {'identical' if self.stores_match else 'DIVERGED'})",
         ]
         return "\n".join(lines)
 
@@ -362,7 +377,9 @@ class IngestReport:
                 "total_seconds": self.batched_seconds,
             },
             "speedup": self.speedup,
-            "streams_match": self.streams_match,
+            "pre_rewrite_ops_per_second": PRE_REWRITE_INGEST_OPS,
+            "speedup_vs_pre_rewrite": self.speedup_vs_pre_rewrite,
+            "stores_match": self.stores_match,
         }
 
 
@@ -372,51 +389,66 @@ def measure_ingest(
     config: Optional[FChainConfig] = None,
     chunk: int = 512,
 ) -> IngestReport:
-    """Time per-sample vs batched model ingest of a whole store.
+    """Time per-sample vs batched *store* ingest of a whole store's data.
 
-    Feeds every (component, metric) series of the store into two fresh
-    slaves: one sample at a time through ``observe()`` (the 1 Hz
-    streaming shape) and in ``chunk``-sized slices through
-    ``observe_many()`` (the warm-up/catch-up shape). Both feeds must
-    produce bit-identical prediction-error streams — the speedup is pure
-    batching, not an approximation.
+    Replays every (component, metric) series of ``store`` into two fresh
+    ring-backed stores: one sample at a time through the tolerant
+    ``ingest(component, metric, t, value)`` path (the 1 Hz streaming
+    shape, one watermark per tick) and in ``chunk``-tick
+    :class:`~repro.monitoring.store.IngestRun` batches (the collector
+    shape). Both feeds must leave bit-identical stored series — the
+    speedup is pure batching, not an approximation.
+
+    ``config`` is accepted for signature compatibility with
+    :func:`measure_latency`; store ingest does not consult it.
     """
-    config = (config or FChainConfig()).validate()
+    del config  # store ingest has no engine configuration
     series = {
         (component, metric): store.series(component, metric).values
         for component in store.components
         for metric in store.metrics_for(component)
     }
     ticks = store.length
+    start = store.start
 
-    scalar = FChainSlave(config)
+    scalar = MetricStore(start=start, policy=DataQualityPolicy())
     tick_latencies = []
     scalar_started = time.perf_counter()
     for i in range(ticks):
         tick_started = time.perf_counter()
+        t = start + i
         for (component, metric), values in series.items():
-            scalar.observe(component, metric, values[i])
+            scalar.ingest(component, metric, t, float(values[i]))
+        scalar.advance_to(t + 1)
         tick_latencies.append(time.perf_counter() - tick_started)
     scalar_seconds = time.perf_counter() - scalar_started
 
-    batched = FChainSlave(config)
+    batched = MetricStore(start=start)
     call_latencies = []
     batched_started = time.perf_counter()
-    for (component, metric), values in series.items():
-        for lo in range(0, ticks, chunk):
-            call_started = time.perf_counter()
-            batched.observe_many(component, metric, values[lo : lo + chunk])
-            call_latencies.append(time.perf_counter() - call_started)
+    for lo in range(0, ticks, chunk):
+        hi = min(lo + chunk, ticks)
+        call_started = time.perf_counter()
+        batched.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(component, metric, start + lo, values[lo:hi])
+                    for (component, metric), values in series.items()
+                ],
+                watermark=start + hi,
+            )
+        )
+        call_latencies.append(time.perf_counter() - call_started)
     batched_seconds = time.perf_counter() - batched_started
 
-    streams_match = all(
-        np.array_equal(
-            scalar._streams[key].view(),
-            batched._streams[key].view(),
-            equal_nan=True,
+    def _same(key):
+        left = scalar.series(*key)
+        right = batched.series(*key)
+        return left.start == right.start and np.array_equal(
+            left.values, right.values, equal_nan=True
         )
-        for key in series
-    )
+
+    stores_match = all(_same(key) for key in series)
     return IngestReport(
         samples=ticks,
         components=len(store.components),
@@ -426,7 +458,7 @@ def measure_ingest(
         batched_seconds=batched_seconds,
         scalar_tick_latencies=tick_latencies,
         batched_call_latencies=call_latencies,
-        streams_match=streams_match,
+        stores_match=stores_match,
     )
 
 
@@ -510,6 +542,7 @@ def run_service_loop_benchmark(
     metrics: int = 3,
     seed: int = 7,
     config: Optional[FChainConfig] = None,
+    retention: Optional[int] = None,
 ) -> ServiceLoopReport:
     """Replay a violation-free synthetic store through the online loop.
 
@@ -517,6 +550,10 @@ def run_service_loop_benchmark(
     so no diagnosis is ever dispatched — the measured figure is the
     loop's pure steady-state overhead (ingest + warm sync + SLO eval)
     per tick.
+
+    ``retention`` bounds the loop's ring store; pass a value smaller
+    than ``samples`` to measure the wraparound steady state, where every
+    tick overwrites the oldest retained slot.
     """
     from repro.monitoring.slo import LatencySLO
     from repro.service.pipeline import OnlinePipeline
@@ -528,8 +565,19 @@ def run_service_loop_benchmark(
     )
     performance = {t: 0.010 for t in range(store.start, store.end)}
     feed = StoreReplayFeed(store, performance=performance)
+    loop_store = None
+    if retention is not None:
+        loop_store = MetricStore(
+            start=store.start,
+            policy=DataQualityPolicy(),
+            retention=retention,
+        )
     pipeline = OnlinePipeline(
-        feed, LatencySLO(1e6, sustain=10), config=config, seed=seed
+        feed,
+        LatencySLO(1e6, sustain=10),
+        config=config,
+        seed=seed,
+        store=loop_store,
     )
     tick_seconds: List[float] = []
     started = time.perf_counter()

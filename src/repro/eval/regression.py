@@ -11,8 +11,8 @@ committed baselines under ``benchmarks/baselines/``. A *regression* is:
 
 The tolerance band is deliberately generous by default — CI runners are
 noisy and heterogeneous — so the gate catches the erosion of order-of-
-magnitude speedups (the 7.8x engine / 16.9x ingest wins), not single-
-digit-percent jitter. Comparisons are refused outright (not failed
+magnitude speedups (the warm-engine diagnosis win and the >= 10x ring
+store ingest win), not single-digit-percent jitter. Comparisons are refused outright (not failed
 softly) when the payloads are not comparable: a missing or mismatched
 ``schema_version`` (stale format) or different workload parameters
 (samples / components / metrics).

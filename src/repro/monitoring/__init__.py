@@ -4,11 +4,18 @@ The FChain slaves continuously sample six system metrics per guest VM at
 1 Hz; the application side exposes an SLO signal (response time, job
 progress, or per-tuple processing time). This package holds the metric
 store both sides share and the SLO detectors that trigger diagnosis.
+
+The supported write surface is :meth:`MetricStore.ingest` fed with
+:class:`IngestBatch` / :class:`IngestRun`; strictness is a policy preset
+(:data:`STRICT_POLICY`), not a separate API. Import those names from
+here — ``repro.monitoring.store`` internals are not a stable surface.
 """
 
 from repro.monitoring.quality import (
+    DEFAULT_POLICY,
     DataQualityPolicy,
     DataQualityReport,
+    STRICT_POLICY,
     SeriesQuality,
 )
 from repro.monitoring.slo import (
@@ -17,14 +24,20 @@ from repro.monitoring.slo import (
     SLODetector,
     SLOStatus,
 )
-from repro.monitoring.store import MetricStore
+from repro.monitoring.spill import SegmentSpill
+from repro.monitoring.store import IngestBatch, IngestRun, MetricStore
 
 __all__ = [
+    "DEFAULT_POLICY",
     "DataQualityPolicy",
     "DataQualityReport",
+    "IngestBatch",
+    "IngestRun",
     "LatencySLO",
     "MetricStore",
     "ProgressSLO",
+    "STRICT_POLICY",
+    "SegmentSpill",
     "SeriesQuality",
     "SLODetector",
     "SLOStatus",

@@ -20,9 +20,9 @@ import pathlib
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ReproError
-from repro.common.types import ComponentId, Metric
+from repro.common.types import ComponentId, Metric, MetricSample
 from repro.monitoring.quality import DataQualityPolicy
-from repro.monitoring.store import MetricStore
+from repro.monitoring.store import IngestBatch, MetricStore
 
 #: CSV header, fixed.
 HEADER = ("time", "component", "metric", "value")
@@ -94,9 +94,15 @@ def load_store_csv(
         start = min(min(samples) for samples in by_series.values())
         end = max(max(samples) for samples in by_series.values())
         store = MetricStore(start=start, policy=policy)
-        for time, component, metric, value in rows:
-            store.ingest(component, metric, time, value)
-        store.advance_to(end + 1)
+        store.ingest(
+            IngestBatch(
+                samples=[
+                    MetricSample(component, metric, time, value)
+                    for time, component, metric, value in rows
+                ],
+                watermark=end + 1,
+            )
+        )
         return store
 
     starts = {min(samples) for samples in by_series.values()}

@@ -37,6 +37,7 @@ from repro.common.errors import ConfigurationError
 INVALID_ACTIONS = ("gap", "reject")
 FILL_METHODS = ("none", "forward", "interpolate")
 DUPLICATE_ACTIONS = ("first", "last", "reject")
+GAP_ACTIONS = ("pad", "reject")
 
 #: Confidence grades a component-level quality report can carry.
 CONFIDENCE_FULL = "full"
@@ -74,6 +75,13 @@ class DataQualityPolicy:
         on_duplicate: Second delivery for an already-observed tick —
             ``"first"`` keeps the original, ``"last"`` overwrites,
             ``"reject"`` raises.
+        on_gap: What a hole between the series head and an arriving
+            sample means — ``"pad"`` records the missing ticks (and
+            hands them to the fill policy), ``"reject"`` raises: the
+            writer promised contiguous 1 Hz delivery, so a gap is a
+            programming error, not a telemetry defect. A series' very
+            first sample is exempt (a late-joining VM legitimately
+            starts mid-run).
         min_coverage: Fraction of a metric's look-back window that must
             be covered by *observed* (not filled) samples for the metric
             to take part in change-point selection; below it the metric
@@ -88,6 +96,7 @@ class DataQualityPolicy:
     max_skew: int = 10
     align_skew: bool = True
     on_duplicate: str = "first"
+    on_gap: str = "pad"
     min_coverage: float = 0.6
 
     def __post_init__(self) -> None:
@@ -105,6 +114,10 @@ class DataQualityPolicy:
                 f"on_duplicate={self.on_duplicate!r}: choose one of "
                 f"{DUPLICATE_ACTIONS}"
             )
+        if self.on_gap not in GAP_ACTIONS:
+            raise ConfigurationError(
+                f"on_gap={self.on_gap!r}: choose one of {GAP_ACTIONS}"
+            )
         if self.max_gap < 0:
             raise ConfigurationError("max_gap must be >= 0 ticks")
         if self.max_skew < 0:
@@ -117,6 +130,21 @@ class DataQualityPolicy:
 #: explicit policy but its data turns out to contain gaps (e.g. a store
 #: built via ``from_arrays`` from already-holey telemetry).
 DEFAULT_POLICY = DataQualityPolicy()
+
+#: The clean-data contract as a policy preset: every defect class is an
+#: error. Batch ingestion into a store constructed *without* a policy
+#: runs under this preset, which is what makes the historical strict
+#: ``record``/``advance`` path a special case of the unified
+#: ``MetricStore.ingest`` surface rather than a separate code path.
+STRICT_POLICY = DataQualityPolicy(
+    on_invalid="reject",
+    fill="none",
+    max_gap=0,
+    max_skew=0,
+    align_skew=False,
+    on_duplicate="reject",
+    on_gap="reject",
+)
 
 
 @dataclass
@@ -330,5 +358,6 @@ __all__ = [
     "DataQualityPolicy",
     "DataQualityReport",
     "IngestMetrics",
+    "STRICT_POLICY",
     "SeriesQuality",
 ]

@@ -2,20 +2,25 @@
 
 The process-based :class:`~repro.core.engine.SlavePool` executor must hand
 every worker the full metric history without pickling it per task (a
-fleet-scale store is hundreds of megabytes). This module flattens the
-store's numpy columns into one ``multiprocessing.shared_memory`` segment:
+fleet-scale store is hundreds of megabytes). This module flattens each
+series' *retained* ring window into one ``multiprocessing.shared_memory``
+segment:
 
-* the master calls :func:`export_store` once per diagnosis, paying one
-  vectorized copy of each column into the segment;
+* the master calls :class:`SharedStoreExport` once per diagnosis, paying
+  one vectorized copy of each retained ring view into the segment —
+  because the rings are mirrored, every view is already one contiguous
+  slice regardless of where the ring head is;
 * workers call :func:`attach_store` with the (tiny, picklable)
   :class:`SharedStoreHandle` and get back a read-only ``MetricStore``
-  whose columns are numpy views *into the shared segment* — attaching
+  whose series are numpy views *into the shared segment* — attaching
   copies nothing, no matter how long the history is.
 
 The attached store supports every read path (``series``, ``window``,
-``metrics_for``, ``components``) byte-for-byte identically to the
-original; writing to it is unsupported and unprotected — it exists only
-for slave-side analysis.
+``metrics_for``, ``components``, ``series_quality``) byte-for-byte
+identically to the original, including rings that have wrapped: each
+layout entry carries the series' retained-start timestamp, so an
+attached series reports the same clipped ``start`` as the live ring.
+Writing to an attached store raises.
 """
 
 from __future__ import annotations
@@ -28,13 +33,15 @@ import numpy as np
 
 from repro.common.types import ComponentId, Metric
 from repro.monitoring.quality import DataQualityPolicy, SeriesQuality
-from repro.monitoring.store import MetricStore
+from repro.monitoring.store import MetricStore, _Ring
 
-#: One column of the flattened layout: (component, metric value, element
-#: offset into the segment, element count).
-_ColumnSpec = Tuple[ComponentId, str, int, int]
+#: One series of the flattened layout: (component, metric value, element
+#: offset into the segment, element count, first retained slot).
+_SeriesSpec = Tuple[ComponentId, str, int, int, int]
 
 #: One series' ingest-quality snapshot: (component, metric value, stats).
+#: The snapshot's ``gap_slots`` is pre-materialized from the gap bitmap,
+#: so workers reproduce the master's quality accounting bit for bit.
 _QualitySpec = Tuple[ComponentId, str, SeriesQuality]
 
 
@@ -42,7 +49,7 @@ _QualitySpec = Tuple[ComponentId, str, SeriesQuality]
 class SharedStoreHandle:
     """Picklable description of an exported store segment.
 
-    Besides the column layout, the handle carries the store's
+    Besides the per-series layout, the handle carries the store's
     data-quality context (policy, per-series ingest counters, revision)
     so a worker's attached view reproduces the master's
     ``DataQualityReport``s bit for bit.
@@ -51,20 +58,20 @@ class SharedStoreHandle:
     shm_name: str
     start: int
     length: int
-    layout: Tuple[_ColumnSpec, ...]
+    layout: Tuple[_SeriesSpec, ...]
     policy: Optional[DataQualityPolicy] = None
     quality: Tuple[_QualitySpec, ...] = ()
     revision: int = 0
 
     @property
     def total_elements(self) -> int:
-        return sum(count for _, _, _, count in self.layout)
+        return sum(count for _, _, _, count, _ in self.layout)
 
 
 class SharedStoreExport:
     """Owner side of a shared-memory store snapshot.
 
-    Flattens every (component, metric) column's valid prefix into one
+    Flattens every (component, metric) series' retained window into one
     float64 segment. The export owns the segment: call :meth:`close`
     (idempotent) when all workers are done with it — on POSIX, unlinking
     only removes the name, so workers that already attached keep reading
@@ -72,19 +79,28 @@ class SharedStoreExport:
     """
 
     def __init__(self, store: MetricStore) -> None:
-        columns = []
+        views = []
         offset = 0
         layout = []
         for component in store.components:
             for metric in store.metrics_for(component):
-                values = store.series(component, metric).values
-                layout.append((component, metric.value, offset, len(values)))
-                columns.append(values)
-                offset += len(values)
+                series = store.series(component, metric)
+                first_slot = series.start - store.start
+                layout.append(
+                    (
+                        component,
+                        metric.value,
+                        offset,
+                        len(series),
+                        first_slot,
+                    )
+                )
+                views.append(series.values)
+                offset += len(series)
         nbytes = max(1, offset * np.dtype(np.float64).itemsize)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
         flat = np.ndarray((offset,), dtype=np.float64, buffer=self._shm.buf)
-        for (_, _, col_offset, count), values in zip(layout, columns):
+        for (_, _, col_offset, count, _), values in zip(layout, views):
             flat[col_offset : col_offset + count] = values
         self.handle = SharedStoreHandle(
             shm_name=self._shm.name,
@@ -93,9 +109,13 @@ class SharedStoreExport:
             layout=tuple(layout),
             policy=store.policy,
             quality=tuple(
-                (component, metric.value, qual.snapshot())
-                for (component, metric), qual in sorted(
-                    store._quality.items(), key=lambda kv: (kv[0][0], kv[0][1].value)
+                (
+                    component,
+                    metric.value,
+                    store.series_quality(component, metric).snapshot(),
+                )
+                for (component, metric) in sorted(
+                    store._quality, key=lambda key: (key[0], key[1].value)
                 )
             ),
             revision=store.revision,
@@ -122,9 +142,9 @@ class SharedStoreExport:
 def attach_store(handle: SharedStoreHandle) -> MetricStore:
     """Open a read-only ``MetricStore`` view of an exported segment.
 
-    The returned store's columns are zero-copy numpy views into the
-    shared segment; the segment mapping is kept alive by the store
-    object itself. Do not write to the returned store.
+    The returned store's series are zero-copy numpy views into the
+    shared segment, wrapped as *flat* (read-only) rings; the segment
+    mapping is kept alive by the store object itself.
     """
     # Attaching re-registers the segment with the resource tracker (a
     # known pre-3.13 wart). Forked workers — and in-process attaches —
@@ -140,14 +160,12 @@ def attach_store(handle: SharedStoreHandle) -> MetricStore:
     )
     store = MetricStore(start=handle.start, policy=handle.policy)
     store._length = handle.length
-    for component, metric_value, offset, count in handle.layout:
+    store._attached = True
+    for component, metric_value, offset, count, first_slot in handle.layout:
         key = (component, Metric(metric_value))
-        column = flat[offset : offset + count]
-        # The column array doubles as the sample list: MetricStore only
-        # needs len() and indexed reads from ``_data`` on read paths.
-        store._data[key] = column
-        store._columns[key] = column
-        store._filled[key] = count
+        store._series[key] = _Ring.flat(
+            flat[offset : offset + count], base=first_slot
+        )
     for component, metric_value, qual in handle.quality:
         store._quality[(component, Metric(metric_value))] = qual
     store._revision = handle.revision

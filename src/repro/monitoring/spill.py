@@ -1,0 +1,124 @@
+"""Optional mmap-backed segment spill for evicted ring slots.
+
+The ring-buffer :class:`~repro.monitoring.store.MetricStore` retains a
+bounded window of history per series; once the ring wraps, the oldest
+slots are overwritten. For replay durability (post-mortem analysis,
+offline re-diagnosis) a store can be constructed with a
+:class:`SegmentSpill`: slots about to be overwritten are flushed to
+per-series segment files first, and can be read back later as numpy
+memory-maps without loading them into RAM.
+
+Spill is strictly sequential — eviction only ever advances — so each
+series' file is a single contiguous run of float64 samples starting at
+the first slot ever evicted for that series. Values are buffered in
+memory and written one fixed-size segment at a time; :meth:`flush`
+forces the partial tail out (and is called automatically before any
+read-back).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.types import ComponentId, Metric
+
+_Key = Tuple[ComponentId, Metric]
+
+
+def _filename(component: ComponentId, metric: Metric) -> str:
+    safe = str(component).replace(os.sep, "_").replace("\0", "_")
+    return f"{safe}__{metric.name}.f64"
+
+
+class SegmentSpill:
+    """Append-only on-disk archive of evicted ring slots.
+
+    Args:
+        directory: Where the per-series ``*.f64`` segment files live
+            (created if missing).
+        segment_slots: Write granularity in samples; evicted values are
+            buffered until a full segment accumulates.
+    """
+
+    def __init__(self, directory, *, segment_slots: int = 4096) -> None:
+        if segment_slots < 1:
+            raise ValueError("segment_slots must be >= 1")
+        self.directory = str(directory)
+        self.segment_slots = int(segment_slots)
+        os.makedirs(self.directory, exist_ok=True)
+        #: key -> (first spilled slot, samples already on disk)
+        self._index: Dict[_Key, Tuple[int, int]] = {}
+        self._pending: Dict[_Key, list] = {}
+
+    def append(self, key: _Key, slot: int, values: np.ndarray) -> None:
+        """Archive ``values`` covering slots ``[slot, slot + len)``.
+
+        Slots must arrive in order with no holes — the ring guarantees
+        this by spilling exactly the range it is about to overwrite.
+        """
+        if len(values) == 0:
+            return
+        entry = self._index.get(key)
+        pending = self._pending.setdefault(key, [])
+        if entry is None:
+            self._index[key] = (slot, 0)
+        else:
+            start, on_disk = entry
+            expected = start + on_disk + sum(len(v) for v in pending)
+            if slot != expected:
+                raise ValueError(
+                    f"non-contiguous spill for {key[0]}/{key[1]}: "
+                    f"slot {slot}, expected {expected}"
+                )
+        pending.append(np.asarray(values, dtype=np.float64).copy())
+        if sum(len(v) for v in pending) >= self.segment_slots:
+            self._flush_key(key)
+
+    def _flush_key(self, key: _Key) -> None:
+        pending = self._pending.get(key)
+        if not pending:
+            return
+        chunk = np.concatenate(pending)
+        path = os.path.join(self.directory, _filename(*key))
+        with open(path, "ab") as fh:
+            fh.write(chunk.tobytes())
+        start, on_disk = self._index[key]
+        self._index[key] = (start, on_disk + len(chunk))
+        self._pending[key] = []
+
+    def flush(self) -> None:
+        """Force every buffered partial segment to disk."""
+        for key in list(self._pending):
+            self._flush_key(key)
+
+    def slots_spilled(self, component: ComponentId, metric: Metric) -> int:
+        """How many samples have been archived for one series."""
+        key = (component, metric)
+        entry = self._index.get(key)
+        if entry is None:
+            return 0
+        return entry[1] + sum(len(v) for v in self._pending.get(key, ()))
+
+    def read(
+        self, component: ComponentId, metric: Metric
+    ) -> Optional[Tuple[int, np.ndarray]]:
+        """``(first_slot, values)`` archived for one series, or ``None``.
+
+        The values come back as a read-only ``np.memmap`` of the segment
+        file — nothing is loaded into memory up front.
+        """
+        key = (component, metric)
+        entry = self._index.get(key)
+        if entry is None:
+            return None
+        self._flush_key(key)
+        start, on_disk = self._index[key]
+        path = os.path.join(self.directory, _filename(*key))
+        values = np.memmap(path, dtype=np.float64, mode="r", shape=(on_disk,))
+        return start, values
+
+
+__all__ = ["SegmentSpill"]

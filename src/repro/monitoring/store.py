@@ -1,159 +1,541 @@
-"""In-memory store for sampled metric time series.
+"""Ring-buffered in-memory store for sampled metric time series.
 
 One :class:`MetricStore` holds every (component, metric) series of one
 application run at the 1-second sampling interval. FChain slaves read
-look-back windows out of it; the evaluation harness replays the same store
-through every localization scheme so all schemes see identical data.
+look-back windows out of it; the evaluation harness replays the same
+store through every localization scheme so all schemes see identical
+data.
 
-Reads are zero-copy: each series is mirrored into a capacity-doubling
-numpy column the first time it is read, subsequent reads only convert the
-newly appended tail, and :meth:`MetricStore.series` /
-:meth:`MetricStore.window` hand out *views* of that column. Because the
-store is append-only, a view's contents are immutable even while the run
-keeps recording — which is what lets the incremental diagnosis engine
-slice windows out of a live store without snapshotting it.
+Storage is one preallocated *mirrored ring buffer* per series: a
+float64 buffer of twice the ring capacity in which every sample is
+written at both ``slot % cap`` and ``slot % cap + cap``. The mirror
+makes any retained window of at most ``cap`` samples a single
+contiguous zero-copy slice — readers never see the wrap seam, and
+:meth:`MetricStore.series` / :meth:`MetricStore.window` hand out plain
+numpy views no matter where the ring head currently is. A parallel
+``uint8`` gap bitmap (one code per retained slot: observed / missing /
+forward-filled / interpolated) replaces the old per-series fill-slot
+dictionary; :meth:`series_quality` materializes the historical
+``gap_slots`` mapping from it on demand.
+
+Rings grow by doubling (old buffers are left behind intact, so
+previously returned views stay valid) until they reach the store's
+``retention``; past that point the ring stops allocating and retains
+the newest ``retention`` samples by overwriting the oldest — steady
+state ingest is allocation-free. Slots about to be overwritten can
+optionally be archived first through an mmap-backed
+:class:`~repro.monitoring.spill.SegmentSpill` for replay durability.
+
+There is one write surface: :meth:`MetricStore.ingest` accepts either
+an :class:`IngestBatch` (per-sample points, vectorized contiguous runs,
+and a watermark in one call) or the legacy per-sample
+``(component, metric, time, value)`` form. Batches ingested into a
+store constructed without a policy run under the
+:data:`~repro.monitoring.quality.STRICT_POLICY` preset — the historical
+strict ``record``/``advance`` path is now just that preset, and the old
+methods survive only as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
 import math
-import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.common.errors import DataQualityError
 from repro.common.timeseries import TimeSeries
-from repro.common.types import METRIC_NAMES, ComponentId, Metric
+from repro.common.types import (
+    METRIC_NAMES,
+    ComponentId,
+    Metric,
+    MetricSample,
+)
 from repro.monitoring.quality import (
     DataQualityPolicy,
     IngestMetrics,
+    STRICT_POLICY,
     SeriesQuality,
 )
+from repro.monitoring.spill import SegmentSpill
 
 _Key = Tuple[ComponentId, Metric]
 
-#: Initial capacity of a lazily materialized numpy column.
-_MIN_COLUMN_CAPACITY = 256
+#: Initial ring capacity; rings double from here up to the retention.
+_MIN_RING_CAPACITY = 256
+
+#: Default retention: effectively unbounded for test/evaluation runs —
+#: long-lived services pick a real bound (e.g. a few hours of 1 Hz data)
+#: to cap steady-state memory.
+DEFAULT_RETENTION = 1 << 20
+
+#: Gap-bitmap codes, one per retained slot.
+KIND_OBSERVED = 0
+KIND_MISSING = 1
+KIND_FORWARD = 2
+KIND_INTERPOLATED = 3
+
+_KIND_NAMES = {
+    KIND_MISSING: "missing",
+    KIND_FORWARD: "forward",
+    KIND_INTERPOLATED: "interpolate",
+}
+
+
+class _Ring:
+    """One series: a mirrored ring buffer plus its gap bitmap.
+
+    ``values`` has physical size ``2 * cap``; every retained slot ``s``
+    is stored at both ``s % cap`` and ``s % cap + cap``, so the window
+    ``[lo, hi)`` (``hi - lo <= cap``) is always the contiguous slice
+    ``values[lo % cap : lo % cap + (hi - lo)]``. ``kinds`` is the gap
+    bitmap, ``cap`` slots, *not* mirrored (only point reads and the
+    on-demand ``gap_slots`` materialization touch it).
+
+    A ring attached from a shared-memory snapshot is *flat*:
+    ``flat_base`` is the first snapshotted slot, ``values`` holds
+    exactly the snapshot (no mirror), and writes are refused.
+    """
+
+    __slots__ = ("values", "kinds", "cap", "limit", "head", "flat_base")
+
+    def __init__(self, cap: int, limit: int) -> None:
+        self.cap = cap
+        self.limit = limit
+        self.values = np.empty(2 * cap, dtype=np.float64)
+        self.kinds = np.zeros(cap, dtype=np.uint8)
+        self.head = 0
+        self.flat_base: Optional[int] = None
+
+    @classmethod
+    def flat(cls, values: np.ndarray, base: int) -> "_Ring":
+        ring = object.__new__(cls)
+        ring.values = values
+        ring.kinds = None
+        ring.cap = max(1, len(values))
+        ring.limit = ring.cap
+        ring.head = base + len(values)
+        ring.flat_base = base
+        return ring
+
+    @property
+    def first(self) -> int:
+        """Oldest retained slot."""
+        if self.flat_base is not None:
+            return self.flat_base
+        return max(0, self.head - self.cap)
+
+    def view(self, lo: int, hi: int) -> np.ndarray:
+        """Zero-copy view of retained slots ``[lo, hi)``."""
+        if self.flat_base is not None:
+            return self.values[lo - self.flat_base : hi - self.flat_base]
+        p = lo % self.cap
+        return self.values[p : p + (hi - lo)]
+
+    def value_at(self, slot: int) -> float:
+        if self.flat_base is not None:
+            return float(self.values[slot - self.flat_base])
+        return float(self.values[slot % self.cap])
+
+    def kind_at(self, slot: int) -> int:
+        if self.kinds is None:
+            return KIND_OBSERVED
+        return int(self.kinds[slot % self.cap])
+
+    def set_kind(self, slot: int, kind: int) -> None:
+        self.kinds[slot % self.cap] = kind
+
+    def write_at(self, slot: int, value: float) -> None:
+        """Rewrite one retained slot in place (backfill repair)."""
+        self._check_writable()
+        p = slot % self.cap
+        self.values[p] = value
+        self.values[p + self.cap] = value
+
+    def _check_writable(self) -> None:
+        if self.flat_base is not None:
+            raise RuntimeError(
+                "attached shared-memory store snapshots are read-only"
+            )
+
+    def _grow(self, needed: int) -> None:
+        """Double capacity (up to the retention limit) to fit ``needed``.
+
+        Only ever called while ``head <= cap`` (before any eviction),
+        so the retained region is the plain prefix ``[0, head)``. The
+        old buffer is left behind untouched: views handed out earlier
+        keep their then-current contents.
+        """
+        cap = self.cap
+        while cap < needed and cap < self.limit:
+            cap = min(2 * cap, self.limit)
+        if cap == self.cap:
+            return
+        values = np.empty(2 * cap, dtype=np.float64)
+        kinds = np.zeros(cap, dtype=np.uint8)
+        n = self.head
+        values[:n] = self.values[:n]
+        values[cap : cap + n] = self.values[:n]
+        kinds[:n] = self.kinds[:n]
+        self.values, self.kinds, self.cap = values, kinds, cap
+
+    def append_one(
+        self,
+        value: float,
+        kind: int,
+        spill: Optional[SegmentSpill],
+        key: _Key,
+    ) -> None:
+        """Append a single sample at the head (the 1 Hz hot path)."""
+        self._check_writable()
+        s = self.head
+        cap = self.cap
+        if s >= cap:
+            if cap < self.limit:
+                self._grow(s + 1)
+                cap = self.cap
+            elif spill is not None:
+                evicted = s - cap
+                spill.append(key, evicted, self.view(evicted, evicted + 1))
+        p = s % cap
+        self.values[p] = value
+        self.values[p + cap] = value
+        self.kinds[p] = kind
+        self.head = s + 1
+
+    def append_run(
+        self,
+        values: np.ndarray,
+        kind: int,
+        spill: Optional[SegmentSpill],
+        key: _Key,
+    ) -> int:
+        """Append a contiguous run at the head; returns the first slot
+        actually written.
+
+        If the run is longer than the ring capacity, only its newest
+        ``cap`` samples are stored — the earlier ones are evicted on
+        arrival (and are *not* spilled; spill archives only slots that
+        were stored first).
+        """
+        self._check_writable()
+        n = len(values)
+        s = self.head
+        if s + n > self.cap and self.cap < self.limit:
+            self._grow(s + n)
+        cap = self.cap
+        new_head = s + n
+        if spill is not None:
+            old_first = max(0, s - cap)
+            new_first = max(0, new_head - cap)
+            end = min(new_first, s)
+            if end > old_first:
+                spill.append(key, old_first, self.view(old_first, end))
+        write_start = max(s, new_head - cap)
+        run = values[write_start - s :]
+        p = write_start % cap
+        m = len(run)
+        fit = min(m, cap - p)
+        self.values[p : p + fit] = run[:fit]
+        self.values[cap + p : cap + p + fit] = run[:fit]
+        self.kinds[p : p + fit] = kind
+        if fit < m:
+            rest = m - fit
+            self.values[:rest] = run[fit:]
+            self.values[cap : cap + rest] = run[fit:]
+            self.kinds[:rest] = kind
+        self.head = new_head
+        return write_start
+
+    def gap_slots(self) -> Dict[int, str]:
+        """Materialize the historical slot -> kind-name mapping."""
+        if self.flat_base is not None or self.head == 0:
+            return {}
+        cap = self.cap
+        first = self.first
+        if self.head <= cap:
+            marked = np.flatnonzero(self.kinds[: self.head])
+            return {int(p): _KIND_NAMES[int(self.kinds[p])] for p in marked}
+        out = {}
+        for p in np.flatnonzero(self.kinds):
+            p = int(p)
+            slot = first + ((p - first) % cap)
+            out[slot] = _KIND_NAMES[int(self.kinds[p])]
+        return out
+
+
+@dataclass(frozen=True)
+class IngestRun:
+    """A contiguous run of samples for one series.
+
+    ``values[i]`` is the sample at absolute time ``start + i``. Runs are
+    the vectorized fast path: one slice assignment per ring half instead
+    of a Python-level loop per sample.
+    """
+
+    component: ComponentId
+    metric: Metric
+    start: int
+    values: Sequence[float]
+
+
+@dataclass(frozen=True)
+class IngestBatch:
+    """One unified write against a :class:`MetricStore`.
+
+    Attributes:
+        samples: Individually timestamped points
+            (:class:`~repro.common.types.MetricSample`), routed through
+            the full per-sample policy machinery (validation, gap fill,
+            skew alignment, backfill, duplicates).
+        runs: Contiguous per-series :class:`IngestRun` blocks, applied
+            through the vectorized append path.
+        watermark: When set, ``advance_to(watermark)`` after the writes
+            — every tick before it is marked complete.
+    """
+
+    samples: Sequence[MetricSample] = ()
+    runs: Sequence[IngestRun] = ()
+    watermark: Optional[int] = None
 
 
 class MetricStore:
-    """Append-only storage of per-component metric samples.
+    """Ring-buffered storage of per-component metric samples.
 
-    Two write interfaces exist:
+    All writes go through :meth:`ingest`. A store constructed with a
+    :class:`~repro.monitoring.quality.DataQualityPolicy` runs the
+    tolerant path (bounded gap fill, clock-skew alignment, late
+    backfill, duplicate resolution, per-series
+    :class:`~repro.monitoring.quality.SeriesQuality` counters); a store
+    constructed without one ingests batches under the
+    :data:`~repro.monitoring.quality.STRICT_POLICY` preset, where every
+    defect raises. The legacy ``record``/``advance``/``record_at``
+    methods remain as deprecated wrappers for one release.
 
-    * :meth:`record` / :meth:`advance` — the strict clean-data path:
-      samples arrive tick by tick (1 Hz) and timestamps are derived from
-      append order. This path is untouched by the resilience layer and
-      stays bit-identical to the historical behaviour.
-    * :meth:`ingest` / :meth:`record_at` / :meth:`advance_to` — the
-      tolerant timestamped path, available when the store was built with
-      a :class:`~repro.monitoring.quality.DataQualityPolicy`. It
-      validates each sample, repairs bounded gaps, aligns constant clock
-      skew, backfills late out-of-order arrivals and resolves
-      duplicates, keeping per-series
-      :class:`~repro.monitoring.quality.SeriesQuality` counters that the
-      diagnosis surfaces as per-component ``DataQualityReport``s.
+    Retention: each series keeps at most ``retention`` samples; once a
+    ring is full the oldest slot is overwritten by the newest
+    (optionally archived first when ``spill`` is given). Reads clip to
+    the retained range — :meth:`series` returns a view whose ``start``
+    reflects any evicted prefix. Views stay valid while their window
+    stays retained; a view still holding the oldest retained slots
+    observes the overwrite once the ring wraps past them.
 
-    One caveat on the tolerant path: a late arrival backfills an
-    already-padded slot in place, so views handed out *while the slot
-    was still open* observe the repair. :attr:`revision` increments on
-    every such in-place write; window-keyed caches include it so a
-    repaired window is never served from a stale cache entry.
-
-    Concurrency: the online service loop ingests from one thread while a
-    dispatched diagnosis reads columns from another. The numpy-mirror
-    bookkeeping (``_columns``/``_filled``) is guarded by a lock so a
-    reader syncing a column tail cannot interleave with a backfill
-    rewrite; single-writer ingest is still assumed. The lock is excluded
-    from pickling/deepcopy (``SimulationEngine.fork`` deep-copies
-    stores) and recreated on restore.
+    ``revision`` increments whenever a *past* slot is rewritten in
+    place (late backfill, duplicate-last); window-keyed caches include
+    it so a repaired window is never served stale. Eviction does not
+    bump it: retained slots are immutable, and a clipped window differs
+    in its bounds, which every cache key already carries.
     """
 
     def __init__(
-        self, start: int = 0, policy: Optional[DataQualityPolicy] = None
+        self,
+        start: int = 0,
+        policy: Optional[DataQualityPolicy] = None,
+        *,
+        retention: int = DEFAULT_RETENTION,
+        spill: Optional[SegmentSpill] = None,
     ) -> None:
+        if retention < 1:
+            raise DataQualityError("retention must be >= 1 sample")
         self.start = start
         self.policy = policy
-        self._data: Dict[_Key, List[float]] = {}
+        self.retention = int(retention)
+        self.spill = spill
+        self._series: Dict[_Key, _Ring] = {}
         self._length = 0
-        # Lazily synced numpy mirrors of ``_data``: column array plus how
-        # many leading entries of it are valid.
-        self._columns: Dict[_Key, np.ndarray] = {}
-        self._filled: Dict[_Key, int] = {}
-        # Data-quality bookkeeping (tolerant path only).
         self._quality: Dict[_Key, SeriesQuality] = {}
         self._revision = 0
         self._ingest_metrics: Optional[IngestMetrics] = None
-        # Guards the mirror bookkeeping against a diagnosis thread
-        # reading columns while the ingest thread rewrites a past slot.
-        self._mirror_lock = threading.Lock()
-
-    def __getstate__(self):
-        state = self.__dict__.copy()
-        del state["_mirror_lock"]
-        return state
-
-    def __setstate__(self, state):
-        self.__dict__.update(state)
-        self._mirror_lock = threading.Lock()
+        # Set on shared-memory attach: quality snapshots already carry
+        # their materialized gap_slots and the rings are flat/read-only.
+        self._attached = False
 
     # ------------------------------------------------------------------
-    # Writing
+    # The unified write surface
     # ------------------------------------------------------------------
-    def record(self, component: ComponentId, values: Mapping[Metric, float]) -> None:
-        """Append one tick of samples for a component.
+    def ingest(self, batch, metric=None, time=None, value=None) -> None:
+        """Write a batch of telemetry — or one legacy scalar sample.
 
-        Every monitored component must be recorded once per tick; the store
-        checks series stay aligned when reading.
+        The single entry point for all writes:
+
+        * ``ingest(IngestBatch(...))`` — points, vectorized runs and an
+          optional watermark in one call. On a store without a policy
+          the batch runs under the strict preset.
+        * ``ingest(component, metric, time, value)`` — the legacy
+          per-sample form; requires the store to carry a policy.
         """
-        for metric, value in values.items():
-            self._data.setdefault((component, metric), []).append(float(value))
-
-    def advance(self) -> None:
-        """Mark the end of a tick (all components recorded)."""
-        self._length += 1
-
-    # ------------------------------------------------------------------
-    # Tolerant timestamped ingestion (the data-quality path)
-    # ------------------------------------------------------------------
-    @property
-    def revision(self) -> int:
-        """Bumped whenever a past slot is rewritten (backfill/overwrite)."""
-        return self._revision
-
-    def record_at(
-        self, component: ComponentId, values: Mapping[Metric, float], time: int
-    ) -> None:
-        """Ingest one component's tick of samples at an explicit timestamp."""
-        for metric, value in values.items():
-            self.ingest(component, metric, time, value)
+        if isinstance(batch, IngestBatch):
+            if metric is not None or time is not None or value is not None:
+                raise TypeError("ingest(IngestBatch) takes no extra arguments")
+            policy = self.policy or STRICT_POLICY
+            for run in batch.runs:
+                self._ingest_run(run, policy)
+            for sample in batch.samples:
+                self._ingest_sample(
+                    sample.component,
+                    sample.metric,
+                    sample.time,
+                    sample.value,
+                    policy,
+                )
+            if batch.watermark is not None:
+                self.advance_to(batch.watermark)
+            return
+        component = batch
+        policy = self.policy
+        if policy is None:
+            raise DataQualityError(
+                "timestamped per-sample ingestion needs a "
+                "DataQualityPolicy: construct MetricStore(policy=...) or "
+                "ingest an IngestBatch (strict preset)"
+            )
+        self._ingest_sample(component, metric, time, value, policy)
 
     def advance_to(self, time: int) -> None:
         """Mark every tick before ``time`` as complete (monotonic)."""
         self._length = max(self._length, time - self.start)
 
-    def ingest(
-        self, component: ComponentId, metric: Metric, time: int, value: float
-    ) -> None:
-        """Ingest one timestamped sample under the data-quality policy.
+    @property
+    def revision(self) -> int:
+        """Bumped whenever a past slot is rewritten (backfill/overwrite)."""
+        return self._revision
 
-        Handles, per the store's policy: NaN/inf validation, gap
-        detection and bounded fill, constant clock-skew alignment, late
-        out-of-order backfill, and duplicate resolution. Requires the
-        store to have been constructed with a policy.
-        """
-        policy = self.policy
-        if policy is None:
-            raise DataQualityError(
-                "timestamped ingestion needs a DataQualityPolicy: "
-                "construct MetricStore(policy=...) or use record()/advance()"
+    # ------------------------------------------------------------------
+    # Deprecated write wrappers (one release)
+    # ------------------------------------------------------------------
+    def record(
+        self, component: ComponentId, values: Mapping[Metric, float]
+    ) -> None:
+        """Deprecated: append one tick of samples at each series' head."""
+        warnings.warn(
+            "MetricStore.record() is deprecated; write through "
+            "MetricStore.ingest(IngestBatch(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for metric, value in values.items():
+            key = (component, metric)
+            self._ring(key).append_one(
+                float(value), KIND_OBSERVED, self.spill, key
             )
-        key = (component, metric)
-        samples = self._data.setdefault(key, [])
+
+    def advance(self) -> None:
+        """Deprecated: mark the end of a tick (all components recorded).
+
+        Raises :class:`~repro.common.errors.DataQualityError` naming the
+        offending series when a component skipped the tick — previously
+        such misalignment surfaced only at read time.
+        """
+        warnings.warn(
+            "MetricStore.advance() is deprecated; pass a watermark to "
+            "MetricStore.ingest(IngestBatch(...)) or call advance_to()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        new_length = self._length + 1
+        for (component, metric), ring in self._series.items():
+            if ring.head < new_length:
+                raise DataQualityError(
+                    f"misaligned tick: {component}/{metric} holds "
+                    f"{ring.head} sample(s) at advance() to tick "
+                    f"{self.start + new_length} — every monitored "
+                    f"component must record once per tick"
+                )
+        self._length = new_length
+
+    def record_at(
+        self, component: ComponentId, values: Mapping[Metric, float], time: int
+    ) -> None:
+        """Deprecated: ingest one component's tick at a timestamp."""
+        warnings.warn(
+            "MetricStore.record_at() is deprecated; write through "
+            "MetricStore.ingest(IngestBatch(...)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        for metric, value in values.items():
+            self.ingest(component, metric, time, value)
+
+    # ------------------------------------------------------------------
+    # Ingest machinery
+    # ------------------------------------------------------------------
+    def _ring(self, key: _Key) -> _Ring:
+        ring = self._series.get(key)
+        if ring is None:
+            cap = min(_MIN_RING_CAPACITY, self.retention)
+            ring = self._series[key] = _Ring(cap, self.retention)
+        return ring
+
+    def _qual(self, key: _Key) -> SeriesQuality:
         qual = self._quality.get(key)
         if qual is None:
             qual = self._quality[key] = SeriesQuality()
+        return qual
+
+    def _ingest_run(self, run: IngestRun, policy: DataQualityPolicy) -> None:
+        component, metric = run.component, run.metric
+        key = (component, metric)
+        values = np.asarray(run.values, dtype=np.float64)
+        n = len(values)
+        if n == 0:
+            return
+        ring = self._ring(key)
+        qual = self._qual(key)
+        if qual.skew_offset is None:
+            # Runs are produced on the master grid; no skew to learn.
+            qual.skew_offset = 0
+        slot = run.start - self.start - qual.skew_offset
+        if slot < ring.head:
+            # Overlapping run: fall back to the per-sample path, which
+            # knows how to backfill and resolve duplicates.
+            for i in range(n):
+                self._ingest_sample(
+                    component, metric, run.start + i, values[i], policy
+                )
+            return
+        qual.seen += n
+        finite = np.isfinite(values)
+        bad = None
+        if not finite.all():
+            if policy.on_invalid == "reject":
+                i = int(np.flatnonzero(~finite)[0])
+                raise DataQualityError(
+                    f"non-finite sample {values[i]!r} for "
+                    f"{component}/{metric} at t={run.start + i}"
+                )
+            bad = np.flatnonzero(~finite)
+            values = values.copy()
+            values[bad] = math.nan
+        if slot > ring.head:
+            self._fill_gap(
+                key, ring, qual, ring.head, slot, float(values[0]), policy
+            )
+        write_start = ring.append_run(values, KIND_OBSERVED, self.spill, key)
+        if bad is None:
+            qual.observed += n
+        else:
+            for i in bad:
+                s = slot + int(i)
+                if s >= write_start:
+                    ring.set_kind(s, KIND_MISSING)
+            qual.invalid += len(bad)
+            qual.missing += len(bad)
+            qual.observed += n - len(bad)
+            self._metrics().dropped.inc(len(bad), reason="invalid")
+
+    def _ingest_sample(
+        self,
+        component: ComponentId,
+        metric: Metric,
+        time: int,
+        value: float,
+        policy: DataQualityPolicy,
+    ) -> None:
+        key = (component, metric)
+        ring = self._ring(key)
+        qual = self._qual(key)
         qual.seen += 1
         value = float(value)
         if not math.isfinite(value):
@@ -174,7 +556,7 @@ class MetricStore:
         if qual.skew_offset is None:
             offset = 0
             if policy.align_skew:
-                delta = time - (self.start + len(samples))
+                delta = time - (self.start + ring.head)
                 if delta != 0 and abs(delta) <= policy.max_skew:
                     offset = delta
                     self._metrics().skew_aligned.inc(1)
@@ -182,29 +564,29 @@ class MetricStore:
         time -= qual.skew_offset
 
         slot = time - self.start
-        head = len(samples)
+        head = ring.head
         if slot == head:
-            self._append_sample(key, qual, value)
+            self._append_sample(key, ring, qual, value)
         elif slot > head:
-            self._fill_gap(key, qual, head, slot, value, policy)
-            self._append_sample(key, qual, value)
+            self._fill_gap(key, ring, qual, head, slot, value, policy)
+            self._append_sample(key, ring, qual, value)
         else:
-            self._backfill(key, qual, slot, value, policy)
+            self._backfill(key, ring, qual, slot, value, policy)
 
     def _append_sample(
-        self, key: _Key, qual: SeriesQuality, value: float
+        self, key: _Key, ring: _Ring, qual: SeriesQuality, value: float
     ) -> None:
-        samples = self._data[key]
         if math.isnan(value):
-            qual.gap_slots[len(samples)] = "missing"
+            ring.append_one(value, KIND_MISSING, self.spill, key)
             qual.missing += 1
         else:
+            ring.append_one(value, KIND_OBSERVED, self.spill, key)
             qual.observed += 1
-        samples.append(value)
 
     def _fill_gap(
         self,
         key: _Key,
+        ring: _Ring,
         qual: SeriesQuality,
         head: int,
         slot: int,
@@ -212,9 +594,14 @@ class MetricStore:
         policy: DataQualityPolicy,
     ) -> None:
         """Pad ``[head, slot)`` — repaired per policy or left missing."""
-        samples = self._data[key]
         gap = slot - head
-        prev = samples[-1] if samples else math.nan
+        if policy.on_gap == "reject" and head > 0:
+            raise DataQualityError(
+                f"gap of {gap} tick(s) for {key[0]}/{key[1]} before "
+                f"t={self.start + slot}: this store expects contiguous "
+                f"per-tick delivery"
+            )
+        prev = ring.value_at(head - 1) if head > 0 else math.nan
         fillable = (
             policy.fill != "none"
             and gap <= policy.max_gap
@@ -222,51 +609,59 @@ class MetricStore:
         )
         if fillable and policy.fill == "interpolate" and math.isfinite(arriving):
             step = (arriving - prev) / (gap + 1)
-            for i in range(1, gap + 1):
-                samples.append(prev + step * i)
-                qual.gap_slots[head + i - 1] = "interpolate"
+            pad = prev + step * np.arange(1, gap + 1, dtype=np.float64)
+            ring.append_run(pad, KIND_INTERPOLATED, self.spill, key)
             qual.filled_interpolated += gap
             self._metrics().filled.inc(gap, method="interpolate")
         elif fillable:
             # Forward fill — also the fallback when the sample closing
             # the gap is itself invalid (nothing to interpolate toward).
-            samples.extend([prev] * gap)
-            for i in range(head, slot):
-                qual.gap_slots[i] = "forward"
+            pad = np.full(gap, prev, dtype=np.float64)
+            ring.append_run(pad, KIND_FORWARD, self.spill, key)
             qual.filled_forward += gap
             self._metrics().filled.inc(gap, method="forward")
         else:
-            samples.extend([math.nan] * gap)
-            for i in range(head, slot):
-                qual.gap_slots[i] = "missing"
+            pad = np.full(gap, math.nan, dtype=np.float64)
+            ring.append_run(pad, KIND_MISSING, self.spill, key)
             qual.missing += gap
             self._metrics().gap_ticks.inc(gap)
 
     def _backfill(
         self,
         key: _Key,
+        ring: _Ring,
         qual: SeriesQuality,
         slot: int,
         value: float,
         policy: DataQualityPolicy,
     ) -> None:
         """Resolve a sample older than the series head (out-of-order)."""
-        samples = self._data[key]
-        age = len(samples) - slot
+        if policy.on_gap == "reject":
+            raise DataQualityError(
+                f"out-of-order sample for {key[0]}/{key[1]} at "
+                f"t={self.start + slot}: this store is append-only per tick"
+            )
+        age = ring.head - slot
         if slot < 0 or age > policy.max_skew:
             qual.late_dropped += 1
             self._metrics().dropped.inc(1, reason="late")
             return
-        synthesized = qual.gap_slots.get(slot)
-        if synthesized is not None:
+        if slot < ring.first:
+            # The slot was already evicted by ring wraparound: the ring
+            # cannot accept a write into history it no longer retains.
+            qual.late_dropped += 1
+            self._metrics().dropped.inc(1, reason="evicted")
+            return
+        synthesized = ring.kind_at(slot)
+        if synthesized != KIND_OBSERVED:
             if not math.isfinite(value):
                 # An invalid late sample cannot repair anything.
                 return
-            self._rewrite(key, slot, value)
-            del qual.gap_slots[slot]
-            if synthesized == "missing":
+            self._rewrite(ring, slot, value)
+            ring.set_kind(slot, KIND_OBSERVED)
+            if synthesized == KIND_MISSING:
                 qual.missing -= 1
-            elif synthesized == "forward":
+            elif synthesized == KIND_FORWARD:
                 qual.filled_forward -= 1
             else:
                 qual.filled_interpolated -= 1
@@ -283,15 +678,12 @@ class MetricStore:
         qual.duplicates += 1
         self._metrics().dropped.inc(1, reason="duplicate")
         if policy.on_duplicate == "last" and math.isfinite(value):
-            self._rewrite(key, slot, value)
+            self._rewrite(ring, slot, value)
 
-    def _rewrite(self, key: _Key, slot: int, value: float) -> None:
-        """Write into a past slot, keeping the numpy mirror coherent."""
-        with self._mirror_lock:
-            self._data[key][slot] = value
-            if self._filled.get(key, 0) > slot:
-                self._columns[key][slot] = value
-            self._revision += 1
+    def _rewrite(self, ring: _Ring, slot: int, value: float) -> None:
+        """Write into a retained past slot, invalidating window caches."""
+        ring.write_at(slot, value)
+        self._revision += 1
 
     def _metrics(self) -> IngestMetrics:
         if self._ingest_metrics is None:
@@ -304,8 +696,25 @@ class MetricStore:
     def series_quality(
         self, component: ComponentId, metric: Metric
     ) -> SeriesQuality:
-        """Ingest counters of one series (zeros when never ingested)."""
-        return self._quality.get((component, metric), SeriesQuality())
+        """Ingest counters of one series (zeros when never ingested).
+
+        ``gap_slots`` is materialized from the ring's gap bitmap on
+        demand; its keys are absolute slot indices counted from the
+        store's ``start`` (evicted slots no longer appear).
+        """
+        key = (component, metric)
+        qual = self._quality.get(key)
+        if qual is None:
+            return SeriesQuality()
+        if self._attached:
+            return qual
+        ring = self._series.get(key)
+        slots = ring.gap_slots() if ring is not None else {}
+        if not slots and not qual.gap_slots:
+            return qual
+        snap = qual.snapshot()
+        snap.gap_slots = slots
+        return snap
 
     def quality_for(self, component: ComponentId) -> SeriesQuality:
         """Aggregated ingest counters across a component's metrics."""
@@ -323,7 +732,7 @@ class MetricStore:
         """All component ids present, sorted."""
         # list() snapshots the keys: a concurrent first-ever ingest of a
         # new series must not blow up a reader mid-iteration.
-        return sorted({comp for comp, _ in list(self._data)})
+        return sorted({comp for comp, _ in list(self._series)})
 
     @property
     def length(self) -> int:
@@ -335,48 +744,24 @@ class MetricStore:
         """Timestamp one past the newest complete sample."""
         return self.start + self._length
 
-    def _column(self, key: _Key) -> np.ndarray:
-        """The numpy mirror of one series, synced to the backing list.
-
-        Amortized O(appended samples): only the tail recorded since the
-        previous read is converted. The returned array may have spare
-        capacity past the valid prefix; callers slice to the length they
-        need. Reallocation on growth never mutates previously returned
-        views — the store is append-only, so an old (smaller) column is
-        simply left behind with its then-current, still-correct prefix.
-        """
-        with self._mirror_lock:
-            samples = self._data[key]
-            n = len(samples)
-            column = self._columns.get(key)
-            filled = self._filled.get(key, 0)
-            if column is None or n > len(column):
-                capacity = max(_MIN_COLUMN_CAPACITY, 2 * n)
-                grown = np.empty(capacity, dtype=float)
-                if column is not None and filled:
-                    grown[:filled] = column[:filled]
-                column = grown
-                self._columns[key] = column
-            if filled < n:
-                # Bound the source slice too: the ingest thread may append
-                # concurrently, and a bare ``samples[filled:]`` could have
-                # grown past ``n`` between the len() above and here.
-                column[filled:n] = samples[filled:n]
-                self._filled[key] = n
-            return column
-
     def series(self, component: ComponentId, metric: Metric) -> TimeSeries:
-        """Full series for one (component, metric), as a :class:`TimeSeries`.
+        """The retained series for one (component, metric).
 
-        The returned series wraps a zero-copy view of the store's column
-        buffer; it is valid indefinitely (append-only data) but reflects
-        only the ticks completed at call time.
+        Returns a zero-copy view of the ring. Its ``start`` is the
+        timestamp of the oldest *retained* sample — after the ring has
+        wrapped, that is later than the store's ``start``. The view
+        reflects only ticks completed at call time, and stays valid as
+        long as its window stays retained.
         """
         key = (component, metric)
-        if key not in self._data:
+        ring = self._series.get(key)
+        if ring is None:
             raise KeyError(f"no samples for {component}/{metric}")
-        count = min(len(self._data[key]), self._length)
-        return TimeSeries(self._column(key)[:count], start=self.start)
+        count = min(ring.head, self._length)
+        lo = ring.first
+        if count <= lo:
+            return TimeSeries(ring.view(lo, lo), start=self.start + lo)
+        return TimeSeries(ring.view(lo, count), start=self.start + lo)
 
     def window(
         self, component: ComponentId, metric: Metric, t_from: int, t_to: int
@@ -386,8 +771,32 @@ class MetricStore:
 
     def metrics_for(self, component: ComponentId) -> List[Metric]:
         """Metrics recorded for a component, in canonical order."""
-        present = {metric for comp, metric in list(self._data) if comp == component}
+        present = {
+            metric for comp, metric in list(self._series) if comp == component
+        }
         return [m for m in METRIC_NAMES if m in present]
+
+    def retained_start(self, component: ComponentId, metric: Metric) -> int:
+        """Timestamp of the oldest retained sample of one series."""
+        key = (component, metric)
+        ring = self._series.get(key)
+        if ring is None:
+            raise KeyError(f"no samples for {component}/{metric}")
+        return self.start + ring.first
+
+    def spilled_series(
+        self, component: ComponentId, metric: Metric
+    ) -> Optional[TimeSeries]:
+        """Evicted history archived by the spill, as a memory-mapped
+        :class:`~repro.common.timeseries.TimeSeries` (``None`` when
+        nothing was spilled or no spill is configured)."""
+        if self.spill is None:
+            return None
+        got = self.spill.read(component, metric)
+        if got is None:
+            return None
+        slot, values = got
+        return TimeSeries(values, start=self.start + slot)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -398,6 +807,8 @@ class MetricStore:
         data: Mapping[ComponentId, Mapping[Metric, Iterable[float]]],
         start: int = 0,
         policy: Optional[DataQualityPolicy] = None,
+        *,
+        retention: int = DEFAULT_RETENTION,
     ) -> "MetricStore":
         """Build a store from complete per-series arrays (tests, examples).
 
@@ -405,14 +816,24 @@ class MetricStore:
         ``policy`` only parameterizes later ``ingest`` calls and the
         analysis-side gap handling.
         """
-        store = cls(start=start, policy=policy)
+        store = cls(start=start, policy=policy, retention=retention)
         lengths = set()
         for component, metrics in data.items():
             for metric, values in metrics.items():
-                arr = [float(v) for v in values]
-                store._data[(component, metric)] = arr
+                arr = np.array(list(values), dtype=np.float64)
+                key = (component, metric)
+                store._ring(key).append_run(arr, KIND_OBSERVED, None, key)
                 lengths.add(len(arr))
         if len(lengths) > 1:
             raise ValueError(f"series lengths differ: {sorted(lengths)}")
         store._length = lengths.pop() if lengths else 0
         return store
+
+
+__all__ = [
+    "DEFAULT_RETENTION",
+    "IngestBatch",
+    "IngestRun",
+    "MetricStore",
+    "SegmentSpill",
+]

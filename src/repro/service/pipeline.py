@@ -47,7 +47,7 @@ from repro.core.config import FChainConfig
 from repro.core.fchain import FChain
 from repro.monitoring.quality import DataQualityPolicy
 from repro.monitoring.slo import SLODetector
-from repro.monitoring.store import MetricStore
+from repro.monitoring.store import IngestBatch, MetricStore
 from repro.obs.trace import (
     STAGE_DISPATCH,
     STAGE_DRAIN,
@@ -190,12 +190,9 @@ class OnlinePipeline:
         t = int(batch.time)
         tracer = self.tracer
         with tracer.span(STAGE_SERVICE_TICK, tick=t) as tick_span:
-            store = self.store
-            for sample in batch.samples:
-                store.ingest(
-                    sample.component, sample.metric, sample.time, sample.value
-                )
-            store.advance_to(t + 1)
+            self.store.ingest(
+                IngestBatch(samples=batch.samples, watermark=t + 1)
+            )
             tick_span.count("samples_ingested", len(batch.samples))
             self._warm_sync(tick_span)
             with tick_span.child(STAGE_SLO_EVAL) as slo_span:

@@ -27,6 +27,7 @@ from repro.core.config import FChainConfig
 from repro.core.fchain import FChain
 from repro.eval.chaos import ChaosSpec, corrupt_store
 from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.store import KIND_MISSING
 
 #: Cheap bootstraps: chaos coverage does not need tight CUSUM intervals.
 CONFIG = FChainConfig(cusum_bootstraps=40)
@@ -126,15 +127,16 @@ class TestTargetedChurn:
         window = range(violation - CONFIG.look_back_window, violation + 9)
         silent = corrupt_store(app.store, ChaosSpec(seed=3), policy)
         for metric in silent.metrics_for(DB):
-            samples = silent._data[(DB, metric)]
+            ring = silent._series[(DB, metric)]
             qual = silent._quality[(DB, metric)]
             for t in window:
                 slot = t - silent.start
-                if 0 <= slot < len(samples) and not np.isnan(samples[slot]):
-                    samples[slot] = float("nan")
+                in_range = ring.first <= slot < ring.head
+                if in_range and not np.isnan(ring.value_at(slot)):
+                    ring.write_at(slot, float("nan"))
+                    ring.set_kind(slot, KIND_MISSING)
                     qual.observed -= 1
                     qual.missing += 1
-                    qual.gap_slots[slot] = "missing"
         diagnosis = _localize(silent, violation)
         assert DB not in diagnosis.faulty
         assert DB in diagnosis.skipped

@@ -31,25 +31,19 @@ class TestLocalizeSignature:
         assert diagnosis.outcomes is None
         assert diagnosis.unvalidated is None
 
-    def test_positional_violation_time_warns(self):
+    def test_positional_violation_time_rejected(self):
         store = _flat_store()
-        fchain = FChain()
-        with pytest.warns(DeprecationWarning, match="positionally"):
-            deprecated = fchain.localize(store, 150)
-        modern = fchain.localize(store, violation_time=150)
-        assert deprecated.faulty == modern.faulty
+        with pytest.raises(TypeError):
+            FChain().localize(store, 150)
 
     def test_missing_violation_time_raises(self):
         with pytest.raises(TypeError, match="violation_time"):
             FChain().localize(_flat_store())
 
-    def test_double_violation_time_raises(self):
-        with pytest.raises(TypeError, match="both ways"):
-            FChain().localize(_flat_store(), 150, violation_time=150)
+    def test_localize_and_validate_removed(self):
+        assert not hasattr(FChain(), "localize_and_validate")
 
-    def test_validate_with_subsumes_localize_and_validate(
-        self, rubis_cpuhog_run
-    ):
+    def test_validate_with_validates_diagnosis(self, rubis_cpuhog_run):
         app, violation = rubis_cpuhog_run
         fchain = FChain(seed=101)
         diagnosis = fchain.localize(
@@ -59,12 +53,6 @@ class TestLocalizeSignature:
         assert diagnosis.outcomes is not None
         assert diagnosis.unvalidated is not None
         assert diagnosis.faulty <= diagnosis.unvalidated.faulty
-        with pytest.warns(DeprecationWarning, match="localize_and_validate"):
-            legacy_result, legacy_outcomes = FChain(
-                seed=101
-            ).localize_and_validate(app, violation)
-        assert legacy_result.faulty == diagnosis.faulty
-        assert set(legacy_outcomes) == set(diagnosis.outcomes)
 
     def test_diagnosis_proxies_pinpoint_result(self):
         store = _flat_store()
@@ -109,20 +97,17 @@ class TestLocalizerProtocol:
         scheme.localize(_flat_store(), violation_time=9)
         assert isinstance(scheme.seen[2], LocalizationContext)
 
-    def test_positional_call_warns_but_works(self):
+    def test_positional_call_rejected(self):
         scheme = self._Recorder()
         store = _flat_store()
-        context = LocalizationContext()
-        with pytest.warns(DeprecationWarning):
-            out = scheme.localize(store, 9, context)
-        assert out == frozenset({"x"})
-        assert scheme.seen == (store, 9, context)
+        with pytest.raises(TypeError):
+            scheme.localize(store, 9, LocalizationContext())
 
     def test_missing_violation_time_raises(self):
         with pytest.raises(TypeError, match="violation_time"):
             self._Recorder().localize(_flat_store())
 
-    def test_baselines_accept_both_shapes(self, rubis_cpuhog_run):
+    def test_baselines_keyword_only(self, rubis_cpuhog_run):
         from repro.baselines import PALLocalizer
 
         app, violation = rubis_cpuhog_run
@@ -131,9 +116,9 @@ class TestLocalizerProtocol:
         modern = scheme.localize(
             app.store, violation_time=violation, context=context
         )
-        with pytest.warns(DeprecationWarning):
-            legacy = scheme.localize(app.store, violation, context)
-        assert modern == legacy
+        assert isinstance(modern, frozenset)
+        with pytest.raises(TypeError):
+            scheme.localize(app.store, violation, context)
 
 
 class TestConfigValidate:

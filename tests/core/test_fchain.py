@@ -64,15 +64,14 @@ class TestFacade:
         result = fchain.localize(app.store, violation_time=violation)
         assert DB in result.faulty
 
-    def test_localize_and_validate(
-        self, rubis_cpuhog_run, rubis_dependency_graph
-    ):
+    def test_validate_with(self, rubis_cpuhog_run, rubis_dependency_graph):
         app, violation = rubis_cpuhog_run
         fchain = FChain(dependency_graph=rubis_dependency_graph, seed=101)
-        with pytest.warns(DeprecationWarning, match="localize_and_validate"):
-            validated, outcomes = fchain.localize_and_validate(app, violation)
-        assert DB in validated.faulty
-        assert outcomes[DB].confirmed
+        diagnosis = fchain.localize(
+            app.store, violation_time=violation, validate_with=app
+        )
+        assert DB in diagnosis.faulty
+        assert diagnosis.outcomes[DB].confirmed
 
     def test_default_config(self):
         fchain = FChain()

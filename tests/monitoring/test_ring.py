@@ -1,0 +1,260 @@
+"""Ring-buffer semantics of the rewritten MetricStore.
+
+Covers the behavior the dict-backed store never had to define: bounded
+retention with overwrite, reads across the physical wrap seam, backfill
+into evicted history, misaligned ticks, the strict ingest preset, the
+deprecated wrapper surface, segment spill, and shared-memory export of
+a wrapped store.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DataQualityError
+from repro.common.types import Metric, MetricSample
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.shared import SharedStoreExport, attach_store
+from repro.monitoring.store import (
+    IngestBatch,
+    IngestRun,
+    MetricStore,
+    SegmentSpill,
+)
+
+CPU = Metric.CPU_USAGE
+
+
+def _run_batch(component, start, values, watermark=None):
+    return IngestBatch(
+        runs=[
+            IngestRun(
+                component, CPU, start, np.asarray(values, dtype=np.float64)
+            )
+        ],
+        watermark=watermark,
+    )
+
+
+def _tick_by_tick(store, component, values, start=0):
+    for i, value in enumerate(values):
+        t = start + i
+        store.ingest(_run_batch(component, t, [float(value)], watermark=t + 1))
+
+
+class TestRetentionOverwrite:
+    def test_overwrite_at_capacity_boundary(self):
+        store = MetricStore(retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(12.0), watermark=12))
+        series = store.series("c", CPU)
+        assert store.length == 12
+        assert series.start == 4
+        np.testing.assert_array_equal(series.values, np.arange(4.0, 12.0))
+        assert store.retained_start("c", CPU) == 4
+
+    def test_exact_capacity_is_not_evicted(self):
+        store = MetricStore(retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(8.0), watermark=8))
+        series = store.series("c", CPU)
+        assert series.start == 0
+        np.testing.assert_array_equal(series.values, np.arange(8.0))
+
+    def test_oversized_run_keeps_newest_samples(self):
+        store = MetricStore(retention=4)
+        store.ingest(_run_batch("c", 0, np.arange(10.0), watermark=10))
+        series = store.series("c", CPU)
+        assert series.start == 6
+        np.testing.assert_array_equal(series.values, np.arange(6.0, 10.0))
+
+    def test_steady_state_is_allocation_free(self):
+        store = MetricStore(retention=8)
+        _tick_by_tick(store, "c", range(8))
+        ring = store._series[("c", CPU)]
+        buffer_before = ring.values
+        _tick_by_tick(store, "c", range(8, 40), start=8)
+        assert store._series[("c", CPU)].values is buffer_before
+
+
+class TestWrapSeamReads:
+    def test_window_spanning_the_wrap_seam(self):
+        store = MetricStore(retention=8)
+        _tick_by_tick(store, "c", range(13))
+        # Retained slots are [5, 13); physical positions wrap at 8.
+        window = store.window("c", CPU, 6, 12)
+        assert window.start == 6
+        np.testing.assert_array_equal(window.values, np.arange(6.0, 12.0))
+
+    def test_wrapped_series_is_one_zero_copy_view(self):
+        store = MetricStore(retention=8)
+        _tick_by_tick(store, "c", range(13))
+        series = store.series("c", CPU)
+        assert series.start == 5
+        np.testing.assert_array_equal(series.values, np.arange(5.0, 13.0))
+        # The mirror guarantees contiguity: a view, never a copy.
+        assert series.values.base is not None
+
+
+class TestEvictedBackfill:
+    def test_rejected_with_counted_drop(self):
+        policy = DataQualityPolicy(max_skew=100)
+        store = MetricStore(policy=policy, retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(12.0), watermark=12))
+        revision_before = store.revision
+        store.ingest("c", CPU, 1, 99.0)  # slot 1 was evicted at slot 12
+        assert store.revision == revision_before
+        assert store.series_quality("c", CPU).late_dropped == 1
+        series = store.series("c", CPU)
+        assert series.start == 4
+        np.testing.assert_array_equal(series.values, np.arange(4.0, 12.0))
+
+    def test_retained_backfill_still_repairs(self):
+        policy = DataQualityPolicy(max_skew=100, fill="none")
+        store = MetricStore(policy=policy, retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(10.0), watermark=10))
+        store.ingest("c", CPU, 4, float("nan"))  # duplicate -> dropped
+        assert store.series_quality("c", CPU).duplicates == 1
+
+
+class TestMisalignedTicks:
+    def test_advance_names_the_offending_component(self):
+        store = MetricStore()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            store.record("a", {CPU: 1.0})
+            store.record("b", {CPU: 1.0})
+            store.advance()
+            store.record("a", {CPU: 2.0})
+            with pytest.raises(DataQualityError, match="misaligned tick: b/"):
+                store.advance()
+
+    def test_aligned_ticks_advance_cleanly(self):
+        store = MetricStore()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for t in range(3):
+                store.record("a", {CPU: float(t)})
+                store.record("b", {CPU: float(t)})
+                store.advance()
+        assert store.length == 3
+
+
+class TestStrictPreset:
+    @staticmethod
+    def _sample(t, value=1.0):
+        return MetricSample("c", CPU, t, value)
+
+    def test_gap_raises(self):
+        store = MetricStore()
+        store.ingest(IngestBatch(samples=[self._sample(0)]))
+        with pytest.raises(DataQualityError, match="gap of 1 tick"):
+            store.ingest(IngestBatch(samples=[self._sample(2)]))
+
+    def test_out_of_order_raises(self):
+        store = MetricStore()
+        store.ingest(IngestBatch(samples=[self._sample(0), self._sample(1)]))
+        with pytest.raises(DataQualityError, match="append-only"):
+            store.ingest(IngestBatch(samples=[self._sample(0, 5.0)]))
+
+    def test_non_finite_raises(self):
+        store = MetricStore()
+        with pytest.raises(DataQualityError, match="non-finite"):
+            store.ingest(IngestBatch(samples=[self._sample(0, float("nan"))]))
+
+    def test_late_joiner_first_sample_pads_missing_prefix(self):
+        store = MetricStore()
+        store.ingest(
+            IngestBatch(
+                samples=[MetricSample("late", CPU, 5, 7.0)], watermark=6
+            )
+        )
+        series = store.series("late", CPU)
+        assert series.start == 0
+        assert np.isnan(np.asarray(series.values[:5])).all()
+        assert series.values[5] == 7.0
+
+    def test_scalar_ingest_requires_policy(self):
+        store = MetricStore()
+        with pytest.raises(DataQualityError, match="policy"):
+            store.ingest("c", CPU, 0, 1.0)
+
+
+class TestUnifiedIngest:
+    def test_runs_match_scalar_samples(self):
+        values = np.linspace(1.0, 9.0, 9)
+        scalar = MetricStore(policy=DataQualityPolicy())
+        for t, value in enumerate(values):
+            scalar.ingest("c", CPU, t, float(value))
+        scalar.advance_to(len(values))
+        batched = MetricStore()
+        batched.ingest(_run_batch("c", 0, values, watermark=len(values)))
+        left = scalar.series("c", CPU)
+        right = batched.series("c", CPU)
+        assert left.start == right.start
+        np.testing.assert_array_equal(left.values, right.values)
+
+    def test_batch_takes_no_extra_arguments(self):
+        store = MetricStore()
+        with pytest.raises(TypeError, match="no extra arguments"):
+            store.ingest(IngestBatch(), CPU, 0, 1.0)
+
+
+class TestDeprecatedWrappers:
+    def test_record_and_advance_warn(self):
+        store = MetricStore()
+        with pytest.warns(DeprecationWarning, match="record"):
+            store.record("c", {CPU: 1.0})
+        with pytest.warns(DeprecationWarning, match="advance"):
+            store.advance()
+        assert store.length == 1
+
+    def test_record_at_warns(self):
+        store = MetricStore(policy=DataQualityPolicy())
+        with pytest.warns(DeprecationWarning, match="record_at"):
+            store.record_at("c", {CPU: 1.0}, 0)
+        store.advance_to(1)
+        assert store.series("c", CPU).values[0] == 1.0
+
+
+class TestSegmentSpill:
+    def test_evicted_slots_round_trip(self, tmp_path):
+        spill = SegmentSpill(tmp_path, segment_slots=4)
+        store = MetricStore(retention=8, spill=spill)
+        _tick_by_tick(store, "c", range(20))
+        assert spill.slots_spilled("c", CPU) == 12
+        archived = store.spilled_series("c", CPU)
+        assert archived.start == 0
+        np.testing.assert_array_equal(
+            np.asarray(archived.values), np.arange(12.0)
+        )
+        live = store.series("c", CPU)
+        assert live.start == 12
+        np.testing.assert_array_equal(live.values, np.arange(12.0, 20.0))
+
+    def test_no_spill_configured_returns_none(self):
+        store = MetricStore(retention=8)
+        _tick_by_tick(store, "c", range(20))
+        assert store.spilled_series("c", CPU) is None
+
+
+class TestSharedWrappedStore:
+    def test_export_attach_round_trip_after_wrap(self):
+        store = MetricStore(retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(12.0), watermark=12))
+        with SharedStoreExport(store) as export:
+            attached = attach_store(export.handle)
+            series = attached.series("c", CPU)
+            assert series.start == 4
+            np.testing.assert_array_equal(
+                np.asarray(series.values), np.arange(4.0, 12.0)
+            )
+
+    def test_attached_snapshot_is_read_only(self):
+        store = MetricStore(retention=8)
+        store.ingest(_run_batch("c", 0, np.arange(12.0), watermark=12))
+        with SharedStoreExport(store) as export:
+            attached = attach_store(export.handle)
+            with pytest.raises(RuntimeError, match="read-only"):
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", DeprecationWarning)
+                    attached.record("c", {CPU: 1.0})

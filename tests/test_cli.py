@@ -59,7 +59,8 @@ def test_bench_json_writes_reports(tmp_path, monkeypatch, capsys):
     assert "speedup" in out
     ingest = json.loads((tmp_path / "BENCH_ingest.json").read_text())
     assert ingest["benchmark"] == "ingest"
-    assert ingest["streams_match"] is True
+    assert ingest["stores_match"] is True
+    assert ingest["speedup_vs_pre_rewrite"] > 0
     assert ingest["batched"]["ops_per_second"] > 0
     assert "p99_ms" in ingest["batched"]
     engine = json.loads(
