@@ -153,6 +153,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.core.config import FChainConfig
     from repro.eval.bench import (
         run_benchmark,
+        run_fleet_benchmark,
         run_ingest_benchmark,
         run_service_loop_benchmark,
         write_benchmark_json,
@@ -213,13 +214,32 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(service.summary())
 
+    print()
+    print(
+        f"Benchmarking fleet layer: {args.fleet_tenants} tenants x "
+        f"{args.components} components x 1 metric on "
+        f"{args.fleet_shards} shards"
+    )
+    # Deliberately NOT shrunk by --quick: the regression gate matches
+    # workload parameters against the committed baseline, and the 1 Hz /
+    # fairness acceptance targets are defined at this scale.
+    fleet = run_fleet_benchmark(
+        tenants=args.fleet_tenants,
+        components=args.components,
+        shards=args.fleet_shards,
+        seed=args.seed,
+    )
+    print()
+    print(fleet.summary())
+
     if args.json:
         write_benchmark_json("BENCH_ingest.json", ingest)
         write_benchmark_json("BENCH_incremental_engine.json", report)
         write_benchmark_json("BENCH_service_loop.json", service)
+        write_benchmark_json("BENCH_fleet.json", fleet)
         print(
-            "\nwrote BENCH_ingest.json, BENCH_incremental_engine.json "
-            "and BENCH_service_loop.json"
+            "\nwrote BENCH_ingest.json, BENCH_incremental_engine.json, "
+            "BENCH_service_loop.json and BENCH_fleet.json"
         )
 
     if args.emit_metrics:
@@ -240,6 +260,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "BENCH_ingest.json": ingest.to_json(),
             "BENCH_incremental_engine.json": report.to_json(),
             "BENCH_service_loop.json": service.to_json(),
+            "BENCH_fleet.json": fleet.to_json(),
         }
         print(f"\nregression gate vs baselines in {args.check}:")
         try:
@@ -258,7 +279,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(f"FAIL no committed baseline for {name}")
             gate_ok = all(c.ok for c in checks) and not missing
 
-    ok = report.results_match and ingest.stores_match and gate_ok
+    if not fleet.sustained:
+        print("\nFAIL fleet did not sustain the 1 Hz tick target")
+    if not fleet.fairness_ok:
+        print(
+            f"\nFAIL storm fairness: non-storming tenants' p99 rose "
+            f"{fleet.fairness_ratio:.2f}x (bound {fleet.FAIRNESS_BOUND:.1f}x)"
+        )
+    ok = (
+        report.results_match
+        and ingest.stores_match
+        and gate_ok
+        and fleet.sustained
+        and fleet.fairness_ok
+    )
     return 0 if ok else 1
 
 
@@ -390,6 +424,104 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run a tenant-fleet manifest through the sharded fleet layer."""
+    import dataclasses
+    import json as json_module
+
+    from repro.fleet import HashRing, load_manifest, run_manifest
+
+    manifest = load_manifest(args.manifest)
+    overrides = {}
+    if args.shards is not None:
+        overrides["shards"] = args.shards
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if overrides:
+        manifest = dataclasses.replace(manifest, **overrides).validate()
+
+    if args.map:
+        ring = HashRing(range(manifest.shards))
+        placement = {}
+        for tenant, shard in ring.assignments(manifest.tenants).items():
+            placement.setdefault(shard, []).append(tenant)
+        for shard in range(manifest.shards):
+            tenants = sorted(placement.get(shard, []))
+            print(f"shard {shard}: {len(tenants)} tenant(s)")
+            for tenant in tenants:
+                print(f"  {tenant}")
+        return 0
+
+    sinks = []
+    handle = None
+    if args.incidents:
+        handle = open(args.incidents, "w")
+
+        def jsonl_sink(tenant, incident, _handle=handle):
+            json_module.dump(
+                {"tenant": tenant, **incident.to_dict()}, _handle
+            )
+            _handle.write("\n")
+            _handle.flush()
+
+        sinks.append(jsonl_sink)
+
+    print(
+        f"fleet: {len(manifest.tenants)} tenants x {manifest.components} "
+        f"components on {manifest.shards} {manifest.backend} shard(s), "
+        f"{args.ticks} ticks, {len(manifest.faults)} injected fault(s)"
+    )
+    result = run_manifest(manifest, args.ticks, sinks=sinks)
+    if handle is not None:
+        handle.close()
+    supervisor = result.supervisor
+    incidents = supervisor.incidents
+    total = sum(len(v) for v in incidents.values())
+    print(
+        f"drained: routed {result.routed} batches "
+        f"({result.dropped} dropped), {total} incident(s) across "
+        f"{len(incidents)} tenant(s)"
+    )
+    for tenant in sorted(incidents):
+        for incident in incidents[tenant]:
+            faulty = ",".join(incident.faulty) or "-"
+            print(
+                f"  {tenant}: violation t={incident.violation_tick} "
+                f"faulty=[{faulty}] quality={incident.quality}"
+            )
+    for shard, tenant, message in supervisor.failures:
+        print(f"  ERROR shard {shard} tenant {tenant}: {message}")
+
+    ok = not supervisor.failures
+    if args.expect_incidents is not None and total != args.expect_incidents:
+        print(
+            f"FAIL expected exactly {args.expect_incidents} incident(s), "
+            f"got {total}"
+        )
+        ok = False
+    if args.expect_tenant is not None:
+        others = sorted(set(incidents) - {args.expect_tenant})
+        if args.expect_tenant not in incidents:
+            print(f"FAIL no incident for tenant {args.expect_tenant!r}")
+            ok = False
+        if others:
+            print(f"FAIL cross-tenant incidents for {others}")
+            ok = False
+    if args.expect_culprit is not None:
+        flat = [i for v in incidents.values() for i in v]
+        if not flat:
+            print(f"FAIL no incident names culprit {args.expect_culprit!r}")
+            ok = False
+        for incident in flat:
+            if args.expect_culprit not in incident.faulty:
+                print(
+                    f"FAIL incident #{incident.index} pinpointed "
+                    f"{incident.faulty}, expected {args.expect_culprit!r}"
+                )
+                ok = False
+    return 0 if ok else 1
+
+
 def cmd_demo(_: argparse.Namespace) -> int:
     from repro.apps.rubis import DB, RubisApplication
     from repro.core import FChain
@@ -482,6 +614,15 @@ def main(argv: List[str] = None) -> int:
         "--quick", action="store_true",
         help="CI smoke mode: shrink the history to 2000 samples and the "
         "repeats to 2",
+    )
+    bench.add_argument(
+        "--fleet-tenants", type=int, default=1_000,
+        help="fleet-benchmark tenant count (not shrunk by --quick: the "
+        "acceptance targets are defined at 1000 tenants)",
+    )
+    bench.add_argument(
+        "--fleet-shards", type=int, default=4,
+        help="fleet-benchmark shard worker count",
     )
     bench.add_argument(
         "--emit-metrics", action="store_true",
@@ -626,6 +767,48 @@ def main(argv: List[str] = None) -> int:
     )
     _add_service_options(replay)
     replay.set_defaults(func=cmd_replay)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a multi-tenant fleet manifest across shard workers",
+    )
+    fleet.add_argument(
+        "manifest", help="JSON fleet manifest (see docs/architecture.md)"
+    )
+    fleet.add_argument(
+        "--ticks", type=int, default=60,
+        help="ticks of synthetic telemetry to stream (default 60)",
+    )
+    fleet.add_argument(
+        "--map", action="store_true",
+        help="print the consistent-hash shard placement and exit",
+    )
+    fleet.add_argument(
+        "--shards", type=int, default=None,
+        help="override the manifest's shard count",
+    )
+    fleet.add_argument(
+        "--backend", choices=("thread", "process"), default=None,
+        help="override the manifest's worker backend",
+    )
+    fleet.add_argument(
+        "--incidents", default=None,
+        help="append tenant-labeled incidents to this JSONL file",
+    )
+    fleet.add_argument(
+        "--expect-incidents", type=int, default=None,
+        help="exit non-zero unless exactly this many incidents occurred "
+        "(the CI soak assertion)",
+    )
+    fleet.add_argument(
+        "--expect-tenant", default=None,
+        help="exit non-zero unless all incidents belong to this tenant",
+    )
+    fleet.add_argument(
+        "--expect-culprit", default=None,
+        help="exit non-zero unless every incident pinpoints this component",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
         func=cmd_demo

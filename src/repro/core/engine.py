@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import time
+import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -53,6 +54,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: One diagnosis uses one segment, so the cache is cleared whenever a new
 #: segment shows up — worker memory stays bounded by one store view.
 _WORKER_STATE: Dict[str, tuple] = {}
+
+
+def fork_available() -> bool:
+    """Whether the ``fork`` multiprocessing start method exists here.
+
+    The process executor requires fork: workers must inherit the
+    imported modules and attach the shared-memory store in a few
+    milliseconds, which ``spawn`` cannot do. POSIX platforms have it;
+    Windows (and some sandboxed runtimes) do not.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
 
 
 def _process_analyze(
@@ -146,6 +158,16 @@ class SlavePool:
                 f"executor={executor!r} is not supported: choose 'thread' "
                 "or 'process'"
             )
+        if executor == "process" and not fork_available():
+            warnings.warn(
+                "executor='process' needs the 'fork' multiprocessing "
+                "start method, which this platform does not provide "
+                f"(available: {multiprocessing.get_all_start_methods()}); "
+                "falling back to the thread executor",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            executor = "thread"
         self.slave = slave
         self.jobs = jobs
         self.timeout = timeout
@@ -359,13 +381,15 @@ class SlavePool:
         if self._pool is not None and self._pool_workers < workers:
             self._discard_process_pool(wait=True)
         if self._pool is None:
-            try:
-                # Fork keeps worker start-up at a few ms and inherits the
-                # imported modules; fall back to the platform default
-                # (spawn) where fork does not exist.
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX platforms
-                context = multiprocessing.get_context()
+            if not fork_available():  # pragma: no cover - non-POSIX
+                raise ConfigurationError(
+                    "the process executor requires the 'fork' start "
+                    "method; SlavePool should have fallen back to "
+                    "executor='thread' at construction"
+                )
+            # Fork keeps worker start-up at a few ms and inherits the
+            # imported modules.
+            context = multiprocessing.get_context("fork")
             self._pool = ProcessPoolExecutor(
                 max_workers=workers, mp_context=context
             )

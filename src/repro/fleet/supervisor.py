@@ -1,0 +1,488 @@
+"""The fleet supervisor: many tenants, few long-lived shard workers.
+
+:class:`FleetSupervisor` is the parent-side owner of a tenant fleet:
+
+* **placement** — tenants are consistently hashed onto shards
+  (:class:`~repro.fleet.ring.HashRing`), so adding or removing a shard
+  relocates only ~1/N of the fleet;
+* **routing** — ``ingest()`` forwards one tenant's tick batch to its
+  shard over a bounded per-shard command queue. Backpressure is
+  shed-with-counted-drop: a full shard queue drops the batch (one tick
+  of one tenant's telemetry, repaired later by the tolerant ingest
+  path) rather than stalling the caller;
+* **incident bus** — every shard emits finished incidents onto one
+  shared event queue; a collector thread fans them out to per-tenant
+  sinks, fleet-wide sinks and tenant-labeled Prometheus counters;
+* **rebalance** — ``add_shard()`` / ``remove_shard()`` / ``move_tenant()``
+  relocate live tenants: the source shard snapshots the tenant through
+  the zero-copy shared-memory store export, the target materializes a
+  writable store from the segment and resyncs its warm models
+  (bit-identically — see ``tests/fleet/test_rebalance.py``), and only
+  then does the source release the segment.
+
+Two interchangeable backends run the same
+:class:`~repro.fleet.worker.ShardWorker` code: ``"thread"`` (default —
+shards are daemon threads, zero-copy in-process queues) and
+``"process"`` (shards are forked worker processes, escaping the GIL for
+per-tick work at the cost of pickling batches over the queues). Tenants
+that need parallel *diagnosis* get it on either backend by configuring
+``executor="process"`` — the per-tenant SlavePool keeps its cached
+``ProcessPoolExecutor`` warm across triggers.
+
+Supervisor methods (``add_tenant``/``ingest``/``move_tenant``/``close``)
+are driver-facing and expected to be called from one thread; the
+collector thread only touches the incident/event state.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.core.engine import fork_available
+from repro.fleet.ring import DEFAULT_VNODES, HashRing
+from repro.fleet.tenant import TenantSnapshot, TenantSpec
+from repro.fleet.worker import ShardWorker, shard_worker_main
+from repro.service.incident import Incident
+from repro.service.sources import TickBatch
+
+#: How long the supervisor waits on a full shard queue before shedding.
+_EVENT_POLL_SECONDS = 0.2
+#: Ceiling on one relocation step (export or import acknowledgement).
+_MOVE_TIMEOUT_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Fleet-level tunables (per-tenant knobs live on the TenantSpec).
+
+    Attributes:
+        shards: Number of shard workers.
+        backend: ``"thread"`` or ``"process"`` (see module docstring).
+        vnodes: Virtual nodes per shard on the consistent-hash ring.
+        queue_depth: Bound of each shard's command queue.
+        route_timeout: Seconds ``ingest()`` waits on a full shard queue
+            before shedding the batch with a counted drop. ``0`` sheds
+            immediately.
+        tenant_budget: Max diagnosis triggers one tenant may have
+            queued on its shard before new ones are shed.
+    """
+
+    shards: int = 4
+    backend: str = "thread"
+    vnodes: int = DEFAULT_VNODES
+    queue_depth: int = 1024
+    route_timeout: float = 0.5
+    tenant_budget: int = 4
+
+    def validate(self) -> "FleetConfig":
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.backend not in ("thread", "process"):
+            raise ConfigurationError(
+                f"backend={self.backend!r} is not supported: choose "
+                "'thread' or 'process'"
+            )
+        if self.backend == "process" and not fork_available():
+            raise ConfigurationError(
+                "backend='process' needs the 'fork' multiprocessing "
+                "start method, which this platform does not provide; "
+                "use backend='thread'"
+            )
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        if self.route_timeout < 0:
+            raise ConfigurationError("route_timeout must be >= 0 seconds")
+        if self.tenant_budget < 1:
+            raise ConfigurationError("tenant_budget must be >= 1")
+        return self
+
+
+class FleetMetrics:
+    """Fleet-wide gauges/counters on a :mod:`repro.obs` registry."""
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            from repro.obs.registry import default_registry
+
+            registry = default_registry()
+        self.tenants = registry.gauge(
+            "fchain_fleet_tenants", "Tenants currently registered"
+        )
+        self.queue_depth = registry.gauge(
+            "fchain_fleet_shard_queue_depth",
+            "Commands waiting on each shard's queue",
+            ("shard",),
+        )
+        self.ingest_dropped = registry.counter(
+            "fchain_fleet_ingest_dropped_total",
+            "Tick batches shed because a shard queue stayed full",
+            ("shard",),
+        )
+        self.incidents = registry.counter(
+            "fchain_fleet_incidents_total",
+            "Incidents diagnosed per tenant",
+            ("tenant",),
+        )
+        self.diagnosis_shed = registry.counter(
+            "fchain_fleet_diagnosis_shed_total",
+            "Diagnosis triggers shed by per-tenant budgets",
+            ("shard",),
+        )
+
+
+class _Shard:
+    """One shard's transport: queues plus the worker thread/process."""
+
+    def __init__(self, index: int, config: FleetConfig, events) -> None:
+        self.index = index
+        self.drained = False
+        self.stats: Optional[Dict] = None
+        if config.backend == "thread":
+            self.commands: "queue.Queue" = queue.Queue(
+                maxsize=config.queue_depth
+            )
+            worker = ShardWorker(
+                index, events, tenant_budget=config.tenant_budget
+            )
+            self.runner = threading.Thread(
+                target=worker.serve,
+                args=(self.commands,),
+                name=f"fchain-fleet-shard-{index}",
+                daemon=True,
+            )
+        else:
+            context = multiprocessing.get_context("fork")
+            self.commands = context.Queue(maxsize=config.queue_depth)
+            self.runner = context.Process(
+                target=shard_worker_main,
+                args=(index, self.commands, events, config.tenant_budget),
+                name=f"fchain-fleet-shard-{index}",
+                daemon=True,
+            )
+        self.runner.start()
+
+    def depth(self) -> int:
+        try:
+            return self.commands.qsize()
+        except NotImplementedError:  # pragma: no cover - macOS mp.Queue
+            return 0
+
+    def join(self) -> None:
+        self.runner.join()
+
+
+class FleetSupervisor:
+    """Owner of the shard pool, tenant placement and the incident bus.
+
+    Args:
+        config: Fleet-level configuration.
+        sinks: Fleet-wide callables receiving ``(tenant, incident)``.
+        registry: Metrics registry (defaults to the process-wide one).
+
+    Attributes:
+        incidents: Finished incidents per tenant, in completion order.
+        failures: ``(shard, tenant, error repr)`` from shard errors.
+        ingest_dropped: Batches shed by routing backpressure, per shard.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FleetConfig] = None,
+        *,
+        sinks=(),
+        registry=None,
+    ) -> None:
+        self.config = (config or FleetConfig()).validate()
+        backend = self.config.backend
+        if backend == "process":
+            context = multiprocessing.get_context("fork")
+            self._events = context.Queue()
+        else:
+            self._events = queue.Queue()
+        self.ring = HashRing(
+            range(self.config.shards), vnodes=self.config.vnodes
+        )
+        self._shards: Dict[int, _Shard] = {
+            index: _Shard(index, self.config, self._events)
+            for index in range(self.config.shards)
+        }
+        self._next_shard_index = self.config.shards
+        self._specs: Dict[str, TenantSpec] = {}
+        self._routing: Dict[str, int] = {}
+        self._tenant_sinks: Dict[str, List[Callable]] = {}
+        self.sinks = list(sinks)
+        self.metrics = FleetMetrics(registry)
+
+        self.incidents: Dict[str, List[Incident]] = {}
+        self.failures: List[Tuple[int, Optional[str], str]] = []
+        self.ingest_dropped: Dict[int, int] = {}
+        self.tenant_stats: Dict[str, Dict] = {}
+        self.shard_stats: Dict[int, Dict] = {}
+
+        #: Tenants mid-relocation: batches buffered until the move lands.
+        self._moving: Dict[str, List[TickBatch]] = {}
+        self._move_events: Dict[str, threading.Event] = {}
+        self._move_payloads: Dict[str, TenantSnapshot] = {}
+        self._import_events: Dict[str, threading.Event] = {}
+        self._closed = False
+
+        self._collector = threading.Thread(
+            target=self._collect_events,
+            name="fchain-fleet-collector",
+            daemon=True,
+        )
+        self._collector_stop = threading.Event()
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Tenant lifecycle
+    # ------------------------------------------------------------------
+    def add_tenant(self, spec: TenantSpec, *, sinks=()) -> int:
+        """Register one tenant; returns the shard it landed on."""
+        if self._closed:
+            raise ReproError("the fleet is closed")
+        if spec.tenant in self._specs:
+            raise ConfigurationError(
+                f"tenant {spec.tenant!r} is already registered"
+            )
+        shard = self.ring.shard_for(spec.tenant)
+        self._specs[spec.tenant] = spec
+        self._routing[spec.tenant] = shard
+        if sinks:
+            self._tenant_sinks[spec.tenant] = list(sinks)
+        self._shards[shard].commands.put(("add", spec))
+        self.metrics.tenants.set(len(self._specs))
+        return shard
+
+    def remove_tenant(self, tenant: str) -> None:
+        """Unregister one tenant and tear its runtime down."""
+        shard = self._routing.pop(tenant, None)
+        self._specs.pop(tenant, None)
+        self._tenant_sinks.pop(tenant, None)
+        if shard is not None:
+            self._shards[shard].commands.put(("remove", tenant))
+        self.metrics.tenants.set(len(self._specs))
+
+    def shard_of(self, tenant: str) -> int:
+        return self._routing[tenant]
+
+    def shard_map(self) -> Dict[int, List[str]]:
+        """Current placement: shard index -> sorted tenant ids."""
+        placement: Dict[int, List[str]] = {
+            index: [] for index in self._shards
+        }
+        for tenant, shard in self._routing.items():
+            placement[shard].append(tenant)
+        for tenants in placement.values():
+            tenants.sort()
+        return placement
+
+    # ------------------------------------------------------------------
+    # Ingest routing
+    # ------------------------------------------------------------------
+    def ingest(self, tenant: str, batch: TickBatch) -> bool:
+        """Route one tick batch; returns False when it was shed."""
+        if self._closed:
+            raise ReproError("the fleet is closed")
+        if tenant in self._moving:
+            self._moving[tenant].append(batch)
+            return True
+        shard = self._routing.get(tenant)
+        if shard is None:
+            raise ConfigurationError(f"tenant {tenant!r} is not registered")
+        handle = self._shards[shard]
+        self.metrics.queue_depth.set(handle.depth(), shard=str(shard))
+        try:
+            if self.config.route_timeout > 0:
+                handle.commands.put(
+                    ("ingest", tenant, batch),
+                    timeout=self.config.route_timeout,
+                )
+            else:
+                handle.commands.put_nowait(("ingest", tenant, batch))
+        except queue.Full:
+            self.ingest_dropped[shard] = (
+                self.ingest_dropped.get(shard, 0) + 1
+            )
+            self.metrics.ingest_dropped.inc(1, shard=str(shard))
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Rebalance
+    # ------------------------------------------------------------------
+    def move_tenant(self, tenant: str, target: int) -> None:
+        """Relocate one live tenant, ring-buffer state and all.
+
+        Protocol (each step acknowledged over the event bus):
+
+        1. buffer the tenant's inbound batches in the supervisor;
+        2. ``export`` on the source shard — snapshot store + aux state,
+           keep the shared segment alive;
+        3. ``add(snapshot)`` on the target — materialize a writable
+           store from the segment, resync warm models, ack ``imported``;
+        4. ``release`` on the source — close the segment, drop the old
+           runtime;
+        5. reroute and flush the buffered batches to the target.
+        """
+        if target not in self._shards:
+            raise ConfigurationError(f"shard {target} does not exist")
+        source = self._routing.get(tenant)
+        if source is None:
+            raise ConfigurationError(f"tenant {tenant!r} is not registered")
+        if source == target:
+            return
+        self._moving[tenant] = []
+        exported = self._move_events[tenant] = threading.Event()
+        self._shards[source].commands.put(("export", tenant))
+        if not exported.wait(_MOVE_TIMEOUT_SECONDS):
+            del self._moving[tenant]
+            raise ReproError(
+                f"shard {source} did not export tenant {tenant!r} in time"
+            )
+        snapshot = self._move_payloads.pop(tenant)
+        del self._move_events[tenant]
+        imported = self._import_events[tenant] = threading.Event()
+        self._shards[target].commands.put(("add", snapshot))
+        if not imported.wait(_MOVE_TIMEOUT_SECONDS):
+            raise ReproError(
+                f"shard {target} did not import tenant {tenant!r} in time"
+            )
+        del self._import_events[tenant]
+        self._shards[source].commands.put(("release", tenant))
+        self._routing[tenant] = target
+        buffered = self._moving.pop(tenant)
+        for batch in buffered:
+            self.ingest(tenant, batch)
+
+    def add_shard(self) -> int:
+        """Grow the pool by one shard and relocate the ~1/N tenants
+        whose ring position moved. Returns the new shard's index."""
+        index = self._next_shard_index
+        self._next_shard_index += 1
+        before = dict(self._routing)
+        self._shards[index] = _Shard(index, self.config, self._events)
+        self.ring.add_shard(index)
+        after = self.ring.assignments(list(before))
+        for tenant, shard in after.items():
+            if shard != before[tenant]:
+                self.move_tenant(tenant, shard)
+        return index
+
+    def remove_shard(self, index: int) -> None:
+        """Shrink the pool: relocate the shard's tenants, then drain it."""
+        if index not in self._shards:
+            raise ConfigurationError(f"shard {index} does not exist")
+        if len(self._shards) == 1:
+            raise ConfigurationError("cannot remove the last shard")
+        self.ring.remove_shard(index)
+        for tenant, shard in list(self._routing.items()):
+            if shard == index:
+                self.move_tenant(tenant, self.ring.shard_for(tenant))
+        handle = self._shards.pop(index)
+        handle.commands.put(("drain",))
+        handle.join()
+
+    # ------------------------------------------------------------------
+    # Event bus
+    # ------------------------------------------------------------------
+    def _collect_events(self) -> None:
+        while not self._collector_stop.is_set():
+            try:
+                event = self._events.get(timeout=_EVENT_POLL_SECONDS)
+            except queue.Empty:
+                continue
+            self._handle_event(event)
+
+    def _handle_event(self, event) -> None:
+        kind = event[0]
+        if kind == "incident":
+            _, shard, tenant, incident = event
+            self.incidents.setdefault(tenant, []).append(incident)
+            self.metrics.incidents.inc(1, tenant=tenant)
+            for sink in self._tenant_sinks.get(tenant, ()):
+                try:
+                    sink(incident)
+                except Exception as error:
+                    self.failures.append((shard, tenant, repr(error)))
+            for sink in self.sinks:
+                try:
+                    sink(tenant, incident)
+                except Exception as error:
+                    self.failures.append((shard, tenant, repr(error)))
+        elif kind == "exported":
+            _, _, tenant, snapshot = event
+            self._move_payloads[tenant] = snapshot
+            signal = self._move_events.get(tenant)
+            if signal is not None:
+                signal.set()
+        elif kind == "imported":
+            _, _, tenant = event
+            signal = self._import_events.get(tenant)
+            if signal is not None:
+                signal.set()
+        elif kind == "drained":
+            _, shard, stats = event
+            handle = self._shards.get(shard)
+            if handle is not None:
+                handle.drained = True
+                handle.stats = stats
+            self._absorb_stats(shard, stats)
+        elif kind == "error":
+            _, shard, tenant, message = event
+            self.failures.append((shard, tenant, message))
+
+    def _absorb_stats(self, shard: int, stats: Dict) -> None:
+        self.shard_stats[shard] = stats
+        shed = stats.get("shed_total", 0)
+        if shed:
+            self.metrics.diagnosis_shed.inc(shed, shard=str(shard))
+        for tenant, entry in stats.get("tenants", {}).items():
+            self.tenant_stats[tenant] = entry
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drain every shard, collect final stats, close the sinks."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._shards.values():
+            handle.commands.put(("drain",))
+        for handle in self._shards.values():
+            handle.join()
+        # The workers are gone; drain what is still on the bus.
+        deadline_empty = False
+        while not deadline_empty:
+            try:
+                event = self._events.get_nowait()
+            except queue.Empty:
+                deadline_empty = True
+            else:
+                self._handle_event(event)
+        self._collector_stop.set()
+        self._collector.join()
+        for sinks in self._tenant_sinks.values():
+            for sink in sinks:
+                close = getattr(sink, "close", None)
+                if callable(close):
+                    close()
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if callable(close):
+                close()
+
+    def __enter__(self) -> "FleetSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+__all__ = ["FleetConfig", "FleetMetrics", "FleetSupervisor"]

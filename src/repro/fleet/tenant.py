@@ -1,0 +1,321 @@
+"""Per-tenant state of the fleet: spec, runtime, relocation snapshot.
+
+A *tenant* is one monitored application: its own tolerant
+:class:`~repro.monitoring.store.MetricStore`, its own warm
+:class:`~repro.core.fchain.FChain` slave models and its own SLO
+detector — exactly the state today's single-app
+:class:`~repro.service.pipeline.OnlinePipeline` owns.
+:class:`TenantRuntime` is that pipeline's per-tick state machine with
+the threading stripped out: ``process()`` returns the triggers that
+became ready instead of feeding a private queue, so the shard worker
+can dispatch them *fairly across its tenants* (see
+:mod:`repro.fleet.worker`). The state machine itself — watermarked
+tolerant ingest, non-blocking warm sync, rising-edge + cooldown dedup,
+analysis-grace wait — is semantically identical, which is what makes a
+fleet of one tenant produce bit-identical diagnoses to the standalone
+pipeline (pinned by ``tests/fleet/test_equivalence.py``).
+
+Relocation: :meth:`TenantRuntime.export_state` snapshots the store
+through the zero-copy shared-memory export and pickles the small
+auxiliary state (detector, dedup state, pending triggers, counters).
+:meth:`TenantRuntime.from_state` rebuilds a live runtime on the
+receiving shard — the store via
+:func:`~repro.monitoring.shared.materialize_store`, the warm Markov
+models by resyncing from the rebuilt store, which
+``MarkovPredictor.update_many`` chunk invariance makes bit-identical to
+the models that never moved.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import FChainConfig
+from repro.core.fchain import FChain
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.shared import (
+    SharedStoreExport,
+    SharedStoreHandle,
+    materialize_store,
+)
+from repro.monitoring.slo import SLODetector
+from repro.monitoring.store import DEFAULT_RETENTION, IngestBatch, MetricStore
+from repro.service.incident import Incident
+from repro.service.sources import TickBatch
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Everything needed to (re)build one tenant's runtime on any shard.
+
+    Picklable by construction: specs travel over the shard command
+    queues of the process backend and inside relocation snapshots.
+
+    Attributes:
+        tenant: Unique tenant id — the consistent-hash routing key.
+        detector: SLO detector instance evaluating the tenant's
+            performance signal (plain-list state, picklable).
+        config: FChain configuration for this tenant's diagnosis engine.
+        policy: Data-quality policy of the tenant's store (defaults to
+            the tolerant defaults).
+        seed: Deterministic seed label for the diagnosis engine.
+        jobs: Slave fan-out width (``>= 2`` spreads component analyses
+            over the configured executor).
+        slave_timeout: Optional per-slave analysis timeout in seconds.
+        retention: Ring retention of the tenant's store.
+        start: First tick of the tenant's timeline.
+    """
+
+    tenant: str
+    detector: SLODetector
+    config: FChainConfig = field(default_factory=FChainConfig)
+    policy: Optional[DataQualityPolicy] = None
+    seed: object = 0
+    jobs: Optional[int] = None
+    slave_timeout: Optional[float] = None
+    retention: int = DEFAULT_RETENTION
+    start: int = 0
+
+
+@dataclass
+class FleetTrigger:
+    """One deduplicated violation awaiting (or undergoing) diagnosis."""
+
+    violation_tick: int
+    detected_at: float  # time.monotonic() at SLO detection
+    dispatched_tick: Optional[int] = None
+
+
+@dataclass
+class TenantSnapshot:
+    """A relocating tenant's full state, in transit between shards.
+
+    ``handle`` references the source shard's live shared-memory export —
+    the source keeps the export open until the supervisor confirms the
+    target has imported (the ``release`` step of the rebalance
+    protocol), so the segment stays mapped while this snapshot is in
+    flight even across processes.
+    """
+
+    spec: TenantSpec
+    handle: SharedStoreHandle
+    detector: SLODetector
+    violating: bool
+    last_trigger: Optional[int]
+    pending: List[FleetTrigger]
+    counters: Dict[str, int]
+
+
+class TenantRuntime:
+    """One tenant's live pipeline state on a shard worker.
+
+    Mirrors :class:`~repro.service.pipeline.OnlinePipeline.process`
+    stage for stage; see the module docstring for why it is a separate
+    class rather than a refactor of the pipeline.
+    """
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        *,
+        store: Optional[MetricStore] = None,
+        detector: Optional[SLODetector] = None,
+    ) -> None:
+        self.spec = spec
+        self.config = spec.config.validate()
+        self.store = store if store is not None else MetricStore(
+            start=spec.start,
+            policy=spec.policy or DataQualityPolicy(),
+            retention=spec.retention,
+        )
+        self.detector = detector if detector is not None else spec.detector
+        self.fchain = FChain(
+            self.config,
+            seed=spec.seed,
+            jobs=spec.jobs,
+            slave_timeout=spec.slave_timeout,
+        )
+        # Serializes slave mutation between the shard's ingest loop
+        # (warm sync, try-acquire only) and its diagnosis thread.
+        self._slave_lock = threading.Lock()
+        self._pending: List[FleetTrigger] = []
+        self._last_trigger: Optional[int] = None
+        self._violating = False
+        # The source-side shared-memory export of an in-flight
+        # relocation; closed when the supervisor sends "release".
+        self._export: Optional[SharedStoreExport] = None
+
+        self.ticks = 0
+        self.triggered = 0
+        self.warm_sync_skipped = 0
+        self.incident_count = 0
+        self.tick_seconds: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Ingest-side stages (one call per tick, on the shard serve loop)
+    # ------------------------------------------------------------------
+    def process(self, batch: TickBatch) -> List[FleetTrigger]:
+        """One tick: ingest → warm sync → SLO edge → grace flush.
+
+        Returns the triggers whose post-violation grace data arrived
+        this tick, ``dispatched_tick`` already stamped — the caller owns
+        queueing them (with its own budget and fairness rules).
+        """
+        started = time.perf_counter()
+        t = int(batch.time)
+        self.store.ingest(
+            IngestBatch(samples=batch.samples, watermark=t + 1)
+        )
+        self._warm_sync()
+        rising = False
+        if batch.performance is not None:
+            status = self.detector.observe(t, batch.performance)
+            rising = status.violated and not self._violating
+            self._violating = status.violated
+        if rising:
+            self._on_violation(t)
+        ready = self._flush_ready()
+        self.ticks += 1
+        self.tick_seconds.append(time.perf_counter() - started)
+        return ready
+
+    def _warm_sync(self) -> None:
+        """Catch the slave models up — never waiting on a diagnosis."""
+        slave = self.fchain.master.slave
+        if slave is None:
+            return
+        if not self._slave_lock.acquire(blocking=False):
+            self.warm_sync_skipped += 1
+            return
+        try:
+            slave.sync_with_store(self.store, self.store.end)
+        finally:
+            self._slave_lock.release()
+
+    def _on_violation(self, t: int) -> None:
+        cooldown = self.config.service_cooldown
+        if (
+            self._last_trigger is not None
+            and t - self._last_trigger < cooldown
+        ):
+            return  # flapping within the window folds into the incident
+        self._last_trigger = t
+        self.triggered += 1
+        self._pending.append(
+            FleetTrigger(violation_tick=t, detected_at=time.monotonic())
+        )
+
+    def _flush_ready(self) -> List[FleetTrigger]:
+        if not self._pending:
+            return []
+        grace = self.config.analysis_grace
+        ready: List[FleetTrigger] = []
+        waiting: List[FleetTrigger] = []
+        for trigger in self._pending:
+            if self.store.end >= trigger.violation_tick + grace + 1:
+                trigger.dispatched_tick = self.store.end - 1
+                ready.append(trigger)
+            else:
+                waiting.append(trigger)
+        self._pending = waiting
+        return ready
+
+    def flush_pending(self) -> List[FleetTrigger]:
+        """Drain-time flush: grace data will never arrive — diagnose on
+        what was recorded (mirrors ``OnlinePipeline.close``)."""
+        pending, self._pending = self._pending, []
+        for trigger in pending:
+            trigger.dispatched_tick = self.store.end - 1
+        return pending
+
+    # ------------------------------------------------------------------
+    # Diagnosis side (on the shard's dispatch thread)
+    # ------------------------------------------------------------------
+    def diagnose(self, trigger: FleetTrigger) -> Incident:
+        """Run one localization; raises on engine failure."""
+        with self._slave_lock:
+            diagnosis = self.fchain.localize(
+                self.store, violation_time=trigger.violation_tick
+            )
+        incident = Incident(
+            index=self.incident_count,
+            violation_tick=trigger.violation_tick,
+            dispatched_tick=trigger.dispatched_tick
+            if trigger.dispatched_tick is not None
+            else trigger.violation_tick,
+            trigger_latency_seconds=time.monotonic() - trigger.detected_at,
+            diagnosis=diagnosis,
+            quality=diagnosis.confidence,
+        )
+        self.incident_count += 1
+        return incident
+
+    # ------------------------------------------------------------------
+    # Relocation
+    # ------------------------------------------------------------------
+    def export_state(self) -> TenantSnapshot:
+        """Snapshot this tenant for relocation to another shard.
+
+        The shared-memory export stays open (owned by this runtime)
+        until :meth:`release` — the target shard materializes from the
+        segment by name, possibly from another process.
+        """
+        self._export = SharedStoreExport(self.store)
+        return TenantSnapshot(
+            spec=self.spec,
+            handle=self._export.handle,
+            detector=self.detector,
+            violating=self._violating,
+            last_trigger=self._last_trigger,
+            pending=list(self._pending),
+            counters={
+                "ticks": self.ticks,
+                "triggered": self.triggered,
+                "warm_sync_skipped": self.warm_sync_skipped,
+                "incident_count": self.incident_count,
+            },
+        )
+
+    def release(self) -> None:
+        """Drop the relocation export and this runtime's engine state."""
+        if self._export is not None:
+            self._export.close()
+            self._export = None
+        self.close()
+
+    @classmethod
+    def from_state(cls, snapshot: TenantSnapshot) -> "TenantRuntime":
+        """Rebuild a live runtime from a relocation snapshot."""
+        spec = snapshot.spec
+        store = materialize_store(
+            snapshot.handle, retention=spec.retention
+        )
+        runtime = cls(spec, store=store, detector=snapshot.detector)
+        runtime._violating = snapshot.violating
+        runtime._last_trigger = snapshot.last_trigger
+        runtime._pending = list(snapshot.pending)
+        runtime.ticks = snapshot.counters.get("ticks", 0)
+        runtime.triggered = snapshot.counters.get("triggered", 0)
+        runtime.warm_sync_skipped = snapshot.counters.get(
+            "warm_sync_skipped", 0
+        )
+        runtime.incident_count = snapshot.counters.get("incident_count", 0)
+        # Warm the models from the rebuilt store: update_many chunk
+        # invariance makes this bit-identical to models that streamed
+        # the same history tick by tick and never moved.
+        runtime._warm_sync()
+        return runtime
+
+    def close(self) -> None:
+        self.fchain.close()
+
+
+__all__ = [
+    "FleetTrigger",
+    "TenantRuntime",
+    "TenantSnapshot",
+    "TenantSpec",
+]

@@ -1,0 +1,268 @@
+"""One shard: many tenant runtimes behind a single command loop.
+
+A :class:`ShardWorker` owns the :class:`~repro.fleet.tenant.TenantRuntime`
+of every tenant hashed onto it. It is transport-agnostic: :meth:`serve`
+consumes command tuples from a queue-like object and emits event tuples
+to another, so the same class runs on a thread (queue.Queue) or in a
+forked worker process (multiprocessing.Queue) — the supervisor picks.
+
+**Isolation model.** Ingest and diagnosis never share a thread. The
+serve loop only ever does per-tick work (tolerant ingest, warm sync, SLO
+eval — microseconds per tenant); every ready trigger is handed to a
+dedicated dispatch thread. Two mechanisms keep one tenant's diagnosis
+storm from starving its neighbours:
+
+* **bounded per-tenant budget** — each tenant may have at most
+  ``tenant_budget`` triggers waiting; excess triggers are shed with a
+  counted drop (the storm folds into the incidents that do run);
+* **fair round-robin dispatch** — the dispatch thread cycles over
+  tenants that have work, taking one trigger per visit, so a tenant
+  with a deep backlog cannot monopolize the diagnosis thread.
+
+A storming tenant that wants real diagnosis concurrency escapes the GIL
+by configuring ``executor="process"`` + ``jobs >= 2``: its component
+analyses then run on :class:`~repro.core.engine.SlavePool`'s cached
+``ProcessPoolExecutor`` (warm worker processes survive across triggers),
+and the shard's serve loop keeps ingesting for the other tenants while
+the dispatch thread merely waits on futures.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.fleet.tenant import (
+    FleetTrigger,
+    TenantRuntime,
+    TenantSnapshot,
+    TenantSpec,
+)
+
+#: Sent by the dispatch loop's condition wait to bound drain latency.
+_DISPATCH_POLL_SECONDS = 0.1
+
+
+class ShardWorker:
+    """Serve loop + fair dispatcher for one shard's tenants.
+
+    Args:
+        shard: This shard's index (stamped on every event).
+        events: Queue-like object receiving event tuples.
+        tenant_budget: Max triggers one tenant may have queued before
+            new ones are shed.
+    """
+
+    def __init__(self, shard: int, events, *, tenant_budget: int = 4) -> None:
+        self.shard = shard
+        self.events = events
+        self.tenant_budget = tenant_budget
+        self.runtimes: Dict[str, TenantRuntime] = {}
+        #: Tenants exported for relocation, still owning their segment.
+        self._parked: Dict[str, TenantRuntime] = {}
+        self._queues: "OrderedDict[str, Deque[FleetTrigger]]" = OrderedDict()
+        self._cv = threading.Condition()
+        self._dispatcher: Optional[threading.Thread] = None
+        self._draining = False
+        self.shed: Dict[str, int] = {}
+        self.diagnosed = 0
+        self.ingest_ignored = 0
+
+    # ------------------------------------------------------------------
+    # Command loop
+    # ------------------------------------------------------------------
+    def serve(self, commands) -> None:
+        """Consume commands until ``drain``; then flush and return."""
+        while True:
+            command = commands.get()
+            kind = command[0]
+            if kind == "ingest":
+                self._handle_ingest(command[1], command[2])
+            elif kind == "add":
+                self._handle_add(command[1])
+            elif kind == "remove":
+                self._handle_remove(command[1])
+            elif kind == "export":
+                self._handle_export(command[1])
+            elif kind == "release":
+                self._handle_release(command[1])
+            elif kind == "drain":
+                self._handle_drain()
+                return
+            else:  # pragma: no cover - supervisor never sends others
+                self.events.put(
+                    ("error", self.shard, None, f"unknown command {kind!r}")
+                )
+
+    def _handle_ingest(self, tenant: str, batch) -> None:
+        runtime = self.runtimes.get(tenant)
+        if runtime is None:
+            # Routed here after an export or before an add — the
+            # supervisor buffers during moves, so this is exceptional.
+            self.ingest_ignored += 1
+            return
+        try:
+            ready = runtime.process(batch)
+        except Exception as error:  # keep the shard alive
+            self.events.put(("error", self.shard, tenant, repr(error)))
+            return
+        for trigger in ready:
+            self._enqueue(tenant, trigger)
+
+    def _handle_add(self, payload) -> None:
+        try:
+            if isinstance(payload, TenantSnapshot):
+                tenant = payload.spec.tenant
+                runtime = TenantRuntime.from_state(payload)
+                self.runtimes[tenant] = runtime
+                self.events.put(("imported", self.shard, tenant))
+            else:
+                spec: TenantSpec = payload
+                self.runtimes[spec.tenant] = TenantRuntime(spec)
+        except Exception as error:
+            tenant = getattr(
+                payload, "tenant", getattr(payload, "spec", None)
+            )
+            name = getattr(tenant, "tenant", tenant)
+            self.events.put(("error", self.shard, name, repr(error)))
+
+    def _handle_remove(self, tenant: str) -> None:
+        runtime = self.runtimes.pop(tenant, None)
+        if runtime is not None:
+            runtime.close()
+        with self._cv:
+            self._queues.pop(tenant, None)
+
+    def _handle_export(self, tenant: str) -> None:
+        runtime = self.runtimes.pop(tenant, None)
+        if runtime is None:
+            self.events.put(
+                ("error", self.shard, tenant, "export of unknown tenant")
+            )
+            return
+        try:
+            snapshot = runtime.export_state()
+        except Exception as error:
+            self.runtimes[tenant] = runtime  # keep serving in place
+            self.events.put(("error", self.shard, tenant, repr(error)))
+            return
+        self._parked[tenant] = runtime
+        with self._cv:
+            self._queues.pop(tenant, None)
+        self.events.put(("exported", self.shard, tenant, snapshot))
+
+    def _handle_release(self, tenant: str) -> None:
+        runtime = self._parked.pop(tenant, None)
+        if runtime is not None:
+            runtime.release()
+
+    def _handle_drain(self) -> None:
+        for tenant, runtime in self.runtimes.items():
+            for trigger in runtime.flush_pending():
+                # Drain-time triggers bypass the budget, mirroring the
+                # pipeline's blocking put on close().
+                self._enqueue(tenant, trigger, budgeted=False)
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        stats = self._stats()
+        for runtime in self.runtimes.values():
+            runtime.close()
+        for runtime in self._parked.values():
+            runtime.release()
+        self.runtimes.clear()
+        self._parked.clear()
+        self.events.put(("drained", self.shard, stats))
+
+    # ------------------------------------------------------------------
+    # Fair dispatch
+    # ------------------------------------------------------------------
+    def _enqueue(
+        self, tenant: str, trigger: FleetTrigger, *, budgeted: bool = True
+    ) -> None:
+        with self._cv:
+            pending = self._queues.get(tenant)
+            if pending is None:
+                pending = self._queues[tenant] = deque()
+            if budgeted and len(pending) >= self.tenant_budget:
+                self.shed[tenant] = self.shed.get(tenant, 0) + 1
+                return
+            pending.append(trigger)
+            self._ensure_dispatcher()
+            self._cv.notify_all()
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"fchain-fleet-dispatch-{self.shard}",
+                daemon=True,
+            )
+            self._dispatcher.start()
+
+    def _next_trigger(self) -> Optional[Tuple[str, FleetTrigger]]:
+        """Round-robin: first tenant with work, rotated to the back."""
+        for tenant in list(self._queues):
+            pending = self._queues[tenant]
+            if pending:
+                trigger = pending.popleft()
+                self._queues.move_to_end(tenant)
+                return tenant, trigger
+        return None
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._cv:
+                item = self._next_trigger()
+                if item is None:
+                    if self._draining:
+                        return
+                    self._cv.wait(_DISPATCH_POLL_SECONDS)
+                    continue
+            tenant, trigger = item
+            runtime = self.runtimes.get(tenant)
+            if runtime is None:
+                continue  # removed while queued
+            try:
+                incident = runtime.diagnose(trigger)
+            except Exception as error:
+                self.events.put(("error", self.shard, tenant, repr(error)))
+                continue
+            self.diagnosed += 1
+            self.events.put(("incident", self.shard, tenant, incident))
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def _stats(self) -> Dict:
+        tenants: Dict[str, Dict] = {}
+        for tenant, runtime in self.runtimes.items():
+            tenants[tenant] = {
+                "ticks": runtime.ticks,
+                "triggered": runtime.triggered,
+                "incidents": runtime.incident_count,
+                "warm_sync_skipped": runtime.warm_sync_skipped,
+                "shed": self.shed.get(tenant, 0),
+                "tick_seconds": list(runtime.tick_seconds),
+            }
+        return {
+            "shard": self.shard,
+            "diagnosed": self.diagnosed,
+            "shed_total": sum(self.shed.values()),
+            "ingest_ignored": self.ingest_ignored,
+            "tenants": tenants,
+        }
+
+
+def shard_worker_main(
+    shard: int, commands, events, tenant_budget: int
+) -> None:
+    """Process-backend entry point (module-level for fork picklability)."""
+    ShardWorker(shard, events, tenant_budget=tenant_budget).serve(commands)
+
+
+__all__ = ["ShardWorker", "shard_worker_main"]

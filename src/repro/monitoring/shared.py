@@ -25,6 +25,7 @@ Writing to an attached store raises.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Optional, Tuple
@@ -33,7 +34,17 @@ import numpy as np
 
 from repro.common.types import ComponentId, Metric
 from repro.monitoring.quality import DataQualityPolicy, SeriesQuality
-from repro.monitoring.store import MetricStore, _Ring
+from repro.monitoring.store import (
+    DEFAULT_RETENTION,
+    KIND_MISSING,
+    KIND_OBSERVED,
+    MetricStore,
+    _KIND_NAMES,
+    _Ring,
+)
+
+#: Reverse of the gap-bitmap name table: kind name -> bitmap code.
+_KIND_CODES = {name: code for code, name in _KIND_NAMES.items()}
 
 #: One series of the flattened layout: (component, metric value, element
 #: offset into the segment, element count, first retained slot).
@@ -68,6 +79,15 @@ class SharedStoreHandle:
         return sum(count for _, _, _, count, _ in self.layout)
 
 
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one owned segment (idempotent via finalize)."""
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - double unlink
+        pass
+
+
 class SharedStoreExport:
     """Owner side of a shared-memory store snapshot.
 
@@ -75,7 +95,10 @@ class SharedStoreExport:
     float64 segment. The export owns the segment: call :meth:`close`
     (idempotent) when all workers are done with it — on POSIX, unlinking
     only removes the name, so workers that already attached keep reading
-    valid memory.
+    valid memory. A ``weakref.finalize`` guard unlinks the segment even
+    when ``close()`` is never reached (a worker dying mid-attach, an
+    exception between export and cleanup): dropping the last reference —
+    or interpreter shutdown — releases the ``/dev/shm`` entry.
     """
 
     def __init__(self, store: MetricStore) -> None:
@@ -99,6 +122,9 @@ class SharedStoreExport:
                 offset += len(series)
         nbytes = max(1, offset * np.dtype(np.float64).itemsize)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._shm
+        )
         flat = np.ndarray((offset,), dtype=np.float64, buffer=self._shm.buf)
         for (_, _, col_offset, count, _), values in zip(layout, views):
             flat[col_offset : col_offset + count] = values
@@ -125,11 +151,9 @@ class SharedStoreExport:
         """Release and unlink the segment (safe to call repeatedly)."""
         if self._shm is None:
             return
-        self._shm.close()
-        try:
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - double unlink
-            pass
+        # The finalizer runs at most once, so an earlier GC-triggered
+        # release makes this a no-op rather than a double unlink.
+        self._finalizer()
         self._shm = None
 
     def __enter__(self) -> "SharedStoreExport":
@@ -171,3 +195,73 @@ def attach_store(handle: SharedStoreHandle) -> MetricStore:
     store._revision = handle.revision
     store._shm = shm  # keep the mapping alive as long as the store
     return store
+
+
+def materialize_store(
+    handle: SharedStoreHandle,
+    *,
+    retention: int = DEFAULT_RETENTION,
+    spill=None,
+) -> MetricStore:
+    """Rebuild a *writable* ``MetricStore`` from an exported snapshot.
+
+    Where :func:`attach_store` hands out a read-only zero-copy view for
+    the lifetime of one diagnosis, this copies the snapshot out of the
+    segment into fresh mirrored rings so ingest can continue — the fleet
+    layer uses it to relocate a tenant's store to another shard worker.
+
+    The rebuilt store is indistinguishable from the original live store
+    for every read and every future ingest: retained values, per-slot
+    gap kinds, quality counters (including the learned ``skew_offset``),
+    ``length`` and ``revision`` all carry over. Slots evicted from the
+    original ring before export are re-padded as missing, so the ring
+    head lands on the same absolute slot and future eviction behaves
+    identically (pass the original store's ``retention``).
+    """
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        flat = np.ndarray(
+            (handle.total_elements,), dtype=np.float64, buffer=shm.buf
+        )
+        store = MetricStore(
+            start=handle.start,
+            policy=handle.policy,
+            retention=retention,
+            spill=spill,
+        )
+        for component, metric_value, offset, count, first_slot in (
+            handle.layout
+        ):
+            key = (component, Metric(metric_value))
+            ring = store._ring(key)
+            if first_slot > 0:
+                # Evicted history: values are gone, but the head must
+                # land on the same absolute slot as the source ring.
+                ring.append_run(
+                    np.full(first_slot, np.nan), KIND_MISSING, None, key
+                )
+            ring.append_run(
+                np.array(flat[offset : offset + count]),
+                KIND_OBSERVED,
+                None,
+                key,
+            )
+        for component, metric_value, qual in handle.quality:
+            key = (component, Metric(metric_value))
+            snap = qual.snapshot()
+            gap_slots = snap.gap_slots
+            # Live stores keep gap state in the ring bitmap, not in the
+            # quality record — restore the bitmap and clear the map.
+            snap.gap_slots = {}
+            store._quality[key] = snap
+            ring = store._series.get(key)
+            if ring is None:
+                continue
+            for slot, name in gap_slots.items():
+                if ring.first <= slot < ring.head:
+                    ring.set_kind(slot, _KIND_CODES[name])
+        store._length = handle.length
+        store._revision = handle.revision
+        return store
+    finally:
+        shm.close()

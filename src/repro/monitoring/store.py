@@ -32,14 +32,13 @@ and a watermark in one call) or the legacy per-sample
 ``(component, metric, time, value)`` form. Batches ingested into a
 store constructed without a policy run under the
 :data:`~repro.monitoring.quality.STRICT_POLICY` preset — the historical
-strict ``record``/``advance`` path is now just that preset, and the old
-methods survive only as thin deprecated wrappers.
+strict ``record``/``advance`` path is now just that preset (the
+deprecated wrapper methods were removed after one release).
 """
 
 from __future__ import annotations
 
 import math
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -401,62 +400,6 @@ class MetricStore:
     def revision(self) -> int:
         """Bumped whenever a past slot is rewritten (backfill/overwrite)."""
         return self._revision
-
-    # ------------------------------------------------------------------
-    # Deprecated write wrappers (one release)
-    # ------------------------------------------------------------------
-    def record(
-        self, component: ComponentId, values: Mapping[Metric, float]
-    ) -> None:
-        """Deprecated: append one tick of samples at each series' head."""
-        warnings.warn(
-            "MetricStore.record() is deprecated; write through "
-            "MetricStore.ingest(IngestBatch(...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        for metric, value in values.items():
-            key = (component, metric)
-            self._ring(key).append_one(
-                float(value), KIND_OBSERVED, self.spill, key
-            )
-
-    def advance(self) -> None:
-        """Deprecated: mark the end of a tick (all components recorded).
-
-        Raises :class:`~repro.common.errors.DataQualityError` naming the
-        offending series when a component skipped the tick — previously
-        such misalignment surfaced only at read time.
-        """
-        warnings.warn(
-            "MetricStore.advance() is deprecated; pass a watermark to "
-            "MetricStore.ingest(IngestBatch(...)) or call advance_to()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        new_length = self._length + 1
-        for (component, metric), ring in self._series.items():
-            if ring.head < new_length:
-                raise DataQualityError(
-                    f"misaligned tick: {component}/{metric} holds "
-                    f"{ring.head} sample(s) at advance() to tick "
-                    f"{self.start + new_length} — every monitored "
-                    f"component must record once per tick"
-                )
-        self._length = new_length
-
-    def record_at(
-        self, component: ComponentId, values: Mapping[Metric, float], time: int
-    ) -> None:
-        """Deprecated: ingest one component's tick at a timestamp."""
-        warnings.warn(
-            "MetricStore.record_at() is deprecated; write through "
-            "MetricStore.ingest(IngestBatch(...)) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        for metric, value in values.items():
-            self.ingest(component, metric, time, value)
 
     # ------------------------------------------------------------------
     # Ingest machinery

@@ -16,6 +16,7 @@ Telemetry is governed by ``FChainConfig.telemetry``:
 
 from repro.obs.registry import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     default_registry,
@@ -42,6 +43,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "default_registry",

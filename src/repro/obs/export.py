@@ -54,7 +54,7 @@ def render_prometheus(registry) -> str:
         if metric.help:
             lines.append(f"# HELP {metric.name} {metric.help}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
-        if metric.kind == "counter":
+        if metric.kind in ("counter", "gauge"):
             for key, value in metric.samples():
                 labels = _render_labels(metric.label_names, key)
                 lines.append(f"{metric.name}{labels} {_format_value(value)}")
@@ -85,7 +85,7 @@ def registry_to_json(registry) -> Dict:
             "help": metric.help,
             "label_names": list(metric.label_names),
         }
-        if metric.kind == "counter":
+        if metric.kind in ("counter", "gauge"):
             entry["samples"] = [
                 {"labels": dict(zip(metric.label_names, key)), "value": value}
                 for key, value in metric.samples()

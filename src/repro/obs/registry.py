@@ -91,6 +91,39 @@ class Counter(_Metric):
         yield from self._values.items()
 
 
+class Gauge(_Metric):
+    """A value that can go up and down per label set.
+
+    Used for instantaneous fleet state — registered tenants, per-shard
+    queue depth — where a counter's monotonicity would be wrong.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()):
+        super().__init__(name, help, label_names)
+        self._values: Dict[LabelKey, float] = OrderedDict()
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, n: float = 1.0, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + n
+
+    def dec(self, n: float = 1.0, **labels) -> None:
+        self.inc(-n, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterator[Tuple[LabelKey, float]]:
+        yield from self._values.items()
+
+
 class Histogram(_Metric):
     """Cumulative-bucket histogram per label set (Prometheus semantics)."""
 
@@ -164,6 +197,11 @@ class MetricsRegistry:
         self, name: str, help: str = "", label_names: Sequence[str] = ()
     ) -> Counter:
         return self._get_or_create(Counter, name, help, label_names)
+
+    def gauge(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names)
 
     def histogram(
         self,
@@ -268,6 +306,7 @@ def aggregate_trace(trace, registry: MetricsRegistry) -> None:
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "aggregate_trace",

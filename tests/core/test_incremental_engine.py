@@ -21,7 +21,26 @@ from repro.core.fchain import FChain, FChainMaster, FChainSlave
 from repro.core.prediction import prediction_errors
 from repro.core.selection import select_abnormal_changes
 from repro.faults.library import InfiniteLoopFault
-from repro.monitoring.store import MetricStore
+from repro.monitoring.store import IngestBatch, IngestRun, MetricStore
+
+
+def _append_ticks(store, component, values, start=0):
+    """Strict per-tick ingest of one component's CPU series."""
+    for i, value in enumerate(values):
+        t = start + i
+        store.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(
+                        component,
+                        Metric.CPU_USAGE,
+                        t,
+                        np.asarray([float(value)]),
+                    )
+                ],
+                watermark=t + 1,
+            )
+        )
 
 
 @pytest.fixture(scope="module")
@@ -237,13 +256,25 @@ class TestIncrementalState:
 
     def test_partial_component_skipped(self):
         store = MetricStore()
-        for _ in range(150):
-            store.record("full", {Metric.CPU_USAGE: 30.0})
-            store.advance()
-        # "late" starts reporting only for the last few ticks — not enough
-        # history for any analysis.
-        for _ in range(4):
-            store.record("late", {Metric.CPU_USAGE: 10.0})
+        store.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(
+                        "full", Metric.CPU_USAGE, 0, np.full(150, 30.0)
+                    )
+                ],
+                watermark=150,
+            )
+        )
+        # "late" holds only a few samples — not enough history for any
+        # analysis.
+        store.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun("late", Metric.CPU_USAGE, 0, np.full(4, 10.0))
+                ]
+            )
+        )
         result = FChainMaster(FChainConfig()).diagnose(store, 140)
         assert result.skipped == frozenset({"late"})
         assert "skipped" in result.summary()
@@ -265,14 +296,10 @@ class TestStoreViews:
 
     def test_views_stay_valid_across_appends(self):
         store = MetricStore()
-        for t in range(300):
-            store.record("c", {Metric.CPU_USAGE: float(t)})
-            store.advance()
+        _append_ticks(store, "c", range(300))
         early = store.series("c", Metric.CPU_USAGE)
         snapshot = early.values.copy()
-        for t in range(300, 900):
-            store.record("c", {Metric.CPU_USAGE: float(t)})
-            store.advance()
+        _append_ticks(store, "c", range(300, 900), start=300)
         np.testing.assert_array_equal(early.values, snapshot)
         grown = store.series("c", Metric.CPU_USAGE)
         assert len(grown) == 900

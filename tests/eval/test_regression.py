@@ -188,6 +188,7 @@ class TestCliGate:
             "bench", "--quick", "--json",
             "--samples", "600", "--components", "2", "--metrics", "1",
             "--repeats", "1",
+            "--fleet-tenants", "20", "--fleet-shards", "2",
         ]
         # First run produces the payloads that become the baselines.
         assert main(run) == 0
@@ -198,6 +199,7 @@ class TestCliGate:
             "BENCH_ingest.json",
             "BENCH_incremental_engine.json",
             "BENCH_service_loop.json",
+            "BENCH_fleet.json",
         ):
             (baseline_dir / name).write_text((tmp_path / name).read_text())
 
@@ -236,6 +238,7 @@ class TestCliGate:
             "bench", "--quick", "--json",
             "--samples", "600", "--components", "2", "--metrics", "1",
             "--repeats", "1", "--check", str(empty),
+            "--fleet-tenants", "20", "--fleet-shards", "2",
         ])
         assert code == 1
         assert "no committed baseline" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Consistent-hash ring properties.
+
+The rebalance cost model of the fleet depends on two exact invariants —
+adding a shard only pulls keys *onto* the new shard, removing one only
+displaces keys that *lived* on it — plus the statistical ~1/N movement
+bound that makes resharding affordable at fleet scale.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.fleet.ring import HashRing
+
+tenant_ids = st.lists(
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+        max_size=24,
+    ),
+    min_size=1,
+    max_size=300,
+    unique=True,
+)
+
+
+class TestExactInvariants:
+    @given(keys=tenant_ids, shards=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_a_shard_only_moves_keys_onto_it(self, keys, shards):
+        ring = HashRing(range(shards))
+        before = ring.assignments(keys)
+        ring.add_shard(shards)
+        after = ring.assignments(keys)
+        for key in keys:
+            assert after[key] == before[key] or after[key] == shards, (
+                f"{key!r} moved between two pre-existing shards "
+                f"({before[key]} -> {after[key]}) when shard {shards} "
+                "was added"
+            )
+
+    @given(keys=tenant_ids, shards=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_removing_a_shard_only_moves_its_own_keys(self, keys, shards):
+        ring = HashRing(range(shards))
+        before = ring.assignments(keys)
+        ring.remove_shard(0)
+        after = ring.assignments(keys)
+        for key in keys:
+            if before[key] != 0:
+                assert after[key] == before[key], (
+                    f"{key!r} was displaced from surviving shard "
+                    f"{before[key]} by the removal of shard 0"
+                )
+            else:
+                assert after[key] != 0
+
+    @given(keys=tenant_ids)
+    @settings(max_examples=25, deadline=None)
+    def test_assignments_are_deterministic_across_instances(self, keys):
+        first = HashRing(range(4)).assignments(keys)
+        second = HashRing(range(4)).assignments(keys)
+        assert first == second
+
+
+class TestMovementBound:
+    def test_growing_the_pool_moves_about_one_over_n(self):
+        keys = [f"tenant-{i:04d}" for i in range(2000)]
+        for shards in (2, 4, 8):
+            ring = HashRing(range(shards))
+            before = ring.assignments(keys)
+            ring.add_shard(shards)
+            after = ring.assignments(keys)
+            moved = sum(1 for k in keys if before[k] != after[k])
+            expected = len(keys) / (shards + 1)
+            # Generous slack: vnode placement is pseudo-random, so the
+            # realized fraction jitters around 1/(N+1).
+            assert moved <= 2.0 * expected, (
+                f"{moved} of {len(keys)} keys moved growing "
+                f"{shards}->{shards + 1} shards (expected ~{expected:.0f})"
+            )
+            assert moved > 0
+
+    def test_distribution_is_roughly_balanced(self):
+        keys = [f"tenant-{i:04d}" for i in range(2000)]
+        ring = HashRing(range(4))
+        counts = {shard: 0 for shard in range(4)}
+        for shard in ring.assignments(keys).values():
+            counts[shard] += 1
+        fair = len(keys) / 4
+        for shard, count in counts.items():
+            assert 0.5 * fair <= count <= 1.5 * fair, (
+                f"shard {shard} owns {count} of {len(keys)} keys "
+                f"(fair share {fair:.0f})"
+            )
+
+
+class TestRingEdges:
+    def test_empty_ring_refuses_lookup(self):
+        ring = HashRing(range(1))
+        ring.remove_shard(0)
+        with pytest.raises(ConfigurationError, match="no shards"):
+            ring.shard_for("tenant")
+
+    def test_duplicate_shard_rejected(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ConfigurationError, match="already"):
+            ring.add_shard(1)
+
+    def test_unknown_shard_removal_rejected(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ConfigurationError, match="not on the ring"):
+            ring.remove_shard(7)
+
+    def test_shards_property_lists_members(self):
+        ring = HashRing([3, 1, 2])
+        assert ring.shards == [1, 2, 3]

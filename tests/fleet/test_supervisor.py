@@ -1,0 +1,263 @@
+"""Fleet supervisor behaviour: routing, isolation, observability, drain.
+
+Small fleets (a handful of tenants, short synthetic runs) exercise the
+full supervisor → shard worker → tenant runtime path on both backends;
+the budget/fairness mechanics are unit-tested directly on
+:class:`ShardWorker` so the assertions are deterministic.
+"""
+
+import time
+
+import pytest
+
+from repro.common.errors import ConfigurationError, ReproError
+from repro.fleet import (
+    FleetConfig,
+    FleetSupervisor,
+    ShardWorker,
+    TenantSpec,
+    manifest_from_dict,
+    run_manifest,
+)
+from repro.fleet.tenant import FleetTrigger
+from repro.monitoring.slo import LatencySLO
+from repro.obs.registry import MetricsRegistry
+from repro.service.sources import TickBatch
+
+
+def _manifest(count=6, shards=2, fault_tenant=None, **overrides):
+    document = {
+        "shards": shards,
+        "generate": {"count": count, "prefix": "t"},
+        "defaults": {
+            "components": 4,
+            "look_back_window": 30,
+            "analysis_grace": 4,
+            "slo_sustain": 3,
+        },
+    }
+    if fault_tenant is not None:
+        document["faults"] = [
+            {"tenant": fault_tenant, "at": 40, "component": 1}
+        ]
+    document.update(overrides)
+    return manifest_from_dict(document)
+
+
+class TestConfigValidation:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            FleetConfig(backend="fibers").validate()
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ConfigurationError, match="shards"):
+            FleetConfig(shards=0).validate()
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            FleetConfig(queue_depth=0).validate()
+        with pytest.raises(ConfigurationError, match="tenant_budget"):
+            FleetConfig(tenant_budget=0).validate()
+
+
+class TestRoutingAndLifecycle:
+    def test_placement_covers_every_tenant(self):
+        manifest = _manifest(count=12, shards=3)
+        supervisor = FleetSupervisor(manifest.fleet_config())
+        try:
+            for spec in manifest.tenant_specs():
+                supervisor.add_tenant(spec)
+            placement = supervisor.shard_map()
+            placed = sorted(t for ts in placement.values() for t in ts)
+            assert placed == sorted(manifest.tenants)
+            assert set(placement) == {0, 1, 2}
+        finally:
+            supervisor.close()
+
+    def test_unknown_tenant_ingest_raises(self):
+        supervisor = FleetSupervisor(FleetConfig(shards=1))
+        try:
+            with pytest.raises(ConfigurationError, match="not registered"):
+                supervisor.ingest("ghost", None)
+        finally:
+            supervisor.close()
+
+    def test_duplicate_tenant_rejected(self):
+        supervisor = FleetSupervisor(FleetConfig(shards=1))
+        try:
+            spec = TenantSpec(tenant="a", detector=LatencySLO(0.1))
+            supervisor.add_tenant(spec)
+            with pytest.raises(ConfigurationError, match="already"):
+                supervisor.add_tenant(spec)
+        finally:
+            supervisor.close()
+
+    def test_closed_fleet_refuses_work(self):
+        supervisor = FleetSupervisor(FleetConfig(shards=1))
+        supervisor.close()
+        with pytest.raises(ReproError, match="closed"):
+            supervisor.ingest("a", None)
+        with pytest.raises(ReproError, match="closed"):
+            supervisor.add_tenant(
+                TenantSpec(tenant="a", detector=LatencySLO(0.1))
+            )
+
+    def test_close_is_idempotent(self):
+        supervisor = FleetSupervisor(FleetConfig(shards=1))
+        supervisor.close()
+        supervisor.close()
+
+
+class TestEndToEnd:
+    def test_one_fault_one_incident_no_cross_tenant(self):
+        manifest = _manifest(count=6, fault_tenant="t-0002")
+        result = run_manifest(manifest, 60)
+        supervisor = result.supervisor
+        assert not supervisor.failures
+        assert result.dropped == 0
+        assert list(supervisor.incidents) == ["t-0002"]
+        assert len(supervisor.incidents["t-0002"]) == 1
+        incident = supervisor.incidents["t-0002"][0]
+        assert incident.violation_tick == 42  # fault 40 + sustain 3
+        stats = supervisor.tenant_stats
+        assert set(stats) == set(manifest.tenants)
+        assert all(entry["ticks"] == 60 for entry in stats.values())
+
+    def test_quiescent_fleet_raises_nothing(self):
+        manifest = _manifest(count=4)
+        result = run_manifest(manifest, 30)
+        assert result.supervisor.incidents == {}
+        assert not result.supervisor.failures
+
+    def test_process_backend_agrees_with_thread(self):
+        from repro.core.engine import fork_available
+
+        if not fork_available():
+            pytest.skip("fork start method unavailable")
+        verdicts = {}
+        for backend in ("thread", "process"):
+            manifest = _manifest(
+                count=4, fault_tenant="t-0001", backend=backend
+            )
+            result = run_manifest(manifest, 60)
+            assert not result.supervisor.failures
+            incidents = result.supervisor.incidents
+            assert list(incidents) == ["t-0001"]
+            incident = incidents["t-0001"][0]
+            verdicts[backend] = (
+                incident.violation_tick,
+                incident.diagnosis.faulty,
+                incident.diagnosis.external_factor,
+            )
+        assert verdicts["thread"] == verdicts["process"]
+
+    def test_incident_sinks_fire(self):
+        seen = []
+        manifest = _manifest(count=4, fault_tenant="t-0001")
+        run_manifest(
+            manifest, 60, sinks=[lambda tenant, i: seen.append(tenant)]
+        )
+        assert seen == ["t-0001"]
+
+
+class _SlowSamples(list):
+    """A sample list whose iteration wedges the consuming serve loop."""
+
+    def __iter__(self):
+        time.sleep(0.4)
+        return super().__iter__()
+
+
+class TestBackpressure:
+    def test_full_shard_queue_sheds_with_counted_drop(self):
+        config = FleetConfig(shards=1, queue_depth=1, route_timeout=0.0)
+        registry = MetricsRegistry()
+        supervisor = FleetSupervisor(config, registry=registry)
+        try:
+            spec = TenantSpec(tenant="a", detector=LatencySLO(0.1))
+            supervisor.add_tenant(spec)
+            deadline = time.monotonic() + 5.0
+            while supervisor._shards[0].depth() > 0:
+                assert time.monotonic() < deadline, "add never consumed"
+                time.sleep(0.01)
+            # Wedge the single shard: the first batch's sample list
+            # sleeps inside the worker's ingest, the second parks on
+            # the depth-1 queue, so the third must be shed.
+            assert supervisor.ingest(
+                "a", TickBatch(time=0, samples=_SlowSamples())
+            )
+            time.sleep(0.05)  # let the worker take the slow batch
+            assert supervisor.ingest("a", TickBatch(time=1))
+            shed = supervisor.ingest("a", TickBatch(time=2))
+            assert shed is False
+            assert supervisor.ingest_dropped[0] == 1
+            counter = registry.counter(
+                "fchain_fleet_ingest_dropped_total", label_names=("shard",)
+            )
+            assert counter.value(shard="0") == 1.0
+        finally:
+            supervisor.close()
+
+
+class TestObservability:
+    def test_fleet_metrics_exported(self):
+        registry = MetricsRegistry()
+        manifest = _manifest(count=4, fault_tenant="t-0001")
+        supervisor = FleetSupervisor(
+            manifest.fleet_config(), registry=registry
+        )
+        run_manifest(manifest, 60, supervisor=supervisor)
+        supervisor.close()
+        gauge = registry.gauge("fchain_fleet_tenants")
+        assert gauge.value() == 4.0
+        incidents = registry.counter(
+            "fchain_fleet_incidents_total", label_names=("tenant",)
+        )
+        assert incidents.value(tenant="t-0001") == 1.0
+        text = registry.render_prometheus()
+        assert "fchain_fleet_tenants 4" in text
+        assert 'fchain_fleet_incidents_total{tenant="t-0001"} 1' in text
+        assert "fchain_fleet_shard_queue_depth" in text
+
+
+class _Events:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+
+class TestShardWorkerFairness:
+    def _worker(self, budget=4):
+        worker = ShardWorker(0, _Events(), tenant_budget=budget)
+        # Unit-test the queueing mechanics without a live dispatcher.
+        worker._ensure_dispatcher = lambda: None
+        return worker
+
+    def test_budget_sheds_excess_triggers(self):
+        worker = self._worker(budget=2)
+        for i in range(5):
+            worker._enqueue("noisy", FleetTrigger(i, 0.0))
+        assert len(worker._queues["noisy"]) == 2
+        assert worker.shed["noisy"] == 3
+
+    def test_drain_triggers_bypass_budget(self):
+        worker = self._worker(budget=1)
+        worker._enqueue("t", FleetTrigger(0, 0.0))
+        worker._enqueue("t", FleetTrigger(1, 0.0), budgeted=False)
+        assert len(worker._queues["t"]) == 2
+
+    def test_dispatch_is_round_robin_across_tenants(self):
+        worker = self._worker()
+        for tick in range(3):
+            worker._enqueue("a", FleetTrigger(tick, 0.0))
+        worker._enqueue("b", FleetTrigger(0, 0.0))
+        worker._enqueue("c", FleetTrigger(0, 0.0))
+        order = []
+        while True:
+            item = worker._next_trigger()
+            if item is None:
+                break
+            order.append(item[0])
+        # One trigger per visit: a's backlog cannot monopolize the
+        # dispatcher while b and c wait.
+        assert order == ["a", "b", "c", "a", "a"]

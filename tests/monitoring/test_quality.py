@@ -25,7 +25,7 @@ from repro.monitoring.quality import (
     DataQualityReport,
     SeriesQuality,
 )
-from repro.monitoring.store import MetricStore
+from repro.monitoring.store import IngestBatch, IngestRun, MetricStore
 
 CPU = Metric.CPU_USAGE
 
@@ -63,13 +63,17 @@ class TestIngest:
         with pytest.raises(DataQualityError, match="policy"):
             store.ingest("web", CPU, 0, 1.0)
 
-    def test_contiguous_samples_match_record_path(self):
+    def test_contiguous_samples_match_strict_path(self):
         tolerant = MetricStore(policy=DataQualityPolicy())
         strict = MetricStore()
         for t in range(20):
             tolerant.ingest("web", CPU, t, float(t))
-            strict.record("web", {CPU: float(t)})
-            strict.advance()
+            strict.ingest(
+                IngestBatch(
+                    runs=[IngestRun("web", CPU, t, np.asarray([float(t)]))],
+                    watermark=t + 1,
+                )
+            )
         tolerant.advance_to(20)
         np.testing.assert_array_equal(
             tolerant.series("web", CPU).values,

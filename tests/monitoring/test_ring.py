@@ -2,12 +2,9 @@
 
 Covers the behavior the dict-backed store never had to define: bounded
 retention with overwrite, reads across the physical wrap seam, backfill
-into evicted history, misaligned ticks, the strict ingest preset, the
-deprecated wrapper surface, segment spill, and shared-memory export of
-a wrapped store.
+into evicted history, misaligned ticks, the strict ingest preset,
+segment spill, and shared-memory export of a wrapped store.
 """
-
-import warnings
 
 import numpy as np
 import pytest
@@ -117,25 +114,37 @@ class TestEvictedBackfill:
 
 
 class TestMisalignedTicks:
-    def test_advance_names_the_offending_component(self):
+    def test_skipped_tick_raises_on_next_ingest(self):
         store = MetricStore()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            store.record("a", {CPU: 1.0})
-            store.record("b", {CPU: 1.0})
-            store.advance()
-            store.record("a", {CPU: 2.0})
-            with pytest.raises(DataQualityError, match="misaligned tick: b/"):
-                store.advance()
+        store.ingest(
+            IngestBatch(
+                samples=[
+                    MetricSample("a", CPU, 0, 1.0),
+                    MetricSample("b", CPU, 0, 1.0),
+                ],
+                watermark=1,
+            )
+        )
+        # "b" skips tick 1; its next sample at t=2 leaves a hole the
+        # strict preset refuses to paper over.
+        store.ingest(IngestBatch(samples=[MetricSample("a", CPU, 1, 2.0)]))
+        with pytest.raises(DataQualityError, match="gap of 1 tick"):
+            store.ingest(
+                IngestBatch(samples=[MetricSample("b", CPU, 2, 2.0)])
+            )
 
     def test_aligned_ticks_advance_cleanly(self):
         store = MetricStore()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            for t in range(3):
-                store.record("a", {CPU: float(t)})
-                store.record("b", {CPU: float(t)})
-                store.advance()
+        for t in range(3):
+            store.ingest(
+                IngestBatch(
+                    samples=[
+                        MetricSample("a", CPU, t, float(t)),
+                        MetricSample("b", CPU, t, float(t)),
+                    ],
+                    watermark=t + 1,
+                )
+            )
         assert store.length == 3
 
 
@@ -199,21 +208,14 @@ class TestUnifiedIngest:
             store.ingest(IngestBatch(), CPU, 0, 1.0)
 
 
-class TestDeprecatedWrappers:
-    def test_record_and_advance_warn(self):
+class TestDeprecationCycleFinished:
+    def test_wrapper_methods_are_gone(self):
         store = MetricStore()
-        with pytest.warns(DeprecationWarning, match="record"):
-            store.record("c", {CPU: 1.0})
-        with pytest.warns(DeprecationWarning, match="advance"):
-            store.advance()
-        assert store.length == 1
-
-    def test_record_at_warns(self):
-        store = MetricStore(policy=DataQualityPolicy())
-        with pytest.warns(DeprecationWarning, match="record_at"):
-            store.record_at("c", {CPU: 1.0}, 0)
-        store.advance_to(1)
-        assert store.series("c", CPU).values[0] == 1.0
+        for name in ("record", "advance", "record_at"):
+            assert not hasattr(store, name), (
+                f"MetricStore.{name}() was scheduled for removal after "
+                "one deprecation release — write through ingest()"
+            )
 
 
 class TestSegmentSpill:
@@ -255,6 +257,6 @@ class TestSharedWrappedStore:
         with SharedStoreExport(store) as export:
             attached = attach_store(export.handle)
             with pytest.raises(RuntimeError, match="read-only"):
-                with warnings.catch_warnings():
-                    warnings.simplefilter("ignore", DeprecationWarning)
-                    attached.record("c", {CPU: 1.0})
+                attached.ingest(
+                    _run_batch("c", 12, [1.0], watermark=13)
+                )

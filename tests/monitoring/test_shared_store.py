@@ -4,8 +4,13 @@ import numpy as np
 import pytest
 
 from repro.common.types import Metric
-from repro.monitoring.shared import SharedStoreExport, attach_store
-from repro.monitoring.store import MetricStore
+from repro.monitoring.quality import DataQualityPolicy
+from repro.monitoring.shared import (
+    SharedStoreExport,
+    attach_store,
+    materialize_store,
+)
+from repro.monitoring.store import IngestBatch, IngestRun, MetricStore
 
 
 def _example_store():
@@ -85,3 +90,89 @@ class TestLifecycle:
             view = attach_store(export.handle)
             assert view.components == []
             assert view.length == 0
+
+
+class TestMaterialize:
+    """``materialize_store`` rebuilds a *writable* store from a segment.
+
+    Unlike ``attach_store`` (a read-only zero-copy view), the
+    materialized store owns fresh ring buffers — it is what a shard
+    worker continues ingesting into after a tenant relocation.
+    """
+
+    def test_materialized_store_reads_and_keeps_writing(self):
+        store = _example_store()
+        with SharedStoreExport(store) as export:
+            rebuilt = materialize_store(export.handle)
+        assert rebuilt.components == store.components
+        assert rebuilt.start == store.start
+        assert rebuilt.length == store.length
+        assert rebuilt.revision == store.revision
+        for component in store.components:
+            for metric in store.metrics_for(component):
+                left = store.series(component, metric)
+                right = rebuilt.series(component, metric)
+                assert left.start == right.start
+                np.testing.assert_array_equal(left.values, right.values)
+        # The segment is gone (context manager exit) — the rebuilt
+        # store must live on independently and accept new ticks.
+        end = rebuilt.end
+        rebuilt.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(
+                        component, metric, end, np.asarray([1.0])
+                    )
+                    for component in rebuilt.components
+                    for metric in rebuilt.metrics_for(component)
+                ],
+                watermark=end + 1,
+            )
+        )
+        assert rebuilt.end == end + 1
+
+    def test_wrapped_store_materializes_identically(self):
+        store = MetricStore(retention=8)
+        store.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(
+                        "c", Metric.CPU_USAGE, 0, np.arange(13.0)
+                    )
+                ],
+                watermark=13,
+            )
+        )
+        with SharedStoreExport(store) as export:
+            rebuilt = materialize_store(export.handle, retention=8)
+        left = store.series("c", Metric.CPU_USAGE)
+        right = rebuilt.series("c", Metric.CPU_USAGE)
+        assert right.start == left.start == 5
+        np.testing.assert_array_equal(left.values, right.values)
+        assert rebuilt.retained_start("c", Metric.CPU_USAGE) == 5
+        # Eviction keeps behaving: one more run pushes the window.
+        rebuilt.ingest(
+            IngestBatch(
+                runs=[
+                    IngestRun(
+                        "c", Metric.CPU_USAGE, 13, np.asarray([13.0])
+                    )
+                ],
+                watermark=14,
+            )
+        )
+        assert rebuilt.series("c", Metric.CPU_USAGE).start == 6
+
+    def test_gap_bitmap_survives_materialization(self):
+        policy = DataQualityPolicy(fill="forward")
+        store = MetricStore(policy=policy)
+        store.ingest("c", Metric.CPU_USAGE, 0, 1.0)
+        store.ingest("c", Metric.CPU_USAGE, 3, 4.0)  # gap at 1, 2
+        store.advance_to(4)
+        before = store.series_quality("c", Metric.CPU_USAGE)
+        with SharedStoreExport(store) as export:
+            rebuilt = materialize_store(export.handle)
+        after = rebuilt.series_quality("c", Metric.CPU_USAGE)
+        assert after.gap_slots == before.gap_slots
+        assert after.filled_forward == before.filled_forward
+        assert after.observed == before.observed

@@ -14,6 +14,7 @@ from repro.common.errors import ConfigurationError
 from repro.obs.export import parse_prometheus_text, render_prometheus
 from repro.obs.registry import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     aggregate_trace,
@@ -40,6 +41,36 @@ class TestCounter:
             counter.inc(1, wrong="a")
         with pytest.raises(ConfigurationError):
             counter.inc(1)
+
+
+class TestGauge:
+    def test_set_overwrites_and_inc_dec_accumulate(self):
+        gauge = Gauge("fleet_tenants", "", ("shard",))
+        gauge.set(5, shard="0")
+        gauge.set(2, shard="0")
+        assert gauge.value(shard="0") == 2.0
+        gauge.inc(shard="0")
+        gauge.dec(3, shard="0")
+        assert gauge.value(shard="0") == 0.0
+        assert gauge.value(shard="never") == 0.0
+
+    def test_gauges_may_go_negative(self):
+        gauge = Gauge("delta", "")
+        gauge.dec(2.5)
+        assert gauge.value() == -2.5
+
+    def test_renders_as_gauge_type(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", "queue depth", ("shard",)).set(7, shard="1")
+        parsed = parse_prometheus_text(render_prometheus(registry))
+        assert parsed.types["depth"] == "gauge"
+        assert parsed.value("depth", shard="1") == 7
+
+    def test_registry_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.gauge("x", "")
+        with pytest.raises(ConfigurationError):
+            registry.counter("x", "")
 
 
 class TestHistogram:
