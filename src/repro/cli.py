@@ -154,6 +154,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.eval.bench import (
         run_benchmark,
         run_fleet_benchmark,
+        run_http_ingest_benchmark,
         run_ingest_benchmark,
         run_service_loop_benchmark,
         write_benchmark_json,
@@ -216,6 +217,22 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     print()
     print(
+        f"Benchmarking HTTP edge ingest: {samples} ticks x "
+        f"{args.components} components x {args.metrics} metrics over "
+        f"loopback"
+    )
+    http_ingest = run_http_ingest_benchmark(
+        samples=samples,
+        components=args.components,
+        metrics=args.metrics,
+        seed=args.seed,
+        config=config,
+    )
+    print()
+    print(http_ingest.summary())
+
+    print()
+    print(
         f"Benchmarking fleet layer: {args.fleet_tenants} tenants x "
         f"{args.components} components x 1 metric on "
         f"{args.fleet_shards} shards"
@@ -236,10 +253,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_benchmark_json("BENCH_ingest.json", ingest)
         write_benchmark_json("BENCH_incremental_engine.json", report)
         write_benchmark_json("BENCH_service_loop.json", service)
+        write_benchmark_json("BENCH_http_ingest.json", http_ingest)
         write_benchmark_json("BENCH_fleet.json", fleet)
         print(
             "\nwrote BENCH_ingest.json, BENCH_incremental_engine.json, "
-            "BENCH_service_loop.json and BENCH_fleet.json"
+            "BENCH_service_loop.json, BENCH_http_ingest.json and "
+            "BENCH_fleet.json"
         )
 
     if args.emit_metrics:
@@ -260,6 +279,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "BENCH_ingest.json": ingest.to_json(),
             "BENCH_incremental_engine.json": report.to_json(),
             "BENCH_service_loop.json": service.to_json(),
+            "BENCH_http_ingest.json": http_ingest.to_json(),
             "BENCH_fleet.json": fleet.to_json(),
         }
         print(f"\nregression gate vs baselines in {args.check}:")
@@ -520,6 +540,79 @@ def cmd_fleet(args: argparse.Namespace) -> int:
                 )
                 ok = False
     return 0 if ok else 1
+
+
+def cmd_edge(args: argparse.Namespace) -> int:
+    """Serve the HTTP edge: push ingest in, incidents and metrics out."""
+    from repro.edge import EdgeConfig, EdgeServer, open_incident_store
+    from repro.edge.webhook import WebhookSink
+    from repro.monitoring.slo import LatencySLO
+    from repro.service import JsonlSink
+
+    if args.store != "memory" and not args.store_path:
+        raise SystemExit(f"--store {args.store} needs --store-path")
+    store = open_incident_store(args.store, args.store_path)
+    config = EdgeConfig(
+        host=args.host,
+        port=args.port,
+        queue_depth=args.ingest_queue_depth,
+        telemetry=args.telemetry,
+        allow_shutdown=not args.no_shutdown_endpoint,
+    )
+    server = EdgeServer(config, incident_store=store)
+
+    sinks = []
+    if args.webhook:
+        sinks.append(
+            WebhookSink(
+                args.webhook, dead_letter_path=args.dead_letter
+            )
+        )
+    if args.incidents:
+        sinks.append(JsonlSink(args.incidents))
+
+    if args.manifest:
+        from repro.fleet import FleetSupervisor, load_manifest
+
+        manifest = load_manifest(args.manifest)
+        supervisor = FleetSupervisor(manifest.fleet_config())
+        for spec in manifest.tenant_specs():
+            supervisor.add_tenant(spec)
+        server.attach_fleet(supervisor, sinks=sinks)
+        print(
+            f"edge: fleet mode, {len(manifest.tenants)} tenants on "
+            f"{manifest.shards} shard(s)"
+        )
+    else:
+        detector = LatencySLO(args.threshold, sustain=args.sustain)
+        server.attach_pipeline(
+            detector,
+            fchain_config=_service_config(args),
+            seed=args.seed,
+            jobs=args.jobs,
+            sinks=sinks,
+        )
+
+    server.start()
+    print(
+        f"edge: listening on http://{config.host}:{server.port} "
+        f"(store={store.backend}, ingest queue depth "
+        f"{config.queue_depth})"
+    )
+    print("  POST /v1/ingest         push metrics (JSON or CSV)")
+    print("  GET  /v1/incidents      list diagnosed incidents")
+    print("  GET  /v1/metrics        Prometheus metrics")
+    try:
+        server.serve_forever()
+    finally:
+        server.stop()
+        incidents = store.count()
+        store.close()
+    print(
+        f"edge: stopped after {server.enqueued_batches} batches "
+        f"({server.shed_batches} shed), {incidents} incident(s)"
+    )
+    return 0
 
 
 def cmd_demo(_: argparse.Namespace) -> int:
@@ -809,6 +902,58 @@ def main(argv: List[str] = None) -> int:
         help="exit non-zero unless every incident pinpoints this component",
     )
     fleet.set_defaults(func=cmd_fleet)
+
+    edge = sub.add_parser(
+        "edge",
+        help="serve the HTTP edge: push ingest, incident queries, webhooks",
+    )
+    edge.add_argument("--host", default="127.0.0.1")
+    edge.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port (0 picks an ephemeral port, printed at startup)",
+    )
+    edge.add_argument(
+        "--store", choices=("memory", "jsonl", "sqlite"), default="memory",
+        help="durable incident store backend (default memory)",
+    )
+    edge.add_argument(
+        "--store-path", default=None,
+        help="store location: a directory for jsonl, a file for sqlite",
+    )
+    edge.add_argument(
+        "--manifest", default=None,
+        help="fleet manifest JSON: serve multi-tenant pushes routed by "
+        "?tenant= instead of a single pipeline",
+    )
+    edge.add_argument(
+        "--webhook", action="append", default=None, metavar="URL",
+        help="POST each incident to this URL (repeatable; retried with "
+        "backoff, circuit-broken per endpoint)",
+    )
+    edge.add_argument(
+        "--dead-letter", default=None, metavar="FILE",
+        help="append webhook deliveries that exhausted retries here",
+    )
+    edge.add_argument(
+        "--ingest-queue-depth", type=int, default=256,
+        help="in-flight tick batches between the HTTP edge and the "
+        "pipeline; pushes beyond it are shed with 429 (default 256)",
+    )
+    edge.add_argument(
+        "--no-shutdown-endpoint", action="store_true",
+        help="disable POST /v1/shutdown (enabled by default for CI)",
+    )
+    edge.add_argument("--seed", type=int, default=42)
+    edge.add_argument(
+        "--threshold", type=float, default=0.100,
+        help="latency SLO threshold in seconds (default 0.100 = RUBiS)",
+    )
+    edge.add_argument(
+        "--sustain", type=int, default=10,
+        help="consecutive seconds above threshold before a violation",
+    )
+    _add_service_options(edge)
+    edge.set_defaults(func=cmd_edge)
 
     sub.add_parser("demo", help="30-second quickstart demo").set_defaults(
         func=cmd_demo

@@ -1,0 +1,138 @@
+"""Append-only JSON-lines writing shared by every durable sink.
+
+One :class:`JsonlWriter` owns one open file handle for its whole life —
+the handle is opened once in the constructor, every :meth:`write`
+appends a single ``json.dumps`` line through it, and :meth:`close` is
+the only place it is released. That open-once discipline is what makes
+the flush/fsync semantics meaningful: there is exactly one OS-level
+file position to reason about, and a crash loses at most the line being
+written, never previously flushed ones.
+
+Durability levels:
+
+* ``fsync=False`` (default) — every line is flushed to the OS page
+  cache as it is written. A crashed *process* loses nothing that
+  completed; a crashed *machine* may lose the tail.
+* ``fsync=True`` — every line is additionally ``os.fsync``'d, so a
+  completed :meth:`write` survives power loss. This is what the durable
+  incident store (:mod:`repro.edge.store`) and the webhook dead-letter
+  file use: an incident acknowledged to a client must not evaporate.
+
+A truncated final line (the crash-in-mid-write case) is expected and
+tolerated by every reader: :func:`read_jsonl` skips a trailing partial
+record instead of failing, which is the crash-recovery contract the
+JSONL segment backend's tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+from typing import Dict, Iterator, List, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+class JsonlWriter:
+    """An open-once, append-only JSON-lines file handle.
+
+    Args:
+        path: File to append to (created, with parents, if missing).
+        fsync: When True, ``os.fsync`` after every line — each completed
+            :meth:`write` is durable against power loss, at the cost of
+            one disk barrier per record.
+    """
+
+    def __init__(self, path: PathLike, *, fsync: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.lines_written = 0
+
+    def write(self, record: Dict) -> int:
+        """Append one record as a JSON line; returns bytes written."""
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self.lines_written += 1
+        return len(line.encode("utf-8"))
+
+    def flush(self) -> None:
+        """Flush (and fsync, when configured) without writing."""
+        with self._lock:
+            if self._handle.closed:
+                return
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+
+    @property
+    def bytes_written(self) -> int:
+        """Current size of the file in bytes (includes prior sessions)."""
+        with self._lock:
+            if self._handle.closed:
+                return self.path.stat().st_size if self.path.exists() else 0
+            return self._handle.tell()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[Dict]:
+    """Read every complete record of a JSON-lines file.
+
+    A torn final line — the signature of a crash mid-append — is
+    silently dropped: everything before it was flushed line-atomically
+    by :class:`JsonlWriter`, so the readable prefix is exactly the
+    completed writes.
+    """
+    return list(iter_jsonl(path))
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Dict]:
+    """Iterate complete records, tolerating a truncated tail line."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            # A malformed *final* line is the expected crash scar of an
+            # append cut short; malformed data followed by more records
+            # is real corruption and must not be silently skipped.
+            if any(rest.strip() for rest in lines[index + 1 :]):
+                raise ValueError(
+                    f"{path}: corrupt JSONL record before end of file "
+                    "(only a truncated final line is recoverable)"
+                ) from None
+            return
+
+
+__all__ = ["JsonlWriter", "iter_jsonl", "read_jsonl"]

@@ -1,0 +1,58 @@
+"""The network edge: HTTP push-ingest, durable incidents, webhooks.
+
+This package puts a process boundary in front of the online machinery:
+
+* :mod:`repro.edge.http` — hand-rolled HTTP/1.1 on asyncio streams
+  (no new runtime dependencies);
+* :mod:`repro.edge.ingest` — wire-format decoding of ``POST
+  /v1/ingest`` pushes into per-tick batches;
+* :mod:`repro.edge.store` — the durable :class:`IncidentStore`
+  interface with JSONL-segment and SQLite backends;
+* :mod:`repro.edge.webhook` — async incident callbacks with retry,
+  circuit breaking and a dead-letter file;
+* :mod:`repro.edge.server` — :class:`EdgeServer`, tying it together
+  over an :class:`~repro.service.pipeline.OnlinePipeline` or a
+  :class:`~repro.fleet.supervisor.FleetSupervisor`;
+* :mod:`repro.edge.client` — a blocking stdlib client for tests,
+  benchmarks and the CI load script.
+"""
+
+from repro.edge.client import EdgeClient, EdgeResponse
+from repro.edge.http import HttpRequest, HttpResponse, ProtocolError, Router
+from repro.edge.ingest import Push, decode_push
+from repro.edge.server import EdgeConfig, EdgeServer, QueueFeed
+from repro.edge.store import (
+    BACKENDS,
+    IncidentStore,
+    IncidentStoreSink,
+    JsonlIncidentStore,
+    MemoryIncidentStore,
+    SqliteIncidentStore,
+    StoredIncident,
+    open_incident_store,
+)
+from repro.edge.webhook import WebhookSink, WebhookStats
+
+__all__ = [
+    "BACKENDS",
+    "EdgeClient",
+    "EdgeConfig",
+    "EdgeResponse",
+    "EdgeServer",
+    "HttpRequest",
+    "HttpResponse",
+    "IncidentStore",
+    "IncidentStoreSink",
+    "JsonlIncidentStore",
+    "MemoryIncidentStore",
+    "ProtocolError",
+    "Push",
+    "QueueFeed",
+    "Router",
+    "SqliteIncidentStore",
+    "StoredIncident",
+    "WebhookSink",
+    "WebhookStats",
+    "decode_push",
+    "open_incident_store",
+]

@@ -1,0 +1,293 @@
+"""Hand-rolled HTTP/1.1 primitives on asyncio streams.
+
+The edge server deliberately does not pull in an HTTP framework — the
+runtime dependency set stays numpy/scipy/networkx — and it does not use
+``http.server`` either (thread-per-request blocking I/O is exactly the
+wrong shape for an ingest endpoint that must shed instead of stall).
+What it needs from HTTP is small and fixed:
+
+* request line + headers + ``Content-Length`` bodies (no chunked
+  transfer encoding, no trailers, no upgrades);
+* keep-alive connections (``Connection: close`` honoured);
+* byte-bounded reads everywhere, so a slow or malicious client can
+  never buffer unbounded data into the process.
+
+:class:`Router` maps ``METHOD /path/{param}`` templates to handlers.
+Handlers are plain callables ``handler(request, **params) ->
+HttpResponse`` and must not block: anything slow or stateful is handed
+to the pipeline thread through a bounded queue (see
+:mod:`repro.edge.server`), which is what keeps the event loop — and
+therefore ``/healthz`` — responsive under ingest floods.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Default upper bound on request bodies (overridable per server).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class ProtocolError(Exception):
+    """A request the server refuses at the HTTP layer.
+
+    Attributes:
+        status: The response status the refusal maps to.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.
+
+    Attributes:
+        method: Upper-cased request method.
+        path: Decoded path component of the request target.
+        query: Query parameters (first value wins for repeats).
+        headers: Header map with lower-cased names.
+        body: Raw request body bytes (empty when none was sent).
+    """
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def content_type(self) -> str:
+        """Media type of the body, without parameters, lower-cased."""
+        return self.headers.get("content-type", "").split(";")[0].strip().lower()
+
+    def json(self):
+        """Decode the body as JSON, raising :class:`ProtocolError` on 400s."""
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(400, f"invalid JSON body: {error}") from error
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class HttpResponse:
+    """One response to serialize back onto the stream."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, *, keep_alive: bool = True) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+def json_response(payload, status: int = 200, **headers) -> HttpResponse:
+    """A JSON-encoded response (the edge API's lingua franca)."""
+    body = (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+    return HttpResponse(status=status, body=body, headers=dict(headers))
+
+
+def text_response(
+    text: str, status: int = 200, content_type: str = "text/plain; version=0.0.4"
+) -> HttpResponse:
+    return HttpResponse(
+        status=status, body=text.encode("utf-8"), content_type=content_type
+    )
+
+
+def error_response(status: int, message: str, **headers) -> HttpResponse:
+    return json_response({"error": message, "status": status}, status, **headers)
+
+
+_REQUEST_LINE_RE = re.compile(r"^([A-Z]+) (\S+) HTTP/1\.[01]$")
+_PARAM_RE = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = DEFAULT_MAX_BODY_BYTES
+) -> Optional[HttpRequest]:
+    """Read and parse one request off the stream.
+
+    Returns None on a cleanly closed connection (EOF before any bytes).
+
+    Raises:
+        ProtocolError: On malformed requests, oversized headers (431 is
+            folded into 400) or bodies beyond ``max_body`` (413).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError(400, "truncated request head") from error
+    except asyncio.LimitOverrunError as error:
+        raise ProtocolError(400, "request head too large") from error
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(400, "request head too large")
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError as error:  # pragma: no cover - latin-1 total
+        raise ProtocolError(400, "undecodable request head") from error
+    lines = text.split("\r\n")
+    match = _REQUEST_LINE_RE.match(lines[0])
+    if match is None:
+        raise ProtocolError(400, f"malformed request line: {lines[0]!r}")
+    method, target = match.group(1), match.group(2)
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    split = urlsplit(target)
+    query = {
+        key: values[0]
+        for key, values in parse_qs(split.query, keep_blank_values=True).items()
+    }
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise ProtocolError(400, "bad Content-Length") from error
+        if length < 0:
+            raise ProtocolError(400, "bad Content-Length")
+        if length > max_body:
+            raise ProtocolError(
+                413, f"body of {length} bytes exceeds the {max_body} byte cap"
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise ProtocolError(400, "truncated request body") from error
+    elif headers.get("transfer-encoding"):
+        raise ProtocolError(400, "chunked transfer encoding is not supported")
+
+    return HttpRequest(
+        method=method,
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+class Route:
+    """One ``METHOD /template`` registration."""
+
+    def __init__(self, method: str, template: str, handler: Callable) -> None:
+        self.method = method.upper()
+        self.template = template
+        self.handler = handler
+        pattern = ""
+        for part in re.split(r"(\{[a-zA-Z_][a-zA-Z0-9_]*\})", template):
+            if _PARAM_RE.fullmatch(part):
+                pattern += f"(?P<{part[1:-1]}>[^/]+)"
+            else:
+                pattern += re.escape(part)
+        self.pattern = re.compile(f"^{pattern}$")
+
+    def match(self, path: str) -> Optional[Dict[str, str]]:
+        found = self.pattern.match(path)
+        return found.groupdict() if found else None
+
+
+class Router:
+    """Match ``(method, path)`` to a handler and its path parameters."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    def add(self, method: str, template: str, handler: Callable) -> None:
+        self._routes.append(Route(method, template, handler))
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Tuple[Optional[Route], Dict[str, str], List[str]]:
+        """Returns ``(route, params, methods_allowed_on_path)``."""
+        allowed: List[str] = []
+        for route in self._routes:
+            params = route.match(path)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route, params, allowed
+            allowed.append(route.method)
+        return None, {}, allowed
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        """Resolve and invoke the handler, mapping errors to responses."""
+        route, params, allowed = self.resolve(request.method, request.path)
+        if route is None:
+            if allowed:
+                return error_response(
+                    405,
+                    f"{request.method} not allowed on {request.path}",
+                    Allow=", ".join(sorted(set(allowed))),
+                )
+            return error_response(404, f"no route for {request.path}")
+        try:
+            return route.handler(request, **params)
+        except ProtocolError as error:
+            return error_response(error.status, str(error))
+
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "HttpRequest",
+    "HttpResponse",
+    "MAX_HEADER_BYTES",
+    "ProtocolError",
+    "Route",
+    "Router",
+    "error_response",
+    "json_response",
+    "read_request",
+    "text_response",
+]

@@ -49,6 +49,7 @@ STAGE_SERVICE_TICK = "service_tick"
 STAGE_SLO_EVAL = "slo_eval"
 STAGE_DISPATCH = "dispatch"
 STAGE_DRAIN = "drain"
+STAGE_EDGE_REQUEST = "edge_request"
 
 #: Every stage a full (cold-cache) diagnosis that selects at least one
 #: abnormal change passes through, in pipeline order.
@@ -75,6 +76,10 @@ SERVICE_STAGES = (
     STAGE_DISPATCH,
     STAGE_DRAIN,
 )
+
+#: Stages of the HTTP edge (``repro.edge``): one span per request,
+#: tagged with route, method and response status.
+EDGE_STAGES = (STAGE_EDGE_REQUEST,)
 
 #: Recognized ``FChainConfig.telemetry`` values.
 TELEMETRY_MODES = ("off", "timings", "full")
@@ -306,6 +311,7 @@ def make_tracer(mode: str, registry=None):
 
 
 __all__ = [
+    "EDGE_STAGES",
     "NULL_SPAN",
     "NULL_TRACER",
     "PIPELINE_STAGES",
@@ -317,6 +323,7 @@ __all__ = [
     "STAGE_DIAGNOSIS",
     "STAGE_DISPATCH",
     "STAGE_DRAIN",
+    "STAGE_EDGE_REQUEST",
     "STAGE_METRIC",
     "STAGE_OUTLIERS",
     "STAGE_PINPOINT",

@@ -13,11 +13,11 @@ on first incident/drop, so an uneventful loop touches no registry.
 
 from __future__ import annotations
 
-import json
 import pathlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.common.jsonl import JsonlWriter
 from repro.core.diagnosis import Diagnosis
 
 
@@ -96,22 +96,29 @@ class CallbackSink:
 class JsonlSink:
     """Append one JSON line per incident to a file.
 
-    Lines are flushed as written, so a crashed loop loses nothing that
-    completed. ``close()`` is called by the pipeline at drain time.
+    Built on the shared open-once :class:`~repro.common.jsonl.JsonlWriter`
+    (the same appender behind the durable JSONL segment backend of
+    :mod:`repro.edge.store`): the handle is opened exactly once, every
+    line is flushed as written, and ``fsync=True`` makes each completed
+    incident durable against power loss, not just process crash.
+    ``close()`` is called by the pipeline at drain time.
     """
 
-    def __init__(self, path) -> None:
-        self.path = pathlib.Path(path)
-        self._handle = self.path.open("a")
+    def __init__(self, path, *, fsync: bool = False) -> None:
+        self._writer = JsonlWriter(path, fsync=fsync)
+
+    @property
+    def path(self) -> pathlib.Path:
+        return self._writer.path
 
     def __call__(self, incident: Incident) -> None:
-        json.dump(incident.to_dict(), self._handle)
-        self._handle.write("\n")
-        self._handle.flush()
+        self._writer.write(incident.to_dict())
+
+    def flush(self) -> None:
+        self._writer.flush()
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        self._writer.close()
 
 
 class ServiceMetrics:

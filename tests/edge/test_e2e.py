@@ -1,0 +1,185 @@
+"""End-to-end: a trace pushed over HTTP diagnoses identically to an
+in-process replay of the same batches, and the verdict is durable in
+both JSONL and SQLite backends.
+
+This is the acceptance contract of the network edge: the wire adds a
+process boundary, not a numerical one.
+"""
+
+import pytest
+
+from repro.edge.client import EdgeClient
+from repro.edge.server import EdgeConfig, EdgeServer
+from repro.edge.store import (
+    IncidentStoreSink,
+    JsonlIncidentStore,
+    SqliteIncidentStore,
+    diagnosis_payload,
+)
+from repro.eval.bench import synthetic_store
+from repro.monitoring.slo import LatencySLO
+from repro.service.pipeline import OnlinePipeline
+from repro.service.sources import StoreReplayFeed
+
+SAMPLES = 1200
+COMPONENTS = 4
+METRICS = 3
+SEED = 11
+FAULT_LEAD = 40
+#: The SLO signal degrades two ticks after the fault manifests.
+DEGRADE_AT = SAMPLES - FAULT_LEAD + 2
+THRESHOLD = 0.100
+SUSTAIN = 10
+
+#: Timing fields that depend on wall clock, not on the diagnosis.
+TIMING_FIELDS = {
+    "trigger_latency_seconds",
+    "diagnosis_latency_seconds",
+    "latency_seconds",
+    "summary",
+}
+
+
+def make_batches():
+    store = synthetic_store(
+        samples=SAMPLES,
+        components=COMPONENTS,
+        metrics=METRICS,
+        seed=SEED,
+        fault_lead=FAULT_LEAD,
+    )
+    performance = {
+        t: (0.500 if t >= DEGRADE_AT else 0.010)
+        for t in range(store.start, store.end)
+    }
+    return list(StoreReplayFeed(store, performance=performance))
+
+
+def strip_timing(payload):
+    return {k: v for k, v in payload.items() if k not in TIMING_FIELDS}
+
+
+@pytest.fixture(scope="module")
+def reference_incident():
+    """The in-process ground truth: same batches, no network."""
+    pipeline = OnlinePipeline(
+        make_batches(), LatencySLO(THRESHOLD, sustain=SUSTAIN), seed=SEED
+    )
+    pipeline.run()
+    assert len(pipeline.incidents) == 1, (
+        f"reference run produced {len(pipeline.incidents)} incidents"
+    )
+    return pipeline.incidents[0]
+
+
+@pytest.fixture(scope="module")
+def edge_run(reference_incident, tmp_path_factory):
+    """Push the same batches over HTTP into dual durable stores."""
+    root = tmp_path_factory.mktemp("edge_e2e")
+    jsonl_dir = root / "segments"
+    sqlite_path = root / "incidents.db"
+    sqlite_store = SqliteIncidentStore(sqlite_path)
+
+    server = EdgeServer(
+        EdgeConfig(port=0, queue_depth=256),
+        incident_store=JsonlIncidentStore(jsonl_dir),
+    )
+    server.attach_pipeline(
+        LatencySLO(THRESHOLD, sustain=SUSTAIN),
+        seed=SEED,
+        sinks=[IncidentStoreSink(sqlite_store)],
+    )
+    server.start()
+    client = EdgeClient("127.0.0.1", server.port)
+    batches = make_batches()
+    try:
+        for offset in range(0, len(batches), 40):
+            chunk = batches[offset : offset + 40]
+            payload = [
+                {
+                    "component": s.component,
+                    "metric": s.metric.value,
+                    "time": s.time,
+                    "value": s.value,
+                }
+                for batch in chunk
+                for s in batch.samples
+            ]
+            points = [
+                {"time": batch.time, "value": batch.performance}
+                for batch in chunk
+                if batch.performance is not None
+            ]
+            response = client.push_json_retrying(payload, performance=points)
+            assert response.status == 202, response.body
+        stats = client.wait_drained(len(batches), timeout=300.0)
+        listed = client.incidents()
+        detail = client.incident(listed[0]["id"]) if listed else None
+        diagnosis = client.diagnosis(listed[0]["id"]) if listed else None
+    finally:
+        client.close()
+        server.close()
+        sqlite_store.close()
+    return {
+        "stats": stats,
+        "listed": listed,
+        "detail": detail,
+        "diagnosis": diagnosis,
+        "jsonl_dir": jsonl_dir,
+        "sqlite_path": sqlite_path,
+        "ticks": len(batches),
+    }
+
+
+def test_exactly_one_incident_over_the_wire(edge_run):
+    assert len(edge_run["listed"]) == 1
+    assert edge_run["stats"]["pipeline"]["ticks"] == edge_run["ticks"]
+    assert edge_run["stats"]["incidents"] == 1
+
+
+def test_incident_summary_matches_in_process_run(edge_run, reference_incident):
+    expected = strip_timing(reference_incident.to_dict())
+    actual = strip_timing(edge_run["detail"]["incident"])
+    assert actual == expected
+
+
+def test_diagnosis_is_bit_identical(edge_run, reference_incident):
+    """The wire must not perturb the verdict: same faulty set, same
+    confidence, same chain, same violation tick."""
+    expected = strip_timing(diagnosis_payload(reference_incident.diagnosis))
+    actual = strip_timing(edge_run["diagnosis"]["diagnosis"])
+    assert actual == expected
+    assert actual["faulty"], "the synthetic fault must be pinpointed"
+    assert actual["faulty"] == sorted(reference_incident.faulty)
+
+
+def test_verdict_named_the_injected_culprit(edge_run):
+    # synthetic_store faults component c0.
+    assert edge_run["detail"]["incident"]["faulty"] == ["c0"]
+
+
+def test_incident_durable_in_both_backends(edge_run, reference_incident):
+    jsonl = JsonlIncidentStore(edge_run["jsonl_dir"])
+    sqlite = SqliteIncidentStore(edge_run["sqlite_path"])
+    try:
+        assert jsonl.count() == 1
+        assert sqlite.count() == 1
+        from_jsonl = jsonl.get(1)
+        from_sqlite = sqlite.get(1)
+        expected = strip_timing(reference_incident.to_dict())
+        for record in (from_jsonl, from_sqlite):
+            assert strip_timing(record.incident) == expected
+        # The two backends hold the same record (timestamps differ by
+        # the sink call interleaving, nothing else).
+        assert from_jsonl.incident == from_sqlite.incident
+        assert from_jsonl.diagnosis == from_sqlite.diagnosis
+        assert from_jsonl.id == from_sqlite.id == 1
+    finally:
+        jsonl.close()
+        sqlite.close()
+
+
+def test_no_batches_lost_or_duplicated(edge_run):
+    stats = edge_run["stats"]
+    assert stats["enqueued_batches"] == edge_run["ticks"]
+    assert stats["pipeline"]["ticks"] == edge_run["ticks"]

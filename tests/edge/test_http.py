@@ -1,0 +1,183 @@
+"""HTTP/1.1 primitives: parsing, routing, response encoding."""
+
+import asyncio
+
+import pytest
+
+from repro.edge.http import (
+    HttpResponse,
+    ProtocolError,
+    Router,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        request = parse(
+            b"GET /v1/incidents?tenant=acme&limit=5 HTTP/1.1\r\n"
+            b"Host: localhost\r\n\r\n"
+        )
+        assert request.method == "GET"
+        assert request.path == "/v1/incidents"
+        assert request.query == {"tenant": "acme", "limit": "5"}
+        assert request.headers["host"] == "localhost"
+        assert request.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"samples": []}'
+        request = parse(
+            b"POST /v1/ingest HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert request.method == "POST"
+        assert request.body == body
+        assert request.content_type == "application/json"
+
+    def test_content_type_parameters_stripped(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\n"
+            b"Content-Type: text/csv; charset=utf-8\r\n"
+            b"Content-Length: 0\r\n\r\n"
+        )
+        assert request.content_type == "text/csv"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_raises_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET / HTTP/1.1\r\nHost: x")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"NOT A REQUEST\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_body_raises_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+            )
+        assert excinfo.value.status == 400
+
+    def test_oversized_body_raises_413(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n",
+                max_body=100,
+            )
+        assert excinfo.value.status == 413
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert excinfo.value.status == 400
+
+    def test_bad_content_length(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_keep_alive_default_and_close(self):
+        keep = parse(b"GET / HTTP/1.1\r\n\r\n")
+        close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert keep.keep_alive
+        assert not close.keep_alive
+
+    def test_bad_json_body(self):
+        request = parse(
+            b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+
+class TestResponses:
+    def test_encode_round_trip(self):
+        response = json_response({"ok": True}, 202)
+        raw = response.encode()
+        assert raw.startswith(b"HTTP/1.1 202 Accepted\r\n")
+        assert b"Content-Type: application/json" in raw
+        assert raw.endswith(b'{"ok":true}\n')
+
+    def test_connection_header_follows_keep_alive(self):
+        raw = HttpResponse().encode(keep_alive=False)
+        assert b"Connection: close" in raw
+        raw = HttpResponse().encode(keep_alive=True)
+        assert b"Connection: keep-alive" in raw
+
+    def test_extra_headers_serialized(self):
+        raw = error_response(429, "slow down", **{"Retry-After": "2"}).encode()
+        assert b"Retry-After: 2" in raw
+
+    def test_content_length_matches_body(self):
+        response = json_response({"n": 1})
+        raw = response.encode()
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert f"Content-Length: {len(body)}".encode() in head
+
+
+class TestRouter:
+    def make(self):
+        router = Router()
+        router.add("GET", "/v1/incidents", lambda req: "list")
+        router.add(
+            "GET",
+            "/v1/incidents/{incident_id}",
+            lambda req, incident_id: f"get {incident_id}",
+        )
+        router.add("POST", "/v1/ingest", lambda req: "ingest")
+        return router
+
+    def test_literal_match(self):
+        route, params, _ = self.make().resolve("GET", "/v1/incidents")
+        assert route is not None and params == {}
+
+    def test_param_extraction(self):
+        route, params, _ = self.make().resolve("GET", "/v1/incidents/17")
+        assert route is not None
+        assert params == {"incident_id": "17"}
+
+    def test_param_does_not_span_segments(self):
+        route, _, _ = self.make().resolve("GET", "/v1/incidents/17/extra")
+        assert route is None
+
+    def test_unknown_path_has_no_allowed_methods(self):
+        route, _, allowed = self.make().resolve("GET", "/nope")
+        assert route is None and allowed == []
+
+    def test_wrong_method_reports_allowed(self):
+        route, _, allowed = self.make().resolve("DELETE", "/v1/ingest")
+        assert route is None and allowed == ["POST"]
+
+    def test_dispatch_maps_protocol_errors(self):
+        router = Router()
+
+        def boom(request):
+            raise ProtocolError(415, "bad media")
+
+        router.add("POST", "/x", boom)
+        request = parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 0\r\n\r\n"
+        )
+        response = router.dispatch(request)
+        assert response.status == 415

@@ -1,0 +1,201 @@
+"""Wire-format decoding: strict validation, coalescing, tenant routing."""
+
+import math
+
+import pytest
+
+from repro.common.types import Metric
+from repro.edge.http import HttpRequest, ProtocolError
+from repro.edge.ingest import (
+    PERFORMANCE_COMPONENT,
+    coalesce,
+    decode_csv_push,
+    decode_json_push,
+    decode_push,
+    store_csv_text,
+)
+
+
+def sample(component="web", metric="cpu_usage", time=0, value=0.5):
+    return {"component": component, "metric": metric, "time": time, "value": value}
+
+
+def json_request(payload, query=None):
+    import json
+
+    return HttpRequest(
+        method="POST",
+        path="/v1/ingest",
+        query=query or {},
+        headers={"content-type": "application/json"},
+        body=json.dumps(payload).encode(),
+    )
+
+
+def csv_request(text, query=None):
+    return HttpRequest(
+        method="POST",
+        path="/v1/ingest",
+        query=query or {},
+        headers={"content-type": "text/csv"},
+        body=text.encode(),
+    )
+
+
+class TestJsonDecode:
+    def test_samples_become_enum_keyed_metric_samples(self):
+        push = decode_json_push({"samples": [sample()]})
+        assert push.samples == 1
+        [batch] = push.batches
+        [decoded] = batch.samples
+        assert decoded.component == "web"
+        # The store keys series by the Metric enum; a raw string here
+        # would silently feed series no diagnosis reads.
+        assert decoded.metric is Metric.CPU_USAGE
+        assert decoded.time == 0 and decoded.value == 0.5
+
+    def test_bare_list_shorthand(self):
+        push = decode_json_push([sample(time=3)])
+        assert [b.time for b in push.batches] == [3]
+
+    def test_performance_points_ride_along(self):
+        push = decode_json_push(
+            {
+                "samples": [sample(time=1)],
+                "performance": [{"time": 1, "value": 0.25}],
+            }
+        )
+        [batch] = push.batches
+        assert batch.performance == 0.25
+
+    def test_unknown_metric_is_400(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_json_push({"samples": [sample(metric="cpu")]})
+        assert excinfo.value.status == 400
+        assert "cpu_usage" in str(excinfo.value)
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"samples": [sample()], "extra": 1},
+            {"samples": [{**sample(), "bonus": 1}]},
+            {"samples": [{"component": "web"}]},
+            {"samples": [sample(time="soon")]},
+            {"samples": [sample(time=1.5)]},
+            {"samples": [sample(value="high")]},
+            {"samples": [sample(component="")]},
+            {"samples": "nope"},
+            {"performance": [{"time": 1}]},
+            {"tenant": 7, "samples": [sample()]},
+            "just a string",
+            {},
+        ],
+    )
+    def test_malformed_payloads_are_400(self, payload):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_json_push(payload)
+        assert excinfo.value.status == 400
+
+    def test_nan_value_passes_through_to_quality_policy(self):
+        push = decode_json_push({"samples": [sample(value=float("nan"))]})
+        [decoded] = push.batches[0].samples
+        assert math.isnan(decoded.value)
+
+    def test_nan_time_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_json_push({"samples": [sample(time=float("nan"))]})
+
+
+class TestCsvDecode:
+    def test_round_trip_through_store_csv_text(self):
+        text = store_csv_text(
+            [
+                (0, "web", "cpu_usage", 0.5),
+                (0, PERFORMANCE_COMPONENT, "latency", 0.05),
+                (1, "db", "disk_read", 0.9),
+            ]
+        )
+        push = decode_csv_push(text.encode())
+        assert push.samples == 2
+        assert [b.time for b in push.batches] == [0, 1]
+        assert push.batches[0].performance == 0.05
+        assert push.batches[1].samples[0].metric is Metric.DISK_READ
+
+    def test_header_is_mandatory(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_csv_push(b"0,web,cpu_usage,0.5\n")
+        assert excinfo.value.status == 400
+
+    def test_blank_lines_skipped(self):
+        text = "time,component,metric,value\n\n0,web,cpu_usage,0.5\n\n"
+        assert decode_csv_push(text.encode()).samples == 1
+
+    @pytest.mark.parametrize(
+        "row",
+        [
+            "0,web,cpu_usage",
+            "zero,web,cpu_usage,0.5",
+            "0,web,cpu_usage,high",
+            "0,,cpu_usage,0.5",
+            "0,web,,0.5",
+            "0,web,made_up_metric,0.5",
+        ],
+    )
+    def test_malformed_rows_are_400(self, row):
+        text = f"time,component,metric,value\n{row}\n"
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_csv_push(text.encode())
+        assert excinfo.value.status == 400
+
+    def test_empty_push_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_csv_push(b"time,component,metric,value\n")
+
+
+class TestCoalesce:
+    def test_batches_sorted_and_grouped(self):
+        push = decode_json_push(
+            {
+                "samples": [sample(time=5), sample(time=2), sample(time=5)],
+                "performance": [{"time": 9, "value": 1.0}],
+            }
+        )
+        assert [b.time for b in push.batches] == [2, 5, 9]
+        assert len(push.batches[1].samples) == 2
+        assert push.batches[2].samples == []
+        assert push.batches[2].performance == 1.0
+
+    def test_empty_inputs_yield_no_batches(self):
+        assert coalesce([], {}) == []
+
+
+class TestDecodePush:
+    def test_content_type_dispatch(self):
+        assert decode_push(json_request({"samples": [sample()]})).samples == 1
+        text = store_csv_text([(0, "web", "cpu_usage", 0.5)])
+        assert decode_push(csv_request(text)).samples == 1
+
+    def test_unsupported_content_type_is_415(self):
+        request = json_request({"samples": [sample()]})
+        request.headers["content-type"] = "application/xml"
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_push(request)
+        assert excinfo.value.status == 415
+
+    def test_query_tenant_applies(self):
+        push = decode_push(
+            json_request({"samples": [sample()]}, query={"tenant": "acme"})
+        )
+        assert push.tenant == "acme"
+
+    def test_body_and_query_tenant_must_agree(self):
+        agreeing = json_request(
+            {"samples": [sample()], "tenant": "acme"}, query={"tenant": "acme"}
+        )
+        assert decode_push(agreeing).tenant == "acme"
+        disagreeing = json_request(
+            {"samples": [sample()], "tenant": "acme"}, query={"tenant": "evil"}
+        )
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_push(disagreeing)
+        assert excinfo.value.status == 400

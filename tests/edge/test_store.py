@@ -1,0 +1,242 @@
+"""Incident store contract: identical behaviour across all backends."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.edge.store import (
+    IncidentStoreSink,
+    JsonlIncidentStore,
+    MemoryIncidentStore,
+    SqliteIncidentStore,
+    StoredIncident,
+    open_incident_store,
+)
+
+
+class FakeDiagnosis:
+    def __init__(self, faulty, violation_time):
+        self.faulty = list(faulty)
+        self.external_factor = False
+        self.skipped = []
+        self.confidence = "full"
+        self.latency_seconds = 0.5
+        self.violation_time = violation_time
+        self.validated = True
+
+
+class FakeIncident:
+    """Just enough of a service Incident for the store interface."""
+
+    def __init__(self, index, violation_tick, faulty=("db",)):
+        self.index = index
+        self.violation_tick = violation_tick
+        self.diagnosis = FakeDiagnosis(faulty, violation_tick)
+
+    def to_dict(self):
+        return {
+            "index": self.index,
+            "violation_tick": self.violation_tick,
+            "quality": "full",
+            "faulty": sorted(self.diagnosis.faulty),
+        }
+
+
+INCIDENTS = [
+    ("", FakeIncident(0, 100)),
+    ("acme", FakeIncident(1, 200, faulty=("web",))),
+    ("acme", FakeIncident(2, 300)),
+    ("globex", FakeIncident(3, 250)),
+    ("", FakeIncident(4, 400, faulty=())),
+]
+
+
+def fill(store):
+    for position, (tenant, incident) in enumerate(INCIDENTS):
+        store.append(incident, tenant=tenant, created_at=1000.0 + position)
+    return store
+
+
+def make_store(backend, tmp_path):
+    if backend == "memory":
+        return MemoryIncidentStore()
+    if backend == "jsonl":
+        return JsonlIncidentStore(tmp_path / "segments")
+    return SqliteIncidentStore(tmp_path / "incidents.db")
+
+
+QUERIES = [
+    {},
+    {"tenant": "acme"},
+    {"tenant": ""},
+    {"tenant": "missing"},
+    {"since": 250},
+    {"until": 250},
+    {"since": 200, "until": 300},
+    {"tenant": "acme", "since": 250},
+    {"limit": 2},
+    {"since": 200, "limit": 1},
+]
+
+
+@pytest.mark.parametrize("backend", ["memory", "jsonl", "sqlite"])
+class TestContract:
+    """Every backend must answer identically to the memory reference."""
+
+    def test_query_matches_memory_reference(self, backend, tmp_path):
+        reference = fill(MemoryIncidentStore())
+        store = fill(make_store(backend, tmp_path))
+        for query in QUERIES:
+            expected = [r.to_dict() for r in reference.query(**query)]
+            actual = [r.to_dict() for r in store.query(**query)]
+            assert actual == expected, f"query {query} diverged on {backend}"
+        store.close()
+
+    def test_ids_sequential_in_append_order(self, backend, tmp_path):
+        store = fill(make_store(backend, tmp_path))
+        assert [r.id for r in store.query()] == [5, 4, 3, 2, 1]
+        assert store.count() == 5
+        store.close()
+
+    def test_get_by_id(self, backend, tmp_path):
+        store = fill(make_store(backend, tmp_path))
+        record = store.get(2)
+        assert record is not None
+        assert record.tenant == "acme"
+        assert record.incident["violation_tick"] == 200
+        assert record.diagnosis["faulty"] == ["web"]
+        assert store.get(99) is None
+        assert store.get(0) is None
+        store.close()
+
+    def test_diagnosis_payload_survives(self, backend, tmp_path):
+        store = fill(make_store(backend, tmp_path))
+        record = store.get(1)
+        assert record.diagnosis["confidence"] == "full"
+        assert record.diagnosis["violation_time"] == 100
+        assert record.diagnosis["validated"] is True
+        store.close()
+
+
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+def test_durable_backends_survive_reopen(backend, tmp_path):
+    store = fill(make_store(backend, tmp_path))
+    store.close()
+    reopened = make_store(backend, tmp_path)
+    assert reopened.count() == 5
+    assert [r.id for r in reopened.query()] == [5, 4, 3, 2, 1]
+    assert reopened.get(3).incident["violation_tick"] == 300
+    # Appends continue the id sequence after recovery.
+    record = reopened.append(FakeIncident(5, 500), created_at=2000.0)
+    assert record.id == 6
+    reopened.close()
+
+
+class TestJsonlCrashRecovery:
+    def test_truncated_tail_dropped(self, tmp_path):
+        store = fill(JsonlIncidentStore(tmp_path / "segments"))
+        store.close()
+        [segment] = store.segments()
+        whole = segment.read_bytes()
+        # Chop the last record mid-line: the crash-in-mid-append scar.
+        segment.write_bytes(whole[: whole.rfind(b'{"id":5') + 20])
+        recovered = JsonlIncidentStore(tmp_path / "segments")
+        assert recovered.count() == 4
+        assert [r.id for r in recovered.query()] == [4, 3, 2, 1]
+        # The next append reuses the torn record's id.
+        assert recovered.append(FakeIncident(9, 900)).id == 5
+        recovered.close()
+
+    def test_mid_file_corruption_refuses_to_open(self, tmp_path):
+        store = fill(JsonlIncidentStore(tmp_path / "segments"))
+        store.close()
+        [segment] = store.segments()
+        lines = segment.read_bytes().splitlines(keepends=True)
+        lines[1] = b'{"id": broken\n'
+        segment.write_bytes(b"".join(lines))
+        with pytest.raises(ValueError, match="corrupt"):
+            JsonlIncidentStore(tmp_path / "segments")
+
+    def test_segment_rotation(self, tmp_path):
+        store = JsonlIncidentStore(tmp_path / "segments", segment_bytes=256)
+        for index in range(12):
+            store.append(FakeIncident(index, index * 10), created_at=0.0)
+        assert len(store.segments()) > 1
+        store.close()
+        recovered = JsonlIncidentStore(tmp_path / "segments", segment_bytes=256)
+        assert recovered.count() == 12
+        assert recovered.append(FakeIncident(12, 120)).id == 13
+        recovered.close()
+
+    def test_append_after_close_raises(self, tmp_path):
+        store = JsonlIncidentStore(tmp_path / "segments")
+        store.close()
+        with pytest.raises(ConfigurationError):
+            store.append(FakeIncident(0, 0))
+
+    def test_segment_lines_are_valid_json(self, tmp_path):
+        store = fill(JsonlIncidentStore(tmp_path / "segments"))
+        store.close()
+        [segment] = store.segments()
+        payloads = [
+            json.loads(line)
+            for line in segment.read_text().splitlines()
+            if line
+        ]
+        assert [p["id"] for p in payloads] == [1, 2, 3, 4, 5]
+        assert all(
+            set(p) == {"id", "tenant", "created_at", "incident", "diagnosis"}
+            for p in payloads
+        )
+
+
+class TestOpenIncidentStore:
+    def test_backend_dispatch(self, tmp_path):
+        assert open_incident_store("memory").backend == "memory"
+        jsonl = open_incident_store("jsonl", tmp_path / "segments")
+        assert jsonl.backend == "jsonl"
+        jsonl.close()
+        sqlite = open_incident_store("sqlite", tmp_path / "db")
+        assert sqlite.backend == "sqlite"
+        sqlite.close()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            open_incident_store("postgres")
+
+    def test_durable_backend_needs_path(self):
+        with pytest.raises(ConfigurationError):
+            open_incident_store("jsonl")
+
+
+class TestSink:
+    def test_pipeline_and_fleet_shapes(self):
+        store = MemoryIncidentStore()
+        sink = IncidentStoreSink(store)
+        sink(FakeIncident(0, 10))
+        sink("acme", FakeIncident(1, 20))
+        assert store.count() == 2
+        assert store.query(tenant="acme")[0].incident["index"] == 1
+        with pytest.raises(TypeError):
+            sink()
+
+    def test_sink_close_keeps_store_open(self, tmp_path):
+        store = SqliteIncidentStore(tmp_path / "incidents.db")
+        sink = IncidentStoreSink(store)
+        sink(FakeIncident(0, 10))
+        sink.close()
+        # The server owns the store's lifetime: the REST surface must
+        # still be able to read after a pipeline drains its sinks.
+        assert store.count() == 1
+        store.close()
+
+    def test_stored_incident_round_trip(self):
+        record = StoredIncident(
+            id=3,
+            tenant="acme",
+            created_at=12.5,
+            incident={"violation_tick": 7},
+            diagnosis={"faulty": ["db"]},
+        )
+        assert StoredIncident.from_dict(record.to_dict()) == record

@@ -1,0 +1,217 @@
+"""Webhook delivery: retry/backoff, circuit breaking, dead letter."""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.jsonl import read_jsonl
+from repro.edge.webhook import WebhookSink, _CircuitBreaker
+
+
+class Receiver:
+    """A local webhook endpoint with a scripted status plan.
+
+    Statuses are consumed per request; once the plan runs out every
+    further request gets 200.
+    """
+
+    def __init__(self, plan=()):
+        self.plan = list(plan)
+        self.received = []
+        self._lock = threading.Lock()
+        receiver = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_POST(self):
+                length = int(self.headers.get("Content-Length", 0))
+                body = self.rfile.read(length)
+                with receiver._lock:
+                    receiver.received.append(json.loads(body))
+                    status = receiver.plan.pop(0) if receiver.plan else 200
+                self.send_response(status)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+
+            def log_message(self, *args):
+                pass
+
+        self.server = ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+        self.url = f"http://127.0.0.1:{self.server.server_port}/hook"
+        self.thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+
+
+class FakeIncident:
+    def __init__(self, index=0):
+        self.index = index
+
+    def to_dict(self):
+        return {"index": self.index, "faulty": ["db"]}
+
+
+@pytest.fixture
+def receiver():
+    endpoint = Receiver()
+    yield endpoint
+    endpoint.close()
+
+
+def make_sink(url, **kwargs):
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_cap", 0.05)
+    kwargs.setdefault("timeout", 2.0)
+    return WebhookSink(url, **kwargs)
+
+
+class TestDelivery:
+    def test_incident_delivered_as_json(self, receiver):
+        sink = make_sink(receiver.url)
+        sink(FakeIncident(7))
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        [payload] = receiver.received
+        assert payload == {"tenant": "", "index": 7, "faulty": ["db"]}
+        assert sink.stats.delivered == 1
+        assert sink.stats.dead_lettered == 0
+
+    def test_fleet_shape_carries_tenant(self, receiver):
+        sink = make_sink(receiver.url)
+        sink("acme", FakeIncident(1))
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert receiver.received[0]["tenant"] == "acme"
+
+    def test_retries_until_success(self, receiver):
+        receiver.plan = [500, 503]
+        sink = make_sink(receiver.url, max_attempts=5)
+        sink(FakeIncident())
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert len(receiver.received) == 3
+        assert sink.stats.delivered == 1
+        assert sink.stats.retried == 2
+
+    def test_fan_out_to_every_endpoint(self):
+        first, second = Receiver(), Receiver()
+        try:
+            sink = make_sink([first.url, second.url])
+            sink(FakeIncident())
+            assert sink.flush(timeout=10.0)
+            sink.close()
+            assert len(first.received) == 1
+            assert len(second.received) == 1
+            assert sink.stats.delivered == 2
+        finally:
+            first.close()
+            second.close()
+
+    def test_enqueue_after_close_raises(self, receiver):
+        sink = make_sink(receiver.url)
+        sink.close()
+        with pytest.raises(ConfigurationError):
+            sink(FakeIncident())
+
+    def test_needs_at_least_one_endpoint(self):
+        with pytest.raises(ConfigurationError):
+            WebhookSink([])
+
+
+class TestDeadLetter:
+    def test_exhausted_delivery_lands_in_dead_letter(self, tmp_path, receiver):
+        receiver.plan = [500, 500, 500]
+        dead_letter = tmp_path / "dead.jsonl"
+        sink = make_sink(
+            receiver.url, max_attempts=3, dead_letter_path=dead_letter
+        )
+        sink(FakeIncident(4))
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert sink.stats.delivered == 0
+        assert sink.stats.dead_lettered == 1
+        [entry] = read_jsonl(dead_letter)
+        assert entry["endpoint"] == receiver.url
+        assert entry["attempts"] == 3
+        assert entry["error"] == "HTTP 500"
+        assert entry["incident"]["index"] == 4
+
+    def test_unreachable_endpoint_dead_letters(self, tmp_path):
+        # A port from the dynamic range with nothing listening.
+        dead_letter = tmp_path / "dead.jsonl"
+        sink = make_sink(
+            "http://127.0.0.1:1/hook",
+            max_attempts=2,
+            dead_letter_path=dead_letter,
+        )
+        sink(FakeIncident())
+        assert sink.flush(timeout=15.0)
+        sink.close()
+        assert sink.stats.dead_lettered == 1
+        [entry] = read_jsonl(dead_letter)
+        assert "incident" in entry
+
+
+class TestCircuitBreaker:
+    def test_unit_state_machine(self):
+        breaker = _CircuitBreaker(threshold=2, reset_seconds=10.0)
+        assert breaker.allow(0.0)
+        breaker.record_failure(0.0)
+        assert not breaker.is_open
+        breaker.record_failure(1.0)
+        assert breaker.is_open and breaker.trips == 1
+        assert not breaker.allow(2.0)
+        # After the reset window one half-open probe is allowed.
+        assert breaker.allow(11.5)
+        breaker.record_failure(11.5)
+        assert breaker.is_open and breaker.trips == 1
+        breaker.record_success()
+        assert not breaker.is_open and breaker.failures == 0
+
+    def test_breaker_short_circuits_attempts(self, receiver):
+        receiver.plan = [500] * 50
+        sink = make_sink(
+            receiver.url,
+            max_attempts=4,
+            breaker_threshold=2,
+            breaker_reset=60.0,
+        )
+        sink(FakeIncident())
+        assert sink.flush(timeout=10.0)
+        requests_first = len(receiver.received)
+        # Breaker is open now: the next delivery's attempts short-circuit
+        # without touching the network.
+        sink(FakeIncident())
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert len(receiver.received) == requests_first
+        assert sink.stats.short_circuited >= 4
+        assert sink.stats.breaker_trips == 1
+        state = sink.breaker_state(receiver.url)
+        assert state["open"] and state["trips"] == 1
+
+    def test_breaker_recovers_after_reset(self, receiver):
+        receiver.plan = [500, 500]
+        sink = make_sink(
+            receiver.url,
+            max_attempts=2,
+            breaker_threshold=2,
+            breaker_reset=0.05,
+        )
+        sink(FakeIncident())
+        assert sink.flush(timeout=10.0)
+        assert sink.breaker_state(receiver.url)["open"]
+        time.sleep(0.1)
+        sink(FakeIncident(1))
+        assert sink.flush(timeout=10.0)
+        sink.close()
+        assert sink.stats.delivered == 1
+        assert not sink.breaker_state(receiver.url)["open"]

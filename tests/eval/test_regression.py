@@ -199,6 +199,7 @@ class TestCliGate:
             "BENCH_ingest.json",
             "BENCH_incremental_engine.json",
             "BENCH_service_loop.json",
+            "BENCH_http_ingest.json",
             "BENCH_fleet.json",
         ):
             (baseline_dir / name).write_text((tmp_path / name).read_text())

@@ -240,7 +240,7 @@ class TestSinks:
         )
         drive(pipeline, [1.0] + [0.01] * 4)
         pipeline.close()
-        assert sink._handle.closed
+        assert sink._writer.closed
         lines = [
             json.loads(line) for line in path.read_text().splitlines()
         ]
