@@ -1,0 +1,73 @@
+"""Topology-guided pinpointing — scaling on a generated service mesh.
+
+The paper's master fans a slave out to *every* component per SLO
+violation; at mesh scale (100+ services) that full fan-out dominates
+diagnosis latency. The topology layer (:mod:`repro.core.topology`)
+learns a weighted dependency graph online from per-edge traffic and
+scopes the fan-out to the top-K graph neighborhood of the SLO origin.
+This benchmark pins the acceptance targets of that design on a
+100-service fan-out/fan-in mesh:
+
+* **strict subset** — the scoped engine analyses a strict subset of the
+  services and never escalates on the canonical run;
+* **same culprit** — it names exactly the culprits full fan-out names;
+* **>= 2x latency** — its mean diagnosis latency beats full fan-out by
+  at least 2x (the committed baseline records ~6x).
+
+Writes ``BENCH_topology.json`` when run standalone; the same payload is
+produced by ``repro bench --json`` and gated against
+``benchmarks/baselines/BENCH_topology.json`` by ``repro bench --check``.
+
+Run standalone (``python benchmarks/bench_topology.py``) or via pytest
+(``pytest benchmarks/bench_topology.py``).
+"""
+
+import sys
+
+import pytest
+
+from _helpers import save_and_print
+from repro.eval.bench import run_topology_benchmark, write_benchmark_json
+
+SERVICES = 100
+TOP_K = 15
+
+
+@pytest.fixture(scope="module")
+def topology_report():
+    return run_topology_benchmark(services=SERVICES, top_k=TOP_K, seed=7)
+
+
+def test_scoped_analyses_strict_subset(topology_report):
+    """Top-K scoping must cover a strict subset without escalating."""
+    save_and_print("topology", topology_report.summary())
+    assert topology_report.subset_ok, (
+        f"scoped diagnosis analysed {topology_report.analyzed}/"
+        f"{SERVICES} services (escalated="
+        f"{topology_report.escalated}) — not a strict subset"
+    )
+
+
+def test_scoped_names_full_fanout_culprit(topology_report):
+    """Scoping must not change the verdict, only the work."""
+    assert topology_report.culprit_match, (
+        f"scoped named {sorted(topology_report.scoped_faulty)} but full "
+        f"fan-out named {sorted(topology_report.full_faulty)}"
+    )
+
+
+def test_scoped_beats_full_fanout_by_two_x(topology_report):
+    """The headline target: >= 2x diagnosis-latency win at 100 services."""
+    assert topology_report.speedup_ok, (
+        f"scoped diagnosis is only {topology_report.speedup:.1f}x faster "
+        f"than full fan-out (target "
+        f">= {topology_report.SPEEDUP_TARGET:.1f}x)"
+    )
+
+
+if __name__ == "__main__":
+    report = run_topology_benchmark(services=SERVICES, top_k=TOP_K, seed=7)
+    print(report.summary())
+    write_benchmark_json("BENCH_topology.json", report)
+    print("\nwrote BENCH_topology.json")
+    sys.exit(0 if report.gate_ok else 1)

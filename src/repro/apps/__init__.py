@@ -8,16 +8,23 @@ Three distributed applications run on the simulated cloud substrate:
   nodes) with a job progress score;
 * :mod:`repro.apps.systems` — an IBM System S style stream-processing
   application with seven processing elements (Fig. 2 topology).
+
+Beyond the paper's testbed, :mod:`repro.apps.mesh` generates a
+parameterizable microservice mesh (20–200 services with fan-out/fan-in,
+retries and timeouts) — the scaling testbed for topology-guided
+pinpointing.
 """
 
 from repro.apps.base import Application
 from repro.apps.hadoop import HadoopApplication
+from repro.apps.mesh import MeshApplication
 from repro.apps.rubis import RubisApplication
 from repro.apps.systems import SystemSApplication
 
 __all__ = [
     "Application",
     "HadoopApplication",
+    "MeshApplication",
     "RubisApplication",
     "SystemSApplication",
 ]

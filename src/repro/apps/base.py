@@ -238,6 +238,26 @@ class Application:
         """All component names in topological order."""
         return list(self._order)
 
+    def edge_traffic(self) -> Dict[Tuple[ComponentId, ComponentId], float]:
+        """Per-edge items delivered this tick (topology-learning evidence).
+
+        Splits each component's emitted items over its current routing
+        table — the same split :meth:`QueueComponent.process` applied —
+        so an :class:`~repro.core.topology.OnlineTopology` can learn
+        edge confidences from live traffic without packet recording.
+        """
+        traffic: Dict[Tuple[ComponentId, ComponentId], float] = {}
+        for name in self._order:
+            component = self.components[name]
+            if component.emitted <= 0:
+                continue
+            for downstream, fraction in component.routing():
+                if fraction > 0:
+                    traffic[(name, downstream.name)] = (
+                        component.emitted * fraction
+                    )
+        return traffic
+
     # ------------------------------------------------------------------
     # Online-validation lever
     # ------------------------------------------------------------------

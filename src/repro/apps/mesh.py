@@ -1,0 +1,308 @@
+"""A generated microservice mesh: the topology-scaling testbed.
+
+The paper's applications top out at a handful of components; modern
+cloud deployments run hundreds of interdependent services, which is
+exactly the regime where analysing *every* component per violation stops
+scaling and topology-guided candidate ranking pays off. This module
+generates a parameterizable service mesh (20–200 services) with the
+traffic shapes that matter for propagation analysis:
+
+* **fan-out / fan-in** — a single gateway spreads requests over widening
+  service layers that converge again onto a narrow set of backends, so
+  one slow backend back-pressures many upstream paths;
+* **retries** — requests the gateway refuses under overload are retried
+  by clients next tick (partially), amplifying load exactly when the
+  mesh is least able to absorb it;
+* **timeouts** — callers abandon calls that exceed a timeout budget, so
+  a congested service contributes at most the timeout to the end-to-end
+  latency (and the SLO signal saturates rather than diverging).
+
+The layer structure, edge wiring and per-service capacities are drawn
+deterministically from the seed: the same ``(seed, services)`` pair
+always builds the same mesh, which keeps diagnoses reproducible and the
+benchmark comparable across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.base import Application
+from repro.common.errors import SimulationError
+from repro.common.rng import spawn_rng
+from repro.common.types import ComponentId
+from repro.monitoring.slo import LatencySLO
+from repro.sim.component import ComponentSpec
+from repro.workloads.generator import ClientWorkload
+from repro.workloads.traces import TraceSpec, diurnal_trace
+
+
+class MeshApplication(Application):
+    """A generated fan-out/fan-in microservice mesh.
+
+    Args:
+        seed: Base seed for mesh generation, workload and noise.
+        services: Number of services (the paper-scale floor is 20, the
+            fleet-scale ceiling 200).
+        duration: Length of the pre-generated workload trace (seconds).
+        base_rate: Mean external request rate at the gateway (req/s).
+        fan_out: Maximum downstream dependencies wired per service.
+        retry_fraction: Fraction of refused gateway arrivals clients
+            retry on the next tick.
+        timeout_s: Per-layer call timeout; a slower layer contributes at
+            most this much to the end-to-end latency.
+        slo_threshold: Response-time SLO in seconds (None: derived from
+            the mesh's nominal no-load latency).
+        record_packets: Record a packet trace for offline dependency
+            discovery.
+    """
+
+    def __init__(
+        self,
+        seed: object = 0,
+        *,
+        services: int = 50,
+        duration: int = 3600,
+        base_rate: float = 80.0,
+        fan_out: int = 3,
+        retry_fraction: float = 0.5,
+        timeout_s: float = 1.0,
+        slo_threshold: Optional[float] = None,
+        record_packets: bool = False,
+    ) -> None:
+        if not 2 <= services <= 500:
+            raise SimulationError("services must be in [2, 500]")
+        if fan_out < 1:
+            raise SimulationError("fan_out must be >= 1")
+        super().__init__("mesh", seed, record_packets=record_packets)
+        self.services = services
+        self.base_rate = float(base_rate)
+        self.retry_fraction = float(retry_fraction)
+        self.timeout_s = float(timeout_s)
+        self._retry_backlog = 0.0
+
+        rng = spawn_rng(("mesh-structure", seed, services))
+        names = [f"svc{i:03d}" for i in range(services)]
+        self.gateway: ComponentId = names[0]
+
+        #: Services per layer, gateway first — fan-out then fan-in.
+        self.layers: List[List[ComponentId]] = self._build_layers(names, rng)
+        hosts = [
+            self.new_host(f"mesh-host{i}", cores=4.0)
+            for i in range(max(1, (services + 7) // 8))
+        ]
+        for index, name in enumerate(names):
+            capacity = base_rate * float(rng.uniform(2.2, 3.2))
+            self.add_component(
+                ComponentSpec(
+                    name,
+                    capacity=capacity,
+                    service_time=float(rng.uniform(0.002, 0.008)),
+                    buffer_limit=max(60.0, capacity),
+                    kb_in_per_item=float(rng.uniform(2.0, 6.0)),
+                    kb_out_per_item=float(rng.uniform(2.0, 6.0)),
+                    base_memory_mb=float(rng.uniform(150.0, 280.0)),
+                    # Queue growth must be visible in the memory signal:
+                    # congestion (a bottleneck ramping its backlog) is the
+                    # low-noise channel diagnosis keys on, while the
+                    # workload's multiplicative noise drowns cpu/network.
+                    memory_per_item_mb=4.0,
+                ),
+                hosts[index % len(hosts)],
+                memory_limit_mb=2048.0,
+            )
+        self._wire_layers(rng, fan_out)
+        self.add_entry(self.gateway)
+        # A gentler trace than the web-server benchmarks: the mesh is the
+        # *scaling* testbed, so the workload provides texture (drift,
+        # occasional bursts) without diurnal swings large enough to
+        # dominate the injected fault's manifestation.
+        trace = diurnal_trace(
+            duration,
+            TraceSpec(
+                base_rate=base_rate,
+                diurnal_amplitude=0.12,
+                period=2400,
+                walk_sigma=0.002,
+                burst_prob=0.003,
+                burst_scale=1.4,
+                noise_sigma=0.04,
+            ),
+            seed=("mesh-load", seed),
+        )
+        self.workload = ClientWorkload(trace, seed=("mesh", seed))
+        nominal = self._nominal_latency()
+        self.slo_threshold = (
+            float(slo_threshold) if slo_threshold is not None
+            else max(0.05, 4.0 * nominal)
+        )
+        self.slo = LatencySLO(self.slo_threshold, sustain=10)
+        self.finalize()
+
+    # ------------------------------------------------------------------
+    # Mesh generation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _build_layers(names: List[ComponentId], rng) -> List[List[ComponentId]]:
+        """Partition the services into a fan-out/fan-in layer profile.
+
+        Widths rise from the single gateway toward a middle bulge and
+        shrink again toward a narrow backend layer; the exact widths are
+        drawn from the seeded rng so different seeds produce different
+        (but reproducible) meshes.
+        """
+        n = len(names)
+        layers: List[List[ComponentId]] = [[names[0]]]
+        assigned = 1
+        bulge = max(2, int(round(n ** 0.5)) + 1)
+        width = 2
+        growing = True
+        while assigned < n:
+            if growing:
+                width = min(bulge, width + int(rng.integers(1, 3)))
+                if width >= bulge and assigned > n // 2:
+                    growing = False
+            else:
+                width = max(1, width - int(rng.integers(1, 3)))
+            take = min(width, n - assigned)
+            layers.append(names[assigned : assigned + take])
+            assigned += take
+        return layers
+
+    def _wire_layers(self, rng, fan_out: int) -> None:
+        """Connect each layer to the next with bounded fan-out.
+
+        Every service gets 1..``fan_out`` downstream dependencies in the
+        next layer; every next-layer service is guaranteed at least two
+        upstream callers when the upstream layer has two to give (fan-in),
+        so no service is unreachable from the gateway and no service's
+        input depends on a single upstream — one slow caller dilutes into
+        a partial sag rather than starving its victims outright.
+        """
+        for upstream, downstream in zip(self.layers, self.layers[1:]):
+            fed: Dict[ComponentId, set] = {name: set() for name in downstream}
+            for src in upstream:
+                picks = min(len(downstream), int(rng.integers(1, fan_out + 1)))
+                chosen = rng.choice(len(downstream), size=picks, replace=False)
+                for index in sorted(int(i) for i in chosen):
+                    dst = downstream[index]
+                    self.connect(src, dst, weight=float(rng.uniform(0.5, 1.5)))
+                    fed[dst].add(src)
+            want = min(2, len(upstream))
+            for dst, feeders in fed.items():
+                while len(feeders) < want:
+                    src = upstream[int(rng.integers(0, len(upstream)))]
+                    if src in feeders:
+                        continue
+                    self.connect(src, dst, weight=float(rng.uniform(0.5, 1.5)))
+                    feeders.add(src)
+
+    def _nominal_latency(self) -> float:
+        """No-load end-to-end latency: summed mean service time per layer
+        plus per-hop network delay."""
+        total = 0.0
+        for layer in self.layers:
+            total += sum(
+                self.components[name].spec.service_time for name in layer
+            ) / len(layer)
+        return total + 0.001 * max(0, len(self.layers) - 1)
+
+    # ------------------------------------------------------------------
+    # Tick hooks
+    # ------------------------------------------------------------------
+    def _dispatch_arrivals(self, t: int) -> None:
+        """External arrivals plus last tick's client retries."""
+        if self.workload is None:
+            return
+        arrivals = self.workload.arrivals(t) + self._retry_backlog
+        self._retry_backlog = 0.0
+        self.components[self.gateway].enqueue(arrivals)
+
+    def _post_process(self, t: int) -> None:
+        """Refused gateway arrivals partially return as retries."""
+        dropped = self.components[self.gateway].dropped
+        if dropped > 0:
+            # Cap the carried backlog so a sustained overload cannot
+            # accumulate an unbounded retry storm.
+            limit = self.components[self.gateway].spec.buffer_limit
+            self._retry_backlog = min(self.retry_fraction * dropped, limit)
+
+    def _measure_performance(self, t: int) -> float:
+        """End-to-end response time through the mesh with call timeouts.
+
+        Per layer, the traffic-weighted mean sojourn of its services,
+        clamped at the timeout budget (callers abandon slower calls and
+        pay exactly the timeout); summed over layers plus a per-hop
+        network delay.
+        """
+        response = 0.0
+        for layer in self.layers:
+            weights = [
+                max(self.components[name].arrived, 0.0) for name in layer
+            ]
+            total = sum(weights)
+            if total <= 0.0:
+                weights = [1.0] * len(layer)
+                total = float(len(layer))
+            layer_sojourn = 0.0
+            for name, weight in zip(layer, weights):
+                sojourn = self.components[name].sojourn_time()
+                layer_sojourn += min(sojourn, self.timeout_s) * weight
+            response += layer_sojourn / total
+        return response + 0.001 * max(0, len(self.layers) - 1)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def layer_of(self, component: ComponentId) -> int:
+        """Index of the layer a service belongs to."""
+        for index, layer in enumerate(self.layers):
+            if component in layer:
+                return index
+        raise SimulationError(f"unknown service {component!r}")
+
+    def service_in_layer(self, layer: int, position: int = 0) -> ComponentId:
+        """A deterministic service handle (e.g. a fault target)."""
+        return self.layers[layer][position % len(self.layers[layer])]
+
+    def default_fault_target(self) -> ComponentId:
+        """The canonical injection point: first service of layer 1 —
+        deep enough that its back-pressure has to propagate, close
+        enough to the gateway that a scoped neighborhood covers it."""
+        return self.service_in_layer(min(1, len(self.layers) - 1))
+
+    def nominal_arrival_rate(self, component: ComponentId) -> float:
+        """Mean items/s a service receives under the nominal workload.
+
+        Propagates the base request rate through the routing fractions in
+        topological order — the deterministic flow solution of the DAG,
+        no warm-up run required.
+        """
+        if component not in self.components:
+            raise SimulationError(f"unknown service {component!r}")
+        flow: Dict[ComponentId, float] = {name: 0.0 for name in self._order}
+        total_weight = sum(w for _, w in self.entries) or 1.0
+        for name, weight in self.entries:
+            flow[name] += self.base_rate * weight / total_weight
+        for name in self._order:
+            for downstream, fraction in self.components[name].routing():
+                flow[downstream.name] += flow[name] * fraction
+        return flow[component]
+
+    def bottleneck_cap(
+        self, component: ComponentId, fraction: float = 0.9
+    ) -> float:
+        """CPU cap that pins a service just below its nominal load.
+
+        A :class:`~repro.faults.library.BottleneckFault` with this cap
+        leaves the service ``fraction`` of the throughput it needs, so
+        its backlog ramps steadily (a clean congestion signature on the
+        victim) while the downstream traffic sag stays small enough to
+        dilute through the mesh's fan-in — the slowly-manifesting fault
+        profile of the paper's evaluation, scaled to a generated mesh.
+        """
+        rate = fraction * self.nominal_arrival_rate(component)
+        return rate / self.components[component].spec.capacity
+
+
+__all__ = ["MeshApplication"]

@@ -157,6 +157,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_http_ingest_benchmark,
         run_ingest_benchmark,
         run_service_loop_benchmark,
+        run_topology_benchmark,
         write_benchmark_json,
     )
 
@@ -249,16 +250,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print()
     print(fleet.summary())
 
+    topology = None
+    if args.topology_services > 0:
+        print()
+        print(
+            f"Benchmarking topology-guided diagnosis: "
+            f"{args.topology_services}-service mesh, top-15 neighborhood"
+        )
+        # Also NOT shrunk by --quick: the subset/culprit/speedup
+        # acceptance targets (and the committed baseline's workload
+        # parameters) are defined on the canonical 100-service mesh run.
+        topology = run_topology_benchmark(services=args.topology_services)
+        print()
+        print(topology.summary())
+
     if args.json:
         write_benchmark_json("BENCH_ingest.json", ingest)
         write_benchmark_json("BENCH_incremental_engine.json", report)
         write_benchmark_json("BENCH_service_loop.json", service)
         write_benchmark_json("BENCH_http_ingest.json", http_ingest)
         write_benchmark_json("BENCH_fleet.json", fleet)
+        if topology is not None:
+            write_benchmark_json("BENCH_topology.json", topology)
         print(
             "\nwrote BENCH_ingest.json, BENCH_incremental_engine.json, "
-            "BENCH_service_loop.json, BENCH_http_ingest.json and "
+            "BENCH_service_loop.json, BENCH_http_ingest.json, "
             "BENCH_fleet.json"
+            + (" and BENCH_topology.json" if topology is not None else "")
         )
 
     if args.emit_metrics:
@@ -282,6 +300,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             "BENCH_http_ingest.json": http_ingest.to_json(),
             "BENCH_fleet.json": fleet.to_json(),
         }
+        if topology is not None:
+            reports["BENCH_topology.json"] = topology.to_json()
         print(f"\nregression gate vs baselines in {args.check}:")
         try:
             checks, missing = check_against_baselines(
@@ -306,12 +326,20 @@ def cmd_bench(args: argparse.Namespace) -> int:
             f"\nFAIL storm fairness: non-storming tenants' p99 rose "
             f"{fleet.fairness_ratio:.2f}x (bound {fleet.FAIRNESS_BOUND:.1f}x)"
         )
+    if topology is not None and not topology.gate_ok:
+        print(
+            f"\nFAIL topology scoping: subset_ok={topology.subset_ok} "
+            f"culprit_match={topology.culprit_match} "
+            f"speedup={topology.speedup:.1f}x "
+            f"(target >= {topology.SPEEDUP_TARGET:.1f}x)"
+        )
     ok = (
         report.results_match
         and ingest.stores_match
         and gate_ok
         and fleet.sustained
         and fleet.fairness_ok
+        and (topology is None or topology.gate_ok)
     )
     return 0 if ok else 1
 
@@ -324,6 +352,8 @@ def _service_config(args) -> "FChainConfig":
         service_queue_depth=args.queue_depth,
         executor=args.executor,
         telemetry=args.telemetry,
+        topology_mode=getattr(args, "topology_mode", "full"),
+        topology_top_k=getattr(args, "topology_top_k", 0) or 0,
     )
 
 
@@ -342,20 +372,51 @@ def _print_loop_outcome(pipeline, incidents) -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Run the online service loop against the live RUBiS simulation."""
-    from repro.apps.rubis import RubisApplication
+    """Run the online service loop against a live simulated application."""
     from repro.monitoring.slo import LatencySLO
     from repro.service import JsonlSink, OnlinePipeline, SimFeed
 
-    app = RubisApplication(seed=args.seed, duration=args.duration + 600)
-    if args.fault_at is not None:
-        from repro.faults.library import CpuHogFault
+    topology = None
+    origin = None
+    if args.app == "mesh":
+        from repro.apps.mesh import MeshApplication
+        from repro.core.topology import OnlineTopology
+        from repro.faults.library import BottleneckFault
 
-        app.inject(CpuHogFault(args.fault_at, args.fault_component))
-        print(
-            f"injecting cpuhog on {args.fault_component!r} at "
-            f"t={args.fault_at}s"
+        app = MeshApplication(
+            seed=args.seed,
+            services=args.services,
+            duration=args.duration + 600,
         )
+        threshold = app.slo_threshold
+        if args.fault_at is not None:
+            target = args.fault_component or app.default_fault_target()
+            app.inject(
+                BottleneckFault(
+                    args.fault_at, target, cap=app.bottleneck_cap(target)
+                )
+            )
+            print(
+                f"injecting bottleneck on {target!r} at t={args.fault_at}s"
+            )
+        topology = OnlineTopology()
+        origin = app.gateway
+        if args.topology_mode == "neighborhood":
+            print(
+                f"topology-guided diagnosis: top-{args.topology_top_k} "
+                f"neighborhood of {origin!r}"
+            )
+    else:
+        from repro.apps.rubis import RubisApplication
+
+        app = RubisApplication(seed=args.seed, duration=args.duration + 600)
+        threshold = RubisApplication.SLO_THRESHOLD
+        if args.fault_at is not None:
+            from repro.faults.library import CpuHogFault
+
+            target = args.fault_component or "db"
+            app.inject(CpuHogFault(args.fault_at, target))
+            print(f"injecting cpuhog on {target!r} at t={args.fault_at}s")
     feed = SimFeed(app, duration=args.duration)
     if args.chaos is not None:
         from repro.eval.chaos import ChaosSpec, CorruptedFeed
@@ -371,9 +432,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             ),
         )
         print(f"chaos: corrupting the live feed (seed {args.chaos})")
-    detector = LatencySLO(
-        RubisApplication.SLO_THRESHOLD, sustain=10, retention=600
-    )
+    detector = LatencySLO(threshold, sustain=10, retention=600)
     sinks = [JsonlSink(args.incidents)] if args.incidents else []
     pipeline = OnlinePipeline(
         feed,
@@ -382,13 +441,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         sinks=sinks,
+        topology=topology,
+        origin=origin,
     )
-    print(f"serving rubis for {args.duration} simulated seconds ...")
+    print(f"serving {args.app} for {args.duration} simulated seconds ...")
     incidents = pipeline.run()
     _print_loop_outcome(pipeline, incidents)
     if args.incidents:
         print(f"incident records appended to {args.incidents}")
-    return 0 if not pipeline.failures else 1
+    ok = not pipeline.failures
+    ok &= _expected_incidents_ok(args, incidents)
+    return 0 if ok else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -424,6 +487,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
     _print_loop_outcome(pipeline, incidents)
 
     ok = not pipeline.failures
+    ok &= _expected_incidents_ok(args, incidents)
+    return 0 if ok else 1
+
+
+def _expected_incidents_ok(args: argparse.Namespace, incidents) -> bool:
+    """Apply the CI soak assertions (--expect-incidents/--expect-culprit)."""
+    ok = True
     if args.expect_incidents is not None and len(incidents) != args.expect_incidents:
         print(
             f"FAIL expected exactly {args.expect_incidents} incident(s), "
@@ -441,7 +511,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
                     f"{incident.faulty}, expected {args.expect_culprit!r}"
                 )
                 ok = False
-    return 0 if ok else 1
+    return ok
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -718,6 +788,12 @@ def main(argv: List[str] = None) -> int:
         help="fleet-benchmark shard worker count",
     )
     bench.add_argument(
+        "--topology-services", type=int, default=100,
+        help="mesh size of the topology benchmark (not shrunk by "
+        "--quick: the subset/culprit/speedup targets are defined at "
+        "100 services; 0 skips the topology benchmark entirely)",
+    )
+    bench.add_argument(
         "--emit-metrics", action="store_true",
         help="run with telemetry enabled and print the aggregated "
         "Prometheus text-format metrics after the benchmarks",
@@ -801,7 +877,27 @@ def main(argv: List[str] = None) -> int:
 
     serve = sub.add_parser(
         "serve",
-        help="run the online service loop against the live RUBiS sim",
+        help="run the online service loop against a live simulated app",
+    )
+    serve.add_argument(
+        "--app", choices=("rubis", "mesh"), default="rubis",
+        help="application to serve: the paper's RUBiS web stack, or the "
+        "generated fan-out/fan-in microservice mesh (topology testbed)",
+    )
+    serve.add_argument(
+        "--services", type=int, default=50,
+        help="mesh size in services (mesh app only; default 50)",
+    )
+    serve.add_argument(
+        "--topology-mode", choices=("full", "neighborhood"), default="full",
+        help="diagnosis scoping: analyse every component (full) or only "
+        "the learned-topology neighborhood of the SLO origin "
+        "(neighborhood; mesh app only)",
+    )
+    serve.add_argument(
+        "--topology-top-k", type=int, default=15,
+        help="neighborhood size when --topology-mode=neighborhood "
+        "(default 15)",
     )
     serve.add_argument(
         "--duration", type=int, default=1380,
@@ -810,21 +906,31 @@ def main(argv: List[str] = None) -> int:
     serve.add_argument("--seed", type=int, default=42)
     serve.add_argument(
         "--fault-at", type=int, default=1300,
-        help="inject a cpuhog at this tick (pass a negative value via "
-        "--no-fault instead to serve a healthy run)",
+        help="inject a fault at this tick: a cpuhog (rubis) or a capacity "
+        "bottleneck (mesh)",
     )
     serve.add_argument(
         "--no-fault", dest="fault_at", action="store_const", const=None,
         help="serve a healthy run without any injected fault",
     )
     serve.add_argument(
-        "--fault-component", default="db",
-        help="component the cpuhog is injected on (default db)",
+        "--fault-component", default=None,
+        help="component the fault is injected on (default: db for rubis, "
+        "the mesh's canonical layer-1 target for mesh)",
     )
     serve.add_argument(
         "--chaos", type=int, metavar="SEED", default=None,
         help="corrupt the live feed (gaps, NaN readings, delayed "
         "delivery) with this chaos seed",
+    )
+    serve.add_argument(
+        "--expect-incidents", type=int, default=None,
+        help="exit non-zero unless exactly this many incidents occurred "
+        "(the CI soak assertion)",
+    )
+    serve.add_argument(
+        "--expect-culprit", default=None,
+        help="exit non-zero unless every incident names this component",
     )
     _add_service_options(serve)
     serve.set_defaults(func=cmd_serve)

@@ -104,6 +104,24 @@ class FChainConfig:
             scaling action during online validation (paper: ~30 s).
         validation_improvement: Relative SLO improvement required for a
             pinpointed component to survive validation.
+        topology_mode: How diagnosis picks which components the slaves
+            analyse: ``"full"`` (default — every monitored component, the
+            paper's behaviour and bit-identical to all prior releases) or
+            ``"neighborhood"`` (rank components by dependency-graph
+            distance from the SLO-violating origin and analyse only the
+            top-K; escalates to a full analysis whenever the scoped
+            result could have missed the culprit, so nothing is silently
+            dropped).
+        topology_top_k: Size of the analysed neighborhood in
+            ``"neighborhood"`` mode, counting the origin itself. ``0``
+            (default) disables scoping even in neighborhood mode —
+            equivalent to analysing everything.
+        topology_min_path_confidence: Weighted-pruning threshold in
+            ``[0, 1]``: a suspicious component's anomaly counts as
+            explained by propagation only when the best dependency path
+            to a pinpointed component has confidence (product of learned
+            edge weights) at least this value. ``0.0`` (default)
+            reproduces the unweighted path-existence test exactly.
     """
 
     look_back_window: int = 100
@@ -132,6 +150,9 @@ class FChainConfig:
     external_trend_fraction: float = 0.75
     validation_horizon: int = 30
     validation_improvement: float = 0.3
+    topology_mode: str = "full"
+    topology_top_k: int = 0
+    topology_min_path_confidence: float = 0.0
 
     def __post_init__(self) -> None:
         if self.look_back_window <= 0:
@@ -155,6 +176,24 @@ class FChainConfig:
                 f"executor={self.executor!r} is not supported: choose "
                 "'thread' (shared warm slave state) or 'process' "
                 "(shared-memory store view, escapes the GIL)"
+            )
+        if self.topology_mode not in ("full", "neighborhood"):
+            raise ConfigurationError(
+                f"topology_mode={self.topology_mode!r} is not supported: "
+                "choose 'full' (analyse every component) or "
+                "'neighborhood' (scope analysis to the top-K components "
+                "by dependency-graph distance from the violation origin)"
+            )
+        if self.topology_top_k < 0:
+            raise ConfigurationError(
+                f"topology_top_k={self.topology_top_k} must be >= 0 "
+                "(0 disables neighborhood scoping)"
+            )
+        if not 0.0 <= self.topology_min_path_confidence <= 1.0:
+            raise ConfigurationError(
+                f"topology_min_path_confidence="
+                f"{self.topology_min_path_confidence} must be in [0, 1]: "
+                "it is compared against products of edge confidences"
             )
         if self.telemetry not in ("off", "timings", "full"):
             raise ConfigurationError(

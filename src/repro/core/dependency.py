@@ -100,10 +100,9 @@ def _co_occurrence(
     if len(downstream_starts) == 0 or len(upstream_starts) == 0:
         return 0.0
     idx = np.searchsorted(upstream_starts, downstream_starts, side="right") - 1
-    hits = 0
-    for i, pos in enumerate(idx):
-        if pos >= 0 and downstream_starts[i] - upstream_starts[pos] <= delay:
-            hits += 1
+    valid = idx >= 0
+    gaps = downstream_starts - upstream_starts[np.maximum(idx, 0)]
+    hits = int(np.count_nonzero(valid & (gaps <= delay)))
     return hits / len(downstream_starts)
 
 
@@ -190,26 +189,45 @@ def save_graph(graph: nx.DiGraph, path) -> None:
 
     The paper performs discovery offline and stores the result in a file
     for later reference (Sec. II-C footnote 3); this is that file format.
+    Edges carrying a ``weight`` attribute (an online-learned confidence,
+    see :mod:`repro.core.topology`) are written as ``[src, dst, weight]``
+    triples; unweighted edges stay ``[src, dst]`` pairs, so files written
+    by older versions round-trip unchanged.
     """
     import json
     import pathlib
 
+    edges = []
+    for src, dst in sorted(graph.edges):
+        weight = graph.edges[src, dst].get("weight")
+        if weight is None:
+            edges.append([src, dst])
+        else:
+            edges.append([src, dst, float(weight)])
     payload = {
         "nodes": sorted(graph.nodes),
-        "edges": sorted([list(edge) for edge in graph.edges]),
+        "edges": edges,
     }
     pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def load_graph(path) -> nx.DiGraph:
-    """Load a dependency graph stored by :func:`save_graph`."""
+    """Load a dependency graph stored by :func:`save_graph`.
+
+    Accepts both the legacy ``[src, dst]`` edge entries and the weighted
+    ``[src, dst, weight]`` extension.
+    """
     import json
     import pathlib
 
     payload = json.loads(pathlib.Path(path).read_text())
     graph = nx.DiGraph()
     graph.add_nodes_from(payload["nodes"])
-    graph.add_edges_from(tuple(edge) for edge in payload["edges"])
+    for entry in payload["edges"]:
+        if len(entry) >= 3:
+            graph.add_edge(entry[0], entry[1], weight=float(entry[2]))
+        else:
+            graph.add_edge(entry[0], entry[1])
     return graph
 
 
@@ -233,3 +251,49 @@ def propagation_path_exists(
     return nx.has_path(graph, source, target) or nx.has_path(
         graph, target, source
     )
+
+
+def _edge_cost(u, v, data) -> float:
+    """Dijkstra edge cost: ``-log(weight)`` so path cost sums compose
+    multiplicatively into a path confidence. Unweighted edges count as
+    fully confident (cost 0); a zero weight is clamped to stay finite."""
+    import math
+
+    weight = data.get("weight", 1.0)
+    return -math.log(min(max(float(weight), 1e-12), 1.0))
+
+
+def _best_path_confidence(graph: nx.DiGraph, source: str, target: str) -> float:
+    import math
+
+    try:
+        cost = nx.shortest_path_length(
+            graph, source, target, weight=_edge_cost
+        )
+    except nx.NetworkXNoPath:
+        return 0.0
+    return math.exp(-cost)
+
+
+def propagation_path_confidence(
+    graph: nx.DiGraph, source: str, target: str
+) -> float:
+    """Confidence that an anomaly could propagate ``source`` ⇝ ``target``.
+
+    The weighted refinement of :func:`propagation_path_exists`: each
+    edge carries a learned confidence in ``[0, 1]`` (its ``weight``
+    attribute, default 1.0 for offline-discovered edges), a path's
+    confidence is the product of its edge confidences, and the result is
+    the best such product over all consistently directed paths — forward
+    (request flow) or reverse (back-pressure). Returns 0.0 when no path
+    exists in either direction, and 1.0 when ``source == target``. On an
+    unweighted graph this degenerates exactly to
+    ``propagation_path_exists``: 1.0 where a path exists, 0.0 where not.
+    """
+    if source == target:
+        return 1.0
+    if source not in graph or target not in graph:
+        return 0.0
+    forward = _best_path_confidence(graph, source, target)
+    backward = _best_path_confidence(graph, target, source)
+    return max(forward, backward)

@@ -82,6 +82,23 @@ class Diagnosis:
         """Whether online pinpointing validation ran."""
         return self.outcomes is not None
 
+    @property
+    def analyzed(self) -> Optional[FrozenSet[ComponentId]]:
+        """Components the slaves examined when diagnosis ran scoped.
+
+        ``None`` for an unscoped (full fan-out) diagnosis — the default
+        ``topology_mode="full"`` — and the analysed neighborhood in
+        topology-guided ``"neighborhood"`` mode.
+        """
+        return self.result.analyzed
+
+    @property
+    def escalated(self) -> bool:
+        """Whether a neighborhood-scoped diagnosis widened to all
+        components because the scoped result could not rule out a
+        culprit outside the neighborhood."""
+        return self.result.escalated
+
     # ------------------------------------------------------------------
     # Data-quality surface (degraded-telemetry resilience layer)
     # ------------------------------------------------------------------

@@ -46,6 +46,11 @@ from repro.core.selection import (
     detect_window_change_points,
     select_abnormal_changes,
 )
+from repro.core.topology import (
+    OnlineTopology,
+    neighborhood_complete,
+    rank_candidates,
+)
 from repro.core.validation import (
     ValidationOutcome,
     apply_validation,
@@ -593,9 +598,11 @@ class FChainMaster:
         jobs: Optional[int] = None,
         slave_timeout: Optional[float] = None,
         incremental: bool = True,
+        topology: Optional[OnlineTopology] = None,
     ) -> None:
         self.config = (config or FChainConfig()).validate()
         self.dependency_graph = dependency_graph
+        self.topology = topology
         self.seed = seed
         self.jobs = jobs
         self.slave_timeout = slave_timeout
@@ -616,15 +623,91 @@ class FChainMaster:
         if self._pool is not None:
             self._pool.close()
 
+    def _diagnosis_graph(self) -> Optional[nx.DiGraph]:
+        """The dependency graph this diagnosis prunes against.
+
+        A static (offline discovered) graph wins when both are given;
+        otherwise the online topology's current weighted snapshot is
+        taken — per diagnosis, because edge confidences keep moving.
+        """
+        if self.dependency_graph is not None:
+            return self.dependency_graph
+        if self.topology is not None:
+            return self.topology.graph()
+        return None
+
+    def _scope(
+        self, graph: Optional[nx.DiGraph], store: MetricStore, origin
+    ) -> Optional[List[ComponentId]]:
+        """The top-K neighborhood to analyse, or None for full fan-out."""
+        config = self.config
+        if (
+            config.topology_mode != "neighborhood"
+            or config.topology_top_k <= 0
+            or origin is None
+            or graph is None
+        ):
+            return None
+        ranked = rank_candidates(graph, origin, store.components)
+        scope = [
+            c
+            for c in ranked[: config.topology_top_k]
+            if c in set(store.components)
+        ]
+        if not scope or len(scope) >= len(store.components):
+            return None
+        return scope
+
+    @staticmethod
+    def _must_widen(
+        result: PinpointResult,
+        graph: nx.DiGraph,
+        analyzed: Iterable[ComponentId],
+    ) -> bool:
+        """Whether a scoped diagnosis could have missed the culprit.
+
+        Escalate when the scoped analysis found nothing to blame (the
+        anomaly's source may sit outside the neighborhood), when it
+        inferred an external factor from a subset (that attribution
+        requires *every* component abnormal, which a subset cannot
+        establish), or when an abnormal component sits at the frontier —
+        with an unanalysed graph neighbor its anomaly could have arrived
+        from.
+        """
+        if result.external_factor:
+            return True
+        if not result.faulty:
+            return True
+        abnormal = [
+            r.component for r in result.reports.values() if r.is_abnormal
+        ]
+        return not neighborhood_complete(graph, abnormal, analyzed)
+
     def diagnose(
-        self, store: MetricStore, violation_time: int
+        self,
+        store: MetricStore,
+        violation_time: int,
+        *,
+        origin: Optional[ComponentId] = None,
     ) -> PinpointResult:
         """Pinpoint faulty components after an SLO violation at ``t_v``.
 
         Triggers the slave analysis for every monitored component, builds
         the propagation chain and runs integrated pinpointing against the
-        (offline discovered) dependency graph. Components no slave could
-        analyse are surfaced in ``PinpointResult.skipped``.
+        dependency graph (offline discovered, or the online topology's
+        current weighted snapshot). Components no slave could analyse are
+        surfaced in ``PinpointResult.skipped``.
+
+        Args:
+            origin: The component whose SLO signal violated (keyword
+                only). In ``topology_mode="neighborhood"`` with a
+                positive ``topology_top_k``, slaves are dispatched only
+                for the top-K components by graph distance from the
+                origin; the result is escalated to a full analysis
+                whenever the scoped outcome cannot rule out a culprit
+                outside the neighborhood (``PinpointResult.escalated``).
+                Ignored in ``"full"`` mode — diagnoses are then
+                bit-identical to prior releases.
         """
         if violation_time <= store.start:
             raise DiagnosisError("violation time precedes recorded history")
@@ -643,6 +726,8 @@ class FChainMaster:
                     slave, jobs=self.jobs, timeout=self.slave_timeout
                 )
             pool = self._pool
+        graph = self._diagnosis_graph()
+        scope = self._scope(graph, store, origin)
         trace = self.tracer.span(
             STAGE_DIAGNOSIS,
             executor=pool.executor,
@@ -650,11 +735,41 @@ class FChainMaster:
             violation_time=violation_time,
         )
         with trace:
-            reports, _ = pool.analyze_all(store, violation_time, span=trace)
+            reports, _ = pool.analyze_all(
+                store, violation_time, scope, span=trace
+            )
             with trace.child(STAGE_PINPOINT) as pin_span:
                 result = pinpoint_faulty_components(
-                    reports, self.config, self.dependency_graph
+                    reports, self.config, graph
                 )
+                escalated = False
+                if scope is not None:
+                    result.analyzed = frozenset(scope)
+                    if self._must_widen(result, graph, scope):
+                        # The scoped verdict cannot rule out a culprit
+                        # beyond the frontier: widen to the full
+                        # component set rather than silently miss it.
+                        rest = [
+                            c
+                            for c in store.components
+                            if c not in result.analyzed
+                        ]
+                        more, _ = pool.analyze_all(
+                            store, violation_time, rest, span=trace
+                        )
+                        merged = {r.component: r for r in reports}
+                        merged.update({r.component: r for r in more})
+                        reports = [
+                            merged[c]
+                            for c in store.components
+                            if c in merged
+                        ]
+                        result = pinpoint_faulty_components(
+                            reports, self.config, graph
+                        )
+                        result.analyzed = frozenset(store.components)
+                        escalated = True
+                result.escalated = escalated
                 pin_span.count("components_reported", len(reports))
                 pin_span.count(
                     "abnormal_components",
@@ -662,6 +777,9 @@ class FChainMaster:
                 )
                 pin_span.count("chain_length", len(result.chain.links))
                 pin_span.count("faulty_pinpointed", len(result.faulty))
+                if scope is not None:
+                    pin_span.count("components_scoped", len(scope))
+                    pin_span.count("escalated", int(escalated))
         if self.tracer.enabled:
             self.tracer.observe(trace)
             result.trace = trace
@@ -696,6 +814,10 @@ class FChain:
             (parallel mode only); timed-out components are ``skipped``.
         incremental: Keep slave state warm across diagnoses (default).
             ``False`` restores the original replay-per-diagnosis engine.
+        topology: Online learned :class:`~repro.core.topology.OnlineTopology`
+            whose weighted snapshot replaces ``dependency_graph`` when the
+            latter is None, and which powers neighborhood-scoped dispatch
+            in ``topology_mode="neighborhood"``.
     """
 
     def __init__(
@@ -707,6 +829,7 @@ class FChain:
         jobs: Optional[int] = None,
         slave_timeout: Optional[float] = None,
         incremental: bool = True,
+        topology: Optional[OnlineTopology] = None,
     ) -> None:
         self.config = (config or FChainConfig()).validate()
         self.master = FChainMaster(
@@ -716,11 +839,16 @@ class FChain:
             jobs=jobs,
             slave_timeout=slave_timeout,
             incremental=incremental,
+            topology=topology,
         )
 
     @property
     def dependency_graph(self) -> Optional[nx.DiGraph]:
         return self.master.dependency_graph
+
+    @property
+    def topology(self) -> Optional[OnlineTopology]:
+        return self.master.topology
 
     def close(self) -> None:
         """Release pooled resources (cached worker processes)."""
@@ -763,6 +891,7 @@ class FChain:
         *,
         violation_time: int,
         validate_with=None,
+        origin: Optional[ComponentId] = None,
     ) -> Diagnosis:
         """Diagnose the faulty components for a detected SLO violation.
 
@@ -773,12 +902,16 @@ class FChain:
             validate_with: Optional live application; when given, online
                 pinpointing validation runs and the returned diagnosis
                 carries the validated result plus per-component outcomes.
+            origin: Optional SLO-violating component; enables
+                neighborhood-scoped slave dispatch in
+                ``topology_mode="neighborhood"`` (see
+                :meth:`FChainMaster.diagnose`).
 
         Returns:
             A :class:`~repro.core.diagnosis.Diagnosis`.
         """
         started = time.perf_counter()
-        result = self.master.diagnose(store, violation_time)
+        result = self.master.diagnose(store, violation_time, origin=origin)
         outcomes: Optional[Dict[ComponentId, ValidationOutcome]] = None
         unvalidated: Optional[PinpointResult] = None
         if validate_with is not None:

@@ -26,7 +26,10 @@ import networkx as nx
 
 from repro.common.types import ComponentId, Metric
 from repro.core.config import FChainConfig
-from repro.core.dependency import propagation_path_exists
+from repro.core.dependency import (
+    propagation_path_confidence,
+    propagation_path_exists,
+)
 from repro.core.propagation import ComponentReport, PropagationChain, build_chain
 
 
@@ -48,6 +51,14 @@ class PinpointResult:
         trace: The diagnosis-wide telemetry span tree (worker spans
             merged back in), or None when telemetry is off. Excluded
             from equality.
+        analyzed: Components the slaves actually examined for this
+            result, or None when diagnosis ran unscoped (the default
+            full fan-out). Set by the master in topology-guided
+            neighborhood mode; excluded from equality.
+        escalated: True when a neighborhood-scoped diagnosis had to
+            widen to the full component set because the scoped result
+            could not rule out a culprit outside the neighborhood.
+            Excluded from equality.
     """
 
     faulty: FrozenSet[ComponentId]
@@ -56,6 +67,10 @@ class PinpointResult:
     reports: Dict[ComponentId, ComponentReport] = field(default_factory=dict)
     skipped: FrozenSet[ComponentId] = frozenset()
     trace: Optional[object] = field(default=None, compare=False, repr=False)
+    analyzed: Optional[FrozenSet[ComponentId]] = field(
+        default=None, compare=False
+    )
+    escalated: bool = field(default=False, compare=False)
 
     def implicated_metrics(self, component: ComponentId) -> List[Metric]:
         """Abnormal metrics of a pinpointed component (for validation)."""
@@ -117,9 +132,12 @@ class PinpointResult:
             )
         lines.append(f"pinpointed: {sorted(self.faulty)}")
         if self.skipped:
-            lines.append(
-                f"skipped (insufficient data): {sorted(self.skipped)}"
+            reasons = self.skipped_reasons
+            detail = ", ".join(
+                f"{component} ({reasons[component]})"
+                for component in sorted(self.skipped)
             )
+            lines.append(f"skipped: {detail}")
         return "\n".join(lines)
 
 
@@ -213,10 +231,23 @@ def pinpoint_faulty_components(
             faulty.add(component)
             continue
         if have_dependencies:
-            explained = any(
-                propagation_path_exists(dependency_graph, f, component)
-                for f in faulty
-            )
+            min_confidence = config.topology_min_path_confidence
+            if min_confidence > 0.0:
+                # Weighted pruning: a propagation explanation must ride a
+                # dependency path the online topology still believes in —
+                # decayed edges stop explaining anomalies away.
+                explained = any(
+                    propagation_path_confidence(
+                        dependency_graph, f, component
+                    )
+                    >= min_confidence
+                    for f in faulty
+                )
+            else:
+                explained = any(
+                    propagation_path_exists(dependency_graph, f, component)
+                    for f in faulty
+                )
             if not explained:
                 # No dependency path from any pinpointed component: the
                 # inferred propagation is spurious, so this component's

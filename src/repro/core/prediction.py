@@ -38,6 +38,12 @@ import numpy as np
 
 from repro.common.timeseries import TimeSeries
 
+#: Smallest grid span that can be divided safely. Below the smallest
+#: normal float, ``(value - lo) / span * bins`` overflows to inf for
+#: values only modestly outside the grid, and ``int(inf)`` raises —
+#: such spans are treated like the zero-span degenerate grid instead.
+_MIN_SPAN = float(np.finfo(float).tiny)
+
 
 class MarkovPredictor:
     """Online one-step-ahead predictor for a single metric series.
@@ -101,20 +107,37 @@ class MarkovPredictor:
 
     def _bin_of(self, value: float) -> int:
         span = self._hi - self._lo
-        if span <= 0.0:
+        if span < _MIN_SPAN:
             # Degenerate grid: a constant warmup series with zero
-            # headroom freezes lo == hi. Every value then maps to an
-            # edge bin instead of dividing by the zero span.
+            # headroom freezes lo == hi (span 0), and a *subnormal*
+            # warmup spread can freeze a positive span too small to
+            # divide safely. Every value then maps to an edge bin
+            # instead of dividing by the (near-)zero span.
             return 0 if value <= self._lo else self.bins - 1
-        idx = int((value - self._lo) / span * self.bins)
+        raw = (value - self._lo) / span * self.bins
+        if not np.isfinite(raw):
+            # The divide overflowed (a value astronomically outside a
+            # tiny grid): clamp to the edge bin the sign points at,
+            # matching the degenerate-grid rule.
+            return 0 if value <= self._lo else self.bins - 1
+        idx = int(raw)
         return min(self.bins - 1, max(0, idx))
 
     def _bins_of(self, values: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`_bin_of` over a chunk (identical clamping)."""
         span = self._hi - self._lo
-        if span <= 0.0:
+        if span < _MIN_SPAN:
             return np.where(values <= self._lo, 0, self.bins - 1)
-        raw = (values - self._lo) / span * self.bins
+        with np.errstate(over="ignore", invalid="ignore"):
+            raw = (values - self._lo) / span * self.bins
+        bad = ~np.isfinite(raw)
+        if bad.any():
+            # Same edge-bin rule as the scalar overflow path.
+            raw = np.where(
+                bad,
+                np.where(values <= self._lo, 0.0, float(self.bins - 1)),
+                raw,
+            )
         # Clipping the float before truncation matches the scalar
         # ``min(bins - 1, max(0, int(raw)))`` for every finite value:
         # int() truncates toward zero, and truncation commutes with the
@@ -215,8 +238,9 @@ class MarkovPredictor:
 
         Args:
             values: 1-D array-like of consecutive samples. Post-warmup
-                samples must be finite (the scalar path raises on
-                non-finite values too, just later — at bin assignment).
+                samples must be finite; NaN gap markers belong in
+                :meth:`update_many_gapped`, which routes the finite runs
+                here.
 
         Returns:
             ``actual - predicted`` per sample; NaN where the model had

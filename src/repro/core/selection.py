@@ -174,6 +174,55 @@ def shift_persists(
     return shift >= min_fraction * magnitude
 
 
+def change_departs_from_routine(
+    history: TimeSeries,
+    values: np.ndarray,
+    index: int,
+    direction: int,
+    magnitude: float,
+    *,
+    horizon: int = 10,
+    min_fraction: float = 0.35,
+) -> bool:
+    """Whether the post-change level actually leaves the routine level.
+
+    A benign transient (a short monitoring spike, a flash burst) ends
+    with a CUSUM change point too: the *decay* back to normal is a mean
+    shift, it persists, and against the elevated spike segment it even
+    looks large. What distinguishes it from a fault manifestation is
+    where the series lands — after a real abnormal change the metric
+    operates at a new level on the change's side of its routine history;
+    after a transient's decay it is back exactly where it always was.
+
+    The landing level (mean over the far end of the ``horizon`` ticks
+    after the point, past the transient itself) must therefore depart
+    from the routine level (the history median) in the change direction
+    by at least ``min_fraction`` of the detected magnitude. Points too
+    close to the window edge to measure a landing level, and series
+    without usable history, are accepted — the check only ever vetoes
+    changes with forward evidence of reversion.
+
+    Args:
+        history: Raw history preceding the analysed window (the routine
+            operating level comes from here).
+        values: The analysed window's raw values.
+        index: Change-point index within ``values``.
+        direction: +1 upward shift, -1 downward.
+        magnitude: Detected mean-shift magnitude.
+        horizon: Ticks after the point over which the landing level is
+            measured.
+        min_fraction: Required departure as a fraction of ``magnitude``.
+    """
+    if len(history) < 20 or direction == 0:
+        return True
+    post = values[index + max(1, horizon - 4) : index + horizon + 1]
+    if len(post) < 3:
+        return True
+    routine = float(np.median(history.values))
+    departure = (float(np.mean(post)) - routine) * direction
+    return departure >= min_fraction * magnitude
+
+
 def censored_onset(
     raw: TimeSeries,
     onset: int,
@@ -447,6 +496,14 @@ def select_abnormal_changes(
             if actual <= config.prediction_error_margin * expected:
                 continue
             if not shift_persists(raw.values, point.time - raw.start, point.magnitude):
+                continue
+            if not change_departs_from_routine(
+                history,
+                raw.values,
+                point.time - raw.start,
+                point.direction,
+                point.magnitude,
+            ):
                 continue
             onset = rollback_onset(
                 smoothed, points, point, tolerance=config.tangent_tolerance

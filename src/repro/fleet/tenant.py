@@ -33,8 +33,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.common.types import ComponentId, Metric
 from repro.core.config import FChainConfig
 from repro.core.fchain import FChain
+from repro.core.topology import OnlineTopology
 from repro.monitoring.quality import DataQualityPolicy
 from repro.monitoring.shared import (
     SharedStoreExport,
@@ -67,6 +69,14 @@ class TenantSpec:
         slave_timeout: Optional per-slave analysis timeout in seconds.
         retention: Ring retention of the tenant's store.
         start: First tick of the tenant's timeline.
+        topology_halflife: When set, the tenant learns an
+            :class:`~repro.core.topology.OnlineTopology` with this edge
+            confidence half-life from its batches' ``edges`` evidence;
+            the learned graph feeds diagnosis (weighted pruning, and
+            neighborhood scoping when the config asks for it). ``None``
+            disables topology learning (the historical behaviour).
+        origin: Component the tenant's SLO signal is observed at — the
+            ranking origin for neighborhood-scoped diagnosis.
     """
 
     tenant: str
@@ -78,6 +88,8 @@ class TenantSpec:
     slave_timeout: Optional[float] = None
     retention: int = DEFAULT_RETENTION
     start: int = 0
+    topology_halflife: Optional[float] = None
+    origin: Optional[ComponentId] = None
 
 
 @dataclass
@@ -107,6 +119,9 @@ class TenantSnapshot:
     last_trigger: Optional[int]
     pending: List[FleetTrigger]
     counters: Dict[str, int]
+    #: The learned online topology, carried wholesale (its state is a
+    #: few small dicts — cheap to pickle next to the store handle).
+    topology: Optional[OnlineTopology] = None
 
 
 class TenantRuntime:
@@ -132,11 +147,17 @@ class TenantRuntime:
             retention=spec.retention,
         )
         self.detector = detector if detector is not None else spec.detector
+        self.topology: Optional[OnlineTopology] = (
+            OnlineTopology(halflife=spec.topology_halflife)
+            if spec.topology_halflife is not None
+            else None
+        )
         self.fchain = FChain(
             self.config,
             seed=spec.seed,
             jobs=spec.jobs,
             slave_timeout=spec.slave_timeout,
+            topology=self.topology,
         )
         # Serializes slave mutation between the shard's ingest loop
         # (warm sync, try-acquire only) and its diagnosis thread.
@@ -169,6 +190,7 @@ class TenantRuntime:
         self.store.ingest(
             IngestBatch(samples=batch.samples, watermark=t + 1)
         )
+        self._learn_topology(t, batch)
         self._warm_sync()
         rising = False
         if batch.performance is not None:
@@ -181,6 +203,25 @@ class TenantRuntime:
         self.ticks += 1
         self.tick_seconds.append(time.perf_counter() - started)
         return ready
+
+    def _learn_topology(self, t: int, batch: TickBatch) -> None:
+        """Feed one tick's evidence into the tenant's online topology.
+
+        Mirrors ``OnlinePipeline._learn_topology``: traffic counts are
+        the edge-creating channel, the ``network_out`` samples
+        corroborate known edges through delta co-movement.
+        """
+        if self.topology is None:
+            return
+        if batch.edges:
+            self.topology.observe_traffic(t, batch.edges)
+        signals = {
+            sample.component: sample.value
+            for sample in batch.samples
+            if sample.metric == Metric.NETWORK_OUT
+        }
+        if signals:
+            self.topology.observe_comovement(t, signals)
 
     def _warm_sync(self) -> None:
         """Catch the slave models up — never waiting on a diagnosis."""
@@ -238,7 +279,9 @@ class TenantRuntime:
         """Run one localization; raises on engine failure."""
         with self._slave_lock:
             diagnosis = self.fchain.localize(
-                self.store, violation_time=trigger.violation_tick
+                self.store,
+                violation_time=trigger.violation_tick,
+                origin=self.spec.origin,
             )
         incident = Incident(
             index=self.incident_count,
@@ -277,6 +320,7 @@ class TenantRuntime:
                 "warm_sync_skipped": self.warm_sync_skipped,
                 "incident_count": self.incident_count,
             },
+            topology=self.topology,
         )
 
     def release(self) -> None:
@@ -303,6 +347,13 @@ class TenantRuntime:
             "warm_sync_skipped", 0
         )
         runtime.incident_count = snapshot.counters.get("incident_count", 0)
+        if snapshot.topology is not None:
+            # The learned graph relocates wholesale: edge confidences
+            # are part of diagnosis state, and re-learning from scratch
+            # on the target shard would widen every scoped diagnosis
+            # until the graph re-converged.
+            runtime.topology = snapshot.topology
+            runtime.fchain.master.topology = snapshot.topology
         # Warm the models from the rebuilt store: update_many chunk
         # invariance makes this bit-identical to models that streamed
         # the same history tick by tick and never moved.

@@ -43,8 +43,10 @@ from typing import List, Optional, Tuple
 import networkx as nx
 
 from repro.common.errors import ReproError
+from repro.common.types import ComponentId, Metric
 from repro.core.config import FChainConfig
 from repro.core.fchain import FChain
+from repro.core.topology import OnlineTopology
 from repro.monitoring.quality import DataQualityPolicy
 from repro.monitoring.slo import SLODetector
 from repro.monitoring.store import IngestBatch, MetricStore
@@ -99,6 +101,16 @@ class OnlinePipeline:
             ``close()`` method are closed at drain time.
         registry: Metrics registry for the incident/drop counters
             (defaults to the process-wide registry).
+        topology: Optional :class:`~repro.core.topology.OnlineTopology`
+            the loop keeps learning while it ingests: each batch's
+            ``edges`` feed :meth:`~repro.core.topology.OnlineTopology.observe_traffic`
+            and the per-component ``network_out`` samples corroborate
+            known edges via co-movement. Diagnoses snapshot the learned
+            graph (and, in ``topology_mode="neighborhood"``, scope the
+            slave fan-out around ``origin``).
+        origin: Component the SLO signal is observed at (e.g. a mesh
+            gateway) — the ranking origin for neighborhood-scoped
+            diagnosis. Ignored in ``topology_mode="full"``.
 
     Attributes:
         incidents: Finished incidents, in completion order.
@@ -125,6 +137,8 @@ class OnlinePipeline:
         policy: Optional[DataQualityPolicy] = None,
         sinks=(),
         registry=None,
+        topology: Optional[OnlineTopology] = None,
+        origin: Optional[ComponentId] = None,
     ) -> None:
         self.config = (config or FChainConfig()).validate()
         self.feed = iter(feed)
@@ -137,12 +151,15 @@ class OnlinePipeline:
                 "construct the store with MetricStore(policy=...)"
             )
         self.store = store
+        self.topology = topology
+        self.origin = origin
         self.fchain = FChain(
             self.config,
             dependency_graph,
             seed=seed,
             jobs=jobs,
             slave_timeout=slave_timeout,
+            topology=topology,
         )
         self.sinks = list(sinks)
         self.tracer = make_tracer(self.config.telemetry, registry=registry)
@@ -194,6 +211,7 @@ class OnlinePipeline:
                 IngestBatch(samples=batch.samples, watermark=t + 1)
             )
             tick_span.count("samples_ingested", len(batch.samples))
+            self._learn_topology(t, batch)
             self._warm_sync(tick_span)
             with tick_span.child(STAGE_SLO_EVAL) as slo_span:
                 rising = False
@@ -269,6 +287,27 @@ class OnlinePipeline:
         finally:
             self._slave_lock.release()
 
+    def _learn_topology(self, t: int, batch: TickBatch) -> None:
+        """Feed one tick's evidence into the online topology, if any.
+
+        Traffic counts are the primary channel (they create and refresh
+        edges); the per-component ``network_out`` samples corroborate
+        already-known edges through delta co-movement. Both are cheap —
+        a dict pass per tick — and run on the ingest thread, so the
+        learned graph is always current when a diagnosis snapshots it.
+        """
+        if self.topology is None:
+            return
+        if batch.edges:
+            self.topology.observe_traffic(t, batch.edges)
+        signals = {
+            sample.component: sample.value
+            for sample in batch.samples
+            if sample.metric == Metric.NETWORK_OUT
+        }
+        if signals:
+            self.topology.observe_comovement(t, signals)
+
     def _on_violation(self, t: int) -> None:
         """A rising violation edge: dedup against the cooldown window."""
         cooldown = self.config.service_cooldown
@@ -335,7 +374,9 @@ class OnlinePipeline:
         try:
             with self._slave_lock:
                 diagnosis = self.fchain.localize(
-                    self.store, violation_time=trigger.violation_tick
+                    self.store,
+                    violation_time=trigger.violation_tick,
+                    origin=self.origin,
                 )
         except Exception as error:  # keep the loop alive
             self.failures.append((trigger.violation_tick, error))

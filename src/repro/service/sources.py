@@ -49,11 +49,18 @@ class TickBatch:
         performance: The application-level SLO signal for this tick
             (average latency, job progress, ...), or ``None`` when no
             performance measurement arrived this tick.
+        edges: Per-edge traffic observed during the tick, as
+            ``{(src, dst): items}`` — evidence for an
+            :class:`~repro.core.topology.OnlineTopology` the pipeline
+            may be learning. ``None`` when the collector has no edge
+            visibility (topology learning then relies on metric
+            co-movement alone).
     """
 
     time: int
     samples: List[MetricSample] = field(default_factory=list)
     performance: Optional[float] = None
+    edges: Optional[Dict[tuple, float]] = None
 
 
 class SimFeed:
@@ -102,7 +109,12 @@ class SimFeed:
         performance = None
         if app.slo is not None and app.slo.samples:
             performance = float(app.slo.samples[-1])
-        return TickBatch(time=t, samples=samples, performance=performance)
+        edges = None
+        if hasattr(app, "edge_traffic"):
+            edges = app.edge_traffic()
+        return TickBatch(
+            time=t, samples=samples, performance=performance, edges=edges
+        )
 
 
 class StoreReplayFeed:

@@ -1,0 +1,97 @@
+"""Tests for the generated microservice-mesh application."""
+
+import pytest
+
+from repro.apps.mesh import MeshApplication
+from repro.common.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return MeshApplication(seed=7, services=30, duration=600)
+
+
+class TestMeshStructure:
+    def test_same_seed_same_mesh(self, mesh):
+        twin = MeshApplication(seed=7, services=30, duration=600)
+        assert [list(layer) for layer in twin.layers] == [
+            list(layer) for layer in mesh.layers
+        ]
+        for name, component in mesh.components.items():
+            assert twin.components[name].spec.capacity == pytest.approx(
+                component.spec.capacity
+            )
+            assert sorted(
+                d.name for d, _ in twin.components[name].routing()
+            ) == sorted(d.name for d, _ in component.routing())
+
+    def test_fan_out_fan_in_profile(self, mesh):
+        widths = [len(layer) for layer in mesh.layers]
+        assert widths[0] == 1
+        assert max(widths) > 2
+        assert sum(widths) == 30
+
+    def test_fan_in_at_least_two(self, mesh):
+        """No service hangs off a single upstream caller when the
+        upstream layer has two to give."""
+        callers = {name: 0 for name in mesh.components}
+        for name, component in mesh.components.items():
+            for downstream, _ in component.routing():
+                callers[downstream.name] += 1
+        for upstream, downstream in zip(mesh.layers, mesh.layers[1:]):
+            want = min(2, len(upstream))
+            for name in downstream:
+                assert callers[name] >= want
+
+    def test_default_fault_target_in_layer_one(self, mesh):
+        assert mesh.layer_of(mesh.default_fault_target()) == 1
+
+    def test_services_bounds_enforced(self):
+        with pytest.raises(SimulationError):
+            MeshApplication(seed=0, services=1)
+
+
+class TestMeshFlow:
+    def test_gateway_receives_base_rate(self, mesh):
+        assert mesh.nominal_arrival_rate(mesh.gateway) == pytest.approx(
+            mesh.base_rate
+        )
+
+    def test_every_service_reachable(self, mesh):
+        for name in mesh.components:
+            assert mesh.nominal_arrival_rate(name) > 0.0
+
+    def test_unknown_service_rejected(self, mesh):
+        with pytest.raises(SimulationError):
+            mesh.nominal_arrival_rate("nope")
+
+    def test_bottleneck_cap_scales_with_fraction(self, mesh):
+        target = mesh.default_fault_target()
+        cap = mesh.bottleneck_cap(target)
+        assert 0.0 < cap < 1.0
+        assert mesh.bottleneck_cap(target, fraction=0.45) == pytest.approx(
+            cap / 2
+        )
+
+
+class TestMeshRuntime:
+    def test_edge_traffic_reports_wired_edges(self):
+        app = MeshApplication(seed=3, services=20, duration=600)
+        for t in range(30):
+            app.tick(t)
+            app.time += 1
+        edges = app.edge_traffic()
+        assert edges
+        wired = {
+            (name, downstream.name)
+            for name, component in app.components.items()
+            for downstream, _ in component.routing()
+        }
+        assert set(edges) <= wired
+        assert all(count >= 0.0 for count in edges.values())
+
+    def test_performance_bounded_by_timeouts(self):
+        app = MeshApplication(seed=3, services=20, duration=600)
+        app.run(50)
+        budget = app.timeout_s * len(app.layers) + 0.001 * len(app.layers)
+        assert all(0.0 < s <= budget for s in app.slo.samples)

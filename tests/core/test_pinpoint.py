@@ -39,6 +39,56 @@ def rubis_graph():
 CONFIG = FChainConfig()
 
 
+class TestWeightedPruning:
+    def weighted_graph(self, weight):
+        g = nx.DiGraph()
+        g.add_edge("web", "app1", weight=0.9)
+        g.add_edge("app1", "db", weight=weight)
+        return g
+
+    def test_confident_path_explains_propagation(self):
+        reports = [
+            report("db", 100),
+            report("web", 130),
+            ComponentReport("app1"),
+        ]
+        config = FChainConfig(topology_min_path_confidence=0.5)
+        result = pinpoint_faulty_components(
+            reports, config, self.weighted_graph(0.9)
+        )
+        # Back-pressure path db -> app1 -> web at 0.81 confidence: the
+        # later web anomaly is a victim, not a second fault.
+        assert result.faulty == frozenset({"db"})
+
+    def test_decayed_path_stops_explaining(self):
+        reports = [
+            report("db", 100),
+            report("web", 130),
+            ComponentReport("app1"),
+        ]
+        config = FChainConfig(topology_min_path_confidence=0.5)
+        result = pinpoint_faulty_components(
+            reports, config, self.weighted_graph(0.1)
+        )
+        # Same shape, but the learned app1 -> db edge has decayed to
+        # 0.1: the propagation explanation no longer holds and web is
+        # pinpointed as an independent fault.
+        assert result.faulty == frozenset({"db", "web"})
+
+    def test_zero_threshold_ignores_weights(self):
+        reports = [
+            report("db", 100),
+            report("web", 130),
+            ComponentReport("app1"),
+        ]
+        result = pinpoint_faulty_components(
+            reports, CONFIG, self.weighted_graph(0.1)
+        )
+        # The default config prunes on reachability alone — weighted
+        # pruning is strictly opt-in.
+        assert result.faulty == frozenset({"db"})
+
+
 class TestBasicPinpointing:
     def test_chain_source_pinpointed(self):
         reports = [

@@ -104,6 +104,33 @@ class TestDegenerateGrid:
         expected = np.array([model._bin_of(v) for v in values])
         np.testing.assert_array_equal(model._bins_of(values), expected)
 
+    def test_subnormal_span_does_not_overflow(self):
+        # Pinned hypothesis falsifying example: a warmup of
+        # [0.0, 2.2e-311] with headroom=0 freezes a *subnormal* positive
+        # span; (1.0 - lo) / span * bins then overflows to inf and
+        # int(inf) raised OverflowError in the scalar path while the
+        # batched path silently clipped — scalar and chunked ingest
+        # diverged.
+        data = [0.0, 2.2e-311, 1.0]
+        scalar = MarkovPredictor(bins=2, halflife=1, warmup=2, headroom=0.0)
+        for v in data:
+            scalar.step(v)  # must not raise
+        batched = MarkovPredictor(bins=2, halflife=1, warmup=2, headroom=0.0)
+        batched.update_many(np.asarray(data, dtype=float))
+        assert scalar._previous_bin == batched._previous_bin
+        np.testing.assert_array_equal(
+            scalar._counts, batched._counts
+        )
+
+    def test_subnormal_span_scalar_and_batched_bins_agree(self):
+        model = MarkovPredictor(bins=4, warmup=2, headroom=0.0)
+        for v in (0.0, 2.2e-311):
+            model.update(v)
+        assert model.ready
+        values = np.array([-1.0, 0.0, 2.2e-311, 1e-300, 1.0, 1e308])
+        expected = np.array([model._bin_of(v) for v in values])
+        np.testing.assert_array_equal(model._bins_of(values), expected)
+
 
 class TestUpdateMany:
     def test_nan_during_warmup_then_errors(self):

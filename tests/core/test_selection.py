@@ -11,6 +11,7 @@ from repro.core.cusum import ChangePoint
 from repro.core.selection import (
     actual_prediction_error,
     censored_onset,
+    change_departs_from_routine,
     history_error_reference,
     reference_change_magnitudes,
     rollback_onset,
@@ -154,6 +155,52 @@ class TestCensoredOnset:
         rng = spawn_rng("head")
         values = TimeSeries(10 + rng.normal(0, 5, 120), start=0)
         assert censored_onset(values, 50, 1, 3.0) == 50
+
+
+class TestChangeDepartsFromRoutine:
+    def _history(self):
+        return TimeSeries(np.full(200, 40.0))
+
+    def test_sustained_shift_departs(self):
+        values = np.concatenate([np.full(30, 40.0), np.full(30, 70.0)])
+        assert change_departs_from_routine(
+            self._history(), values, 30, 1, 30.0
+        )
+
+    def test_transient_spike_vetoed(self):
+        # The spike's rise is a detectable change, but 10 ticks later the
+        # series is back at the routine level: no fault operates there.
+        values = np.full(60, 40.0)
+        values[30:33] = 85.0
+        assert not change_departs_from_routine(
+            self._history(), values, 30, 1, 45.0
+        )
+
+    def test_short_history_accepted(self):
+        values = np.concatenate([np.full(30, 40.0), np.full(30, 40.0)])
+        assert change_departs_from_routine(
+            TimeSeries(np.full(10, 40.0)), values, 30, 1, 30.0
+        )
+
+    def test_change_at_window_edge_accepted(self):
+        # Too few post-change samples to measure a landing level: the
+        # veto must not reject a fresh fault at the window edge.
+        values = np.concatenate([np.full(58, 40.0), np.full(2, 80.0)])
+        assert change_departs_from_routine(
+            self._history(), values, 58, 1, 40.0
+        )
+
+    def test_downward_shift_measured_in_direction(self):
+        values = np.concatenate([np.full(30, 40.0), np.full(30, 10.0)])
+        assert change_departs_from_routine(
+            self._history(), values, 30, -1, 30.0
+        )
+        # A downward transient that recovers is vetoed the same way.
+        recovering = np.full(60, 40.0)
+        recovering[30:33] = 5.0
+        assert not change_departs_from_routine(
+            self._history(), recovering, 30, -1, 35.0
+        )
 
 
 class TestSelectAbnormalChanges:

@@ -189,6 +189,9 @@ class TestCliGate:
             "--samples", "600", "--components", "2", "--metrics", "1",
             "--repeats", "1",
             "--fleet-tenants", "20", "--fleet-shards", "2",
+            # The gate mechanics are under test, not the mesh — skip
+            # the canonical 100-service topology run.
+            "--topology-services", "0",
         ]
         # First run produces the payloads that become the baselines.
         assert main(run) == 0
@@ -240,6 +243,9 @@ class TestCliGate:
             "--samples", "600", "--components", "2", "--metrics", "1",
             "--repeats", "1", "--check", str(empty),
             "--fleet-tenants", "20", "--fleet-shards", "2",
+            # The gate mechanics are under test, not the mesh — skip
+            # the canonical 100-service topology run.
+            "--topology-services", "0",
         ])
         assert code == 1
         assert "no committed baseline" in capsys.readouterr().out

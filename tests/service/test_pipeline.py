@@ -12,7 +12,9 @@ import time
 import pytest
 
 from repro.common.errors import ReproError
+from repro.common.types import Metric, MetricSample
 from repro.core.config import FChainConfig
+from repro.core.topology import OnlineTopology
 from repro.monitoring.slo import LatencySLO
 from repro.service import CallbackSink, JsonlSink, OnlinePipeline, TickBatch
 
@@ -38,7 +40,7 @@ class BlockingLocalize:
         self.release = threading.Event()
         self.calls = []
 
-    def __call__(self, store, violation_time=None):
+    def __call__(self, store, violation_time=None, origin=None):
         self.calls.append(violation_time)
         self.started.release()
         assert self.release.wait(10), "test never released the stub"
@@ -66,7 +68,7 @@ def drive(pipeline, performance, start=0):
 class TestEdgeTriggeredDispatch:
     def test_one_trigger_per_sustained_violation(self):
         pipeline = make_pipeline()
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         # 30 consecutive violating ticks: one rising edge, one incident,
@@ -82,7 +84,7 @@ class TestEdgeTriggeredDispatch:
         pipeline = make_pipeline()
         dispatched = []
         pipeline.fchain.localize = (
-            lambda store, violation_time=None: dispatched.append(store.end)
+            lambda store, violation_time=None, origin=None: dispatched.append(store.end)
             or FakeDiagnosis()
         )
         end = drive(pipeline, [0.01, 0.01, 1.0, 1.0, 1.0, 1.0, 1.0])
@@ -95,7 +97,7 @@ class TestEdgeTriggeredDispatch:
 
     def test_cooldown_folds_flapping(self):
         pipeline = make_pipeline(settings={"service_cooldown": 10})
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         # Two rising edges 4 ticks apart — inside the 10-tick cooldown —
@@ -108,7 +110,7 @@ class TestEdgeTriggeredDispatch:
 
     def test_separate_incidents_after_cooldown(self):
         pipeline = make_pipeline(settings={"service_cooldown": 3})
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         drive(pipeline, [1.0, 0.01, 0.01, 0.01, 1.0, 0.01, 0.01, 0.01])
@@ -159,7 +161,7 @@ class TestBackpressure:
 class TestDrain:
     def test_close_flushes_pending_triggers(self):
         pipeline = make_pipeline()
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         # Violation on the very last tick: the grace data never arrives.
@@ -202,7 +204,7 @@ class TestFailureIsolation:
     def test_diagnosis_error_keeps_loop_alive(self):
         pipeline = make_pipeline(settings={"service_cooldown": 0})
 
-        def explode(store, violation_time=None):
+        def explode(store, violation_time=None, origin=None):
             raise RuntimeError("slave fell over")
 
         pipeline.fchain.localize = explode
@@ -219,7 +221,7 @@ class TestFailureIsolation:
         pipeline = make_pipeline(
             sinks=[CallbackSink(lambda incident: 1 / 0)]
         )
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         drive(pipeline, [1.0] + [0.01] * 4)
@@ -235,7 +237,7 @@ class TestSinks:
         path = tmp_path / "incidents.jsonl"
         sink = JsonlSink(path)
         pipeline = make_pipeline(sinks=[sink])
-        pipeline.fchain.localize = lambda store, violation_time=None: (
+        pipeline.fchain.localize = lambda store, violation_time=None, origin=None: (
             FakeDiagnosis()
         )
         drive(pipeline, [1.0] + [0.01] * 4)
@@ -254,3 +256,38 @@ class TestSinks:
 
         with pytest.raises(ReproError):
             make_pipeline(store=MetricStore())
+
+
+class TestTopologyLearning:
+    def test_pipeline_learns_edges_from_batches(self):
+        topology = OnlineTopology(halflife=10.0)
+        pipeline = make_pipeline(topology=topology, origin="gw")
+        for t in range(40):
+            # Correlated network_out co-movement corroborates the edge
+            # the traffic counts create.
+            load = 30.0 + (t % 7)
+            pipeline.process(
+                TickBatch(
+                    time=t,
+                    samples=[
+                        MetricSample("gw", Metric.NETWORK_OUT, t, load),
+                        MetricSample("a", Metric.NETWORK_OUT, t, load - 2.0),
+                    ],
+                    performance=0.01,
+                    edges={("gw", "a"): 5.0},
+                )
+            )
+        pipeline.close()
+        assert pipeline.topology is topology
+        assert topology.confidence("gw", "a") > 0.5
+        assert topology.graph().has_edge("gw", "a")
+        # The graph feeds the master so a diagnosis can scope with it.
+        assert pipeline.fchain.master.topology is topology
+
+    def test_pipeline_without_topology_learns_nothing(self):
+        pipeline = make_pipeline()
+        pipeline.process(
+            TickBatch(time=0, performance=0.01, edges={("gw", "a"): 5.0})
+        )
+        pipeline.close()
+        assert pipeline.topology is None
